@@ -1,0 +1,66 @@
+//! End-to-end criterion benchmarks of the distributed factorization
+//! schedules on the simulated machine — one benchmark per implementation
+//! class compared in the paper (the wall-clock here is simulation cost, not
+//! modelled machine time; it tracks schedule complexity and message
+//! counts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dense::gen::{random_matrix, random_spd};
+use factor::confchox::ConfchoxConfig;
+use factor::conflux::ConfluxConfig;
+use factor::lu25d_swap::{lu25d_swap, SwapLuConfig};
+use factor::twod::TwodConfig;
+use factor::{confchox_cholesky, conflux_lu, twod_cholesky, twod_lu};
+use std::hint::black_box;
+use xmpi::{Grid2, Grid3};
+
+fn bench_lu_schedules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lu_schedules_p8");
+    g.sample_size(10);
+    for n in [64usize, 128] {
+        let a = random_matrix(n, n, 1);
+        let grid = Grid3::new(2, 2, 2);
+        g.bench_with_input(BenchmarkId::new("conflux", n), &n, |bench, _| {
+            let cfg = ConfluxConfig::new(n, 8, grid).volume_only();
+            bench.iter(|| black_box(conflux_lu(&cfg, &a).unwrap().stats.total_bytes_sent()));
+        });
+        g.bench_with_input(BenchmarkId::new("swap_25d", n), &n, |bench, _| {
+            let cfg = SwapLuConfig::new(n, 8, grid).volume_only();
+            bench.iter(|| black_box(lu25d_swap(&cfg, &a).unwrap().stats.total_bytes_sent()));
+        });
+        g.bench_with_input(BenchmarkId::new("twod", n), &n, |bench, _| {
+            let cfg = TwodConfig::new(n, 8, Grid2::new(2, 4)).volume_only();
+            bench.iter(|| black_box(twod_lu(&cfg, &a).unwrap().stats.total_bytes_sent()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_cholesky_schedules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cholesky_schedules_p8");
+    g.sample_size(10);
+    for n in [64usize, 128] {
+        let a = random_spd(n, 2);
+        g.bench_with_input(BenchmarkId::new("confchox", n), &n, |bench, _| {
+            let cfg = ConfchoxConfig::new(n, 8, Grid3::new(2, 2, 2)).volume_only();
+            bench.iter(|| black_box(confchox_cholesky(&cfg, &a).unwrap().stats.total_bytes_sent()));
+        });
+        g.bench_with_input(BenchmarkId::new("twod", n), &n, |bench, _| {
+            let cfg = TwodConfig::new(n, 8, Grid2::new(2, 4)).volume_only();
+            bench.iter(|| black_box(twod_cholesky(&cfg, &a).unwrap().stats.total_bytes_sent()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep `cargo bench --workspace` under a
+    // few minutes while remaining statistically useful.
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_lu_schedules, bench_cholesky_schedules
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Criterion microbenchmarks for the local dense kernels — the building
+//! blocks whose efficiency Table 1 assumes (`gemm`, `gemmt`, `trsm`,
+//! `getrf`, `potrf`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dense::gemm::{gemm, gemmt, par_gemm, CUplo, Trans};
+use dense::gen::{random_matrix, random_spd};
+use dense::getrf::getrf;
+use dense::potrf::potrf;
+use dense::trsm::{trsm, Diag, Side, Uplo};
+use dense::Matrix;
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    for n in [64usize, 128, 256] {
+        let a = random_matrix(n, n, 1);
+        let b = random_matrix(n, n, 2);
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("seq", n), &n, |bench, _| {
+            let mut out = Matrix::zeros(n, n);
+            bench.iter(|| {
+                gemm(Trans::N, Trans::N, 1.0, a.as_ref(), b.as_ref(), 0.0, out.as_mut());
+                black_box(out.data()[0])
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("par", n), &n, |bench, _| {
+            let mut out = Matrix::zeros(n, n);
+            bench.iter(|| {
+                par_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, &mut out);
+                black_box(out.data()[0])
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_gemmt_vs_gemm(c: &mut Criterion) {
+    // Table 1's observation: the symmetric update does half the flops.
+    let n = 192;
+    let k = 16;
+    let a = random_matrix(n, k, 3);
+    let mut g = c.benchmark_group("rank_k_update");
+    g.bench_function("gemm_full", |bench| {
+        let mut out = Matrix::zeros(n, n);
+        bench.iter(|| {
+            gemm(Trans::N, Trans::T, -1.0, a.as_ref(), a.as_ref(), 1.0, out.as_mut());
+            black_box(out.data()[0])
+        });
+    });
+    g.bench_function("gemmt_lower", |bench| {
+        let mut out = Matrix::zeros(n, n);
+        bench.iter(|| {
+            gemmt(CUplo::Lower, Trans::N, Trans::T, -1.0, a.as_ref(), a.as_ref(), 1.0, out.as_mut());
+            black_box(out.data()[0])
+        });
+    });
+    g.finish();
+}
+
+fn bench_trsm(c: &mut Criterion) {
+    let n = 64;
+    let nrhs = 256;
+    let a = {
+        let mut t = random_matrix(n, n, 4);
+        for i in 0..n {
+            t[(i, i)] = 4.0 + t[(i, i)].abs();
+        }
+        t
+    };
+    let b = random_matrix(n, nrhs, 5);
+    c.bench_function("trsm_left_lower_64x256", |bench| {
+        bench.iter(|| {
+            let mut x = b.clone();
+            trsm(Side::Left, Uplo::Lower, Trans::N, Diag::NonUnit, 1.0, a.as_ref(), x.as_mut());
+            black_box(x.data()[0])
+        });
+    });
+}
+
+fn bench_factorizations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sequential_factor");
+    for n in [64usize, 128, 256] {
+        let a = random_matrix(n, n, 6);
+        g.bench_with_input(BenchmarkId::new("getrf", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut w = a.clone();
+                black_box(getrf(&mut w, 32).unwrap().len())
+            });
+        });
+        let spd = random_spd(n, 7);
+        g.bench_with_input(BenchmarkId::new("potrf", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut w = spd.clone();
+                potrf(&mut w, 32).unwrap();
+                black_box(w.data()[0])
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep `cargo bench --workspace` under a
+    // few minutes while remaining statistically useful.
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_gemm, bench_gemmt_vs_gemm, bench_trsm, bench_factorizations
+}
+criterion_main!(benches);

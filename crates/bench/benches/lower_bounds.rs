@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the lower-bound framework: cDAG construction,
+//! greedy pebbling, and the KKT/posynomial optimizer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pebbles::cdag::{cholesky_cdag, lu_cdag};
+use pebbles::game::{greedy_schedule, verify};
+use pebbles::optimize::{chi, find_x0};
+use std::hint::black_box;
+
+fn bench_cdag_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cdag_build");
+    for n in [8usize, 16, 24] {
+        g.bench_with_input(BenchmarkId::new("lu", n), &n, |bench, &n| {
+            bench.iter(|| black_box(lu_cdag(n).len()));
+        });
+        g.bench_with_input(BenchmarkId::new("cholesky", n), &n, |bench, &n| {
+            bench.iter(|| black_box(cholesky_cdag(n).len()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_greedy_pebbling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("greedy_pebbling");
+    g.sample_size(10);
+    for (n, m) in [(8usize, 16usize), (10, 16), (12, 32)] {
+        let dag = lu_cdag(n);
+        g.bench_with_input(BenchmarkId::new("lu", format!("n{n}_m{m}")), &m, |bench, &m| {
+            bench.iter(|| {
+                let moves = greedy_schedule(&dag, m);
+                black_box(verify(&dag, &moves, m).unwrap().q)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let acc = vec![vec![1usize, 2], vec![1, 0], vec![0, 2]];
+    c.bench_function("kkt_chi", |bench| {
+        bench.iter(|| black_box(chi(&acc, 3, 3000.0)));
+    });
+    c.bench_function("x0_search", |bench| {
+        let chi_fn = |x: f64| chi(&acc, 3, x);
+        bench.iter(|| black_box(find_x0(&chi_fn, 1024.0, 65536.0)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep `cargo bench --workspace` under a
+    // few minutes while remaining statistically useful.
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_cdag_build, bench_greedy_pebbling, bench_optimizer
+}
+criterion_main!(benches);

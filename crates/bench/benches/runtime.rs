@@ -1,0 +1,94 @@
+//! Criterion benchmarks of the `xmpi` runtime primitives: world spin-up,
+//! point-to-point transfer, and the collectives the factorization schedules
+//! lean on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xmpi::run;
+
+fn bench_world_spinup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world_spinup");
+    for p in [2usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |bench, &p| {
+            bench.iter(|| {
+                let out = run(p, |comm| comm.rank());
+                black_box(out.results.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pingpong");
+    for len in [64usize, 4096, 65536] {
+        g.throughput(Throughput::Bytes((len * 8) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |bench, &len| {
+            bench.iter(|| {
+                let out = run(2, |comm| {
+                    let data = vec![1.0_f64; len];
+                    if comm.rank() == 0 {
+                        for i in 0..8 {
+                            comm.send_f64(1, i, &data);
+                            black_box(comm.recv_f64(1, i).len());
+                        }
+                    } else {
+                        for i in 0..8 {
+                            let v = comm.recv_f64(0, i);
+                            comm.send_f64(0, i, &v);
+                        }
+                    }
+                });
+                black_box(out.stats.total_bytes_sent())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives_p8_4k");
+    let len = 4096;
+    g.bench_function("bcast", |bench| {
+        bench.iter(|| {
+            let out = run(8, |comm| {
+                let mut buf = if comm.rank() == 0 { vec![1.0; len] } else { vec![] };
+                comm.bcast_f64(0, &mut buf);
+                buf.len()
+            });
+            black_box(out.results[7])
+        });
+    });
+    g.bench_function("allreduce", |bench| {
+        bench.iter(|| {
+            let out = run(8, |comm| {
+                let mut buf = vec![comm.rank() as f64; len];
+                comm.allreduce_sum(&mut buf);
+                buf[0]
+            });
+            black_box(out.results[0])
+        });
+    });
+    g.bench_function("allgather", |bench| {
+        bench.iter(|| {
+            let out = run(8, |comm| {
+                let pieces = comm.allgather_f64(&vec![1.0; len / 8]);
+                pieces.len()
+            });
+            black_box(out.results[0])
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep `cargo bench --workspace` under a
+    // few minutes while remaining statistically useful.
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_world_spinup, bench_pingpong, bench_collectives
+}
+criterion_main!(benches);

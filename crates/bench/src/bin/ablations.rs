@@ -1,0 +1,16 @@
+//! Run the design-choice ablations DESIGN.md calls out: block size,
+//! replication depth, and pivoting strategy.
+use bench::experiments::ablations;
+use xmpi::Grid3;
+
+fn main() {
+    ablations::block_size(512, Grid3::new(2, 2, 2), &[8, 16, 32, 64, 128]).emit();
+    ablations::replication(
+        512,
+        16,
+        &[Grid3::new(4, 4, 1), Grid3::new(2, 4, 2), Grid3::new(2, 2, 4)],
+    )
+    .emit();
+    ablations::pivoting(256, &[Grid3::new(2, 2, 1), Grid3::new(2, 2, 2), Grid3::new(2, 2, 4)])
+        .emit();
+}

@@ -1,0 +1,31 @@
+//! Run the full experiment suite (every table and figure of the paper's
+//! evaluation) and persist all raw data under `results/`.
+use bench::experiments as ex;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    ex::bounds_report::run().emit();
+    ex::table1::run(512, 8).emit();
+    ex::table2::run(&[(256, 4), (256, 16), (512, 16), (512, 32), (512, 27), (1024, 64)]).emit();
+    ex::fig1::fig1(&[256, 512, 1024, 2048], &[4, 16, 64]).emit();
+    ex::fig8::fig8a(1024, &[4, 8, 16, 32, 64]).emit();
+    ex::fig8::fig8b(256, &[4, 8, 16, 32, 64]).emit();
+    ex::fig8::fig8c(&[256, 512, 1024], &[4, 16, 64]).emit();
+    ex::fig9::fig9(&[4, 8, 16, 32, 64]).emit();
+    ex::fig9::fig10(&[4, 8, 16, 32, 64]).emit();
+    ex::fig1::fig11(&[256, 512, 1024, 2048], &[4, 16, 64]).emit();
+    ex::ablations::block_size(512, xmpi::Grid3::new(2, 2, 2), &[8, 16, 32, 64, 128]).emit();
+    ex::ablations::replication(
+        512,
+        16,
+        &[xmpi::Grid3::new(4, 4, 1), xmpi::Grid3::new(2, 4, 2), xmpi::Grid3::new(2, 2, 4)],
+    )
+    .emit();
+    ex::ablations::pivoting(
+        256,
+        &[xmpi::Grid3::new(2, 2, 1), xmpi::Grid3::new(2, 2, 2), xmpi::Grid3::new(2, 2, 4)],
+    )
+    .emit();
+    ex::generality::run().emit();
+    println!("\nall experiments done in {:.1}s; raw data in results/", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,4 @@
+//! Regenerate the §6 lower-bound tables with the pebbling sandwich.
+fn main() {
+    bench::experiments::bounds_report::run().emit();
+}

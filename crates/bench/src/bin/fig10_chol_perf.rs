@@ -1,0 +1,4 @@
+//! Regenerate Figure 10 (% of peak for Cholesky, strong + weak scaling).
+fn main() {
+    bench::experiments::fig9::fig10(&[4, 8, 16, 32, 64]).emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerate Figure 11 (COnfCHOX speedup heatmap + % of peak).
+fn main() {
+    bench::experiments::fig1::fig11(&[256, 512, 1024, 2048], &[4, 16, 64]).emit();
+}

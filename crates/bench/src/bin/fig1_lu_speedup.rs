@@ -1,0 +1,4 @@
+//! Regenerate Figure 1 (COnfLUX speedup heatmap + % of peak).
+fn main() {
+    bench::experiments::fig1::fig1(&[256, 512, 1024, 2048], &[4, 16, 64]).emit();
+}

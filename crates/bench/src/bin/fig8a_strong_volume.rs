@@ -1,0 +1,4 @@
+//! Regenerate Figure 8a (volume per rank, fixed N, varying P).
+fn main() {
+    bench::experiments::fig8::fig8a(1024, &[4, 8, 16, 32, 64]).emit();
+}

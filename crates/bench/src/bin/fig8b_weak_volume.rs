@@ -1,0 +1,4 @@
+//! Regenerate Figure 8b (weak-scaling volume per rank, N = n0·∛P).
+fn main() {
+    bench::experiments::fig8::fig8b(256, &[4, 8, 16, 32, 64]).emit();
+}

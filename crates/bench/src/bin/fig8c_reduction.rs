@@ -1,0 +1,4 @@
+//! Regenerate Figure 8c (communication reduction vs second best).
+fn main() {
+    bench::experiments::fig8::fig8c(&[256, 512, 1024], &[4, 16, 64]).emit();
+}

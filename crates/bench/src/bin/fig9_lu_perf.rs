@@ -1,0 +1,4 @@
+//! Regenerate Figure 9 (% of peak for LU, strong + weak scaling).
+fn main() {
+    bench::experiments::fig9::fig9(&[4, 8, 16, 32, 64]).emit();
+}

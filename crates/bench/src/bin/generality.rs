@@ -1,0 +1,5 @@
+//! Framework-generality report: 2.5D MMM + CholeskyQR2 on the same
+//! measured substrate.
+fn main() {
+    bench::experiments::generality::run().emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table 1 (COnfLUX vs COnfCHOX per-routine costs).
+fn main() {
+    bench::experiments::table1::run(512, 8).emit();
+}

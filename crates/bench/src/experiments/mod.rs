@@ -1,0 +1,46 @@
+//! One sub-module per paper table/figure; each produces a [`Report`]
+//! (human-readable text + machine-readable JSON) so the regenerator
+//! binaries and `all_experiments` share one implementation.
+
+pub mod ablations;
+pub mod bounds_report;
+pub mod fig1;
+pub mod generality;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+
+use serde_json::Value;
+use std::io::Write;
+use std::path::Path;
+
+/// A regenerated experiment: terminal text plus raw data.
+pub struct Report {
+    /// Experiment id (e.g. `"fig8a"`).
+    pub id: String,
+    /// Paper caption this reproduces.
+    pub title: String,
+    /// Rendered tables/series for the terminal.
+    pub text: String,
+    /// Raw data for downstream plotting.
+    pub json: Value,
+}
+
+impl Report {
+    /// Print to stdout and persist the JSON under `results/`.
+    pub fn emit(&self) {
+        println!("== {} — {} ==\n{}", self.id, self.title, self.text);
+        if let Err(e) = self.save(Path::new("results")) {
+            eprintln!("(could not save results/{}.json: {e})", self.id);
+        }
+    }
+
+    /// Write `<dir>/<id>.json`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(format!("{}.json", self.id)))?;
+        writeln!(f, "{}", serde_json::to_string_pretty(&self.json)?)?;
+        Ok(())
+    }
+}

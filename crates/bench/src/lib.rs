@@ -1,0 +1,16 @@
+//! Experiment harness: machinery shared by the per-table/per-figure
+//! regenerator binaries (`src/bin/*`).
+//!
+//! * [`machine`] — Piz Daint-like machine constants and the simulated
+//!   time-to-solution model (documented in `EXPERIMENTS.md`): per-rank time
+//!   `T = flops/γ + bytes/β + messages·α`, with flops taken from the
+//!   analytic operation counts and bytes/messages *measured* by the `xmpi`
+//!   runtime. Performance figures report `%peak = total_flops/(P·γ·T)`.
+//! * [`runner`] — run one algorithm at one configuration and collect a
+//!   [`runner::Measurement`]; JSON-serializable for `results/`.
+//! * [`table`] — plain-text table rendering for terminal output.
+
+pub mod experiments;
+pub mod machine;
+pub mod runner;
+pub mod table;

@@ -1,0 +1,81 @@
+//! Analytic flop counts for the kernels in this crate.
+//!
+//! The simulated time-to-solution model in the benchmark harness combines
+//! the runtime's *measured* byte counts with per-rank flop counts; these
+//! helpers give the standard operation counts so call sites can account for
+//! their local computation without instrumenting inner loops.
+
+/// Flops for `C ← α·A·B + β·C` with `A: m×k`, `B: k×n` (one multiply and one
+/// add per inner-product step).
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * (m as u64) * (n as u64) * (k as u64)
+}
+
+/// Flops for `gemmt` on an `n×n` output with inner dimension `k`: only one
+/// triangle (n(n+1)/2 entries) is computed.
+pub fn gemmt_flops(n: usize, k: usize) -> u64 {
+    (n as u64) * (n as u64 + 1) * (k as u64)
+}
+
+/// Flops for a triangular solve with an `n×n` operand and `m` right-hand
+/// sides (`n²·m` multiply-adds).
+pub fn trsm_flops(n: usize, m: usize) -> u64 {
+    (n as u64) * (n as u64) * (m as u64)
+}
+
+/// Flops for partial-pivoting LU on an `m×n` panel (`m ≥ n`):
+/// standard count `mn² − n³/3` (times 2 for multiply+add, folded in).
+pub fn getrf_flops(m: usize, n: usize) -> u64 {
+    let m = m as u64;
+    let n = n as u64;
+    // Σ_{k=0}^{n-1} 2(m-k-1)(n-k-1) + (m-k-1)  ≈ 2mn²/2 …; use the closed
+    // approximation used by LAPACK working notes: mn² − n³/3.
+    (m * n * n).saturating_sub(n * n * n / 3)
+}
+
+/// Flops for Cholesky on an `n×n` matrix: `n³/3`.
+pub fn potrf_flops(n: usize) -> u64 {
+    let n = n as u64;
+    n * n * n / 3
+}
+
+/// Total flops of a full LU factorization of an `n×n` matrix: `2n³/3`.
+pub fn lu_total_flops(n: usize) -> u64 {
+    let n = n as u64;
+    2 * n * n * n / 3
+}
+
+/// Total flops of a full Cholesky factorization of an `n×n` matrix: `n³/3`.
+pub fn cholesky_total_flops(n: usize) -> u64 {
+    let n = n as u64;
+    n * n * n / 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_count_is_symmetric_in_m_n() {
+        assert_eq!(gemm_flops(3, 5, 7), gemm_flops(5, 3, 7));
+        assert_eq!(gemm_flops(10, 10, 10), 2000);
+    }
+
+    #[test]
+    fn gemmt_is_roughly_half_of_gemm() {
+        let full = gemm_flops(100, 100, 8);
+        let tri = gemmt_flops(100, 8);
+        assert!(tri > full / 2 && tri < full / 2 + gemm_flops(1, 100, 8));
+    }
+
+    #[test]
+    fn lu_is_twice_cholesky() {
+        assert_eq!(lu_total_flops(300), 2 * cholesky_total_flops(300));
+    }
+
+    #[test]
+    fn square_getrf_matches_total() {
+        // mn² − n³/3 with m=n gives 2n³/3.
+        assert_eq!(getrf_flops(600, 600), lu_total_flops(600));
+    }
+}

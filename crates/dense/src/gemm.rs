@@ -1,0 +1,352 @@
+//! General matrix multiplication (`gemm`) and its triangular-output variant
+//! (`gemmt`).
+//!
+//! The paper's trailing-matrix updates are rank-`v` GEMM calls (LU) and
+//! GEMMT calls (Cholesky, which only updates one triangle). These kernels are
+//! cache-blocked; [`par_gemm`] additionally fans the row panels of `C` out
+//! over Rayon workers for large local domains.
+
+use crate::matrix::{MatMut, MatRef, Matrix};
+use rayon::prelude::*;
+
+/// Transposition selector, as in BLAS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the operand as stored.
+    N,
+    /// Use the transpose of the operand.
+    T,
+}
+
+impl Trans {
+    #[inline]
+    fn dims(self, m: MatRef<'_>) -> (usize, usize) {
+        match self {
+            Trans::N => (m.rows(), m.cols()),
+            Trans::T => (m.cols(), m.rows()),
+        }
+    }
+
+    #[inline]
+    fn at(self, m: MatRef<'_>, i: usize, j: usize) -> f64 {
+        match self {
+            Trans::N => m.get(i, j),
+            Trans::T => m.get(j, i),
+        }
+    }
+}
+
+/// Blocking factor for the cache-blocked kernels. 64×64 f64 tiles (32 KiB)
+/// fit comfortably in L1/L2 on commodity CPUs.
+const NB: usize = 64;
+
+/// `C ← α·op(A)·op(B) + β·C`.
+///
+/// Shapes must conform: `op(A)` is `m×k`, `op(B)` is `k×n`, `C` is `m×n`.
+///
+/// # Panics
+/// On shape mismatch.
+pub fn gemm(ta: Trans, tb: Trans, alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, mut c: MatMut<'_>) {
+    let (m, ka) = ta.dims(a);
+    let (kb, n) = tb.dims(b);
+    assert_eq!(ka, kb, "gemm: inner dimensions must match");
+    assert_eq!(c.rows(), m, "gemm: C row count mismatch");
+    assert_eq!(c.cols(), n, "gemm: C column count mismatch");
+    let k = ka;
+
+    scale(&mut c, beta);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    // Fast path: no transposes — walk A and C rows contiguously and stream B
+    // rows, the classic ikj order on row-major data.
+    if ta == Trans::N && tb == Trans::N {
+        gemm_nn(alpha, a, b, c);
+        return;
+    }
+
+    // Generic blocked path for transposed operands.
+    for i0 in (0..m).step_by(NB) {
+        let ib = NB.min(m - i0);
+        for k0 in (0..k).step_by(NB) {
+            let kb = NB.min(k - k0);
+            for j0 in (0..n).step_by(NB) {
+                let jb = NB.min(n - j0);
+                for i in i0..i0 + ib {
+                    for kk in k0..k0 + kb {
+                        let aik = alpha * ta.at(a, i, kk);
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        for j in j0..j0 + jb {
+                            c.add(i, j, aik * tb.at(b, kk, j));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Non-transposed blocked kernel: `C += α·A·B` on row-major views.
+fn gemm_nn(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    let m = c.rows();
+    let k = a.cols();
+    for i0 in (0..m).step_by(NB) {
+        let ib = NB.min(m - i0);
+        for k0 in (0..k).step_by(NB) {
+            let kb = NB.min(k - k0);
+            for i in i0..i0 + ib {
+                let arow = a.row(i);
+                let crow = c.row_mut(i);
+                for (kk, &aik) in arow[k0..k0 + kb].iter().enumerate() {
+                    let aik = alpha * aik;
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = b.row(k0 + kk);
+                    for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                        *cj += aik * bj;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn scale(c: &mut MatMut<'_>, beta: f64) {
+    if beta == 1.0 {
+        return;
+    }
+    for i in 0..c.rows() {
+        for x in c.row_mut(i) {
+            *x *= beta;
+        }
+    }
+}
+
+/// Triangle selector for [`gemmt`] output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CUplo {
+    /// Only the lower triangle of `C` (including diagonal) is referenced.
+    Lower,
+    /// Only the upper triangle of `C` (including diagonal) is referenced.
+    Upper,
+}
+
+/// `gemmt`: like [`gemm`] but only the `uplo` triangle of the square matrix
+/// `C` is computed and written; the other triangle is left untouched.
+///
+/// This is the kernel Cholesky's trailing update uses: it halves the flops of
+/// the symmetric update `C ← C − L·Lᵀ` while needing the same inputs —
+/// exactly the observation behind Table 1 of the paper (same communication,
+/// half the computation).
+///
+/// # Panics
+/// If `C` is not square or shapes do not conform.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS gemmt signature
+pub fn gemmt(
+    uplo: CUplo,
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+) {
+    let (m, ka) = ta.dims(a);
+    let (kb, n) = tb.dims(b);
+    assert_eq!(m, n, "gemmt: C must be square");
+    assert_eq!(ka, kb, "gemmt: inner dimensions must match");
+    assert_eq!(c.rows(), m);
+    assert_eq!(c.cols(), n);
+
+    for i in 0..m {
+        let (lo, hi) = match uplo {
+            CUplo::Lower => (0, i + 1),
+            CUplo::Upper => (i, n),
+        };
+        for j in lo..hi {
+            let mut acc = 0.0;
+            for kk in 0..ka {
+                acc += ta.at(a, i, kk) * tb.at(b, kk, j);
+            }
+            let old = c.get(i, j);
+            c.set(i, j, alpha * acc + beta * old);
+        }
+    }
+}
+
+/// Parallel `C ← α·A·B + β·C` (no transposes): row panels of `C` are
+/// distributed over the Rayon thread pool.
+///
+/// Falls back to the sequential kernel for small products where the fork/join
+/// overhead would dominate.
+pub fn par_gemm(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, c: &mut Matrix) {
+    let m = c.rows();
+    let n = c.cols();
+    assert_eq!(a.rows(), m);
+    assert_eq!(a.cols(), b.rows());
+    assert_eq!(b.cols(), n);
+
+    // ~1 Mflop threshold: below this the sequential kernel wins.
+    if m * n * a.cols() < (1 << 20) {
+        gemm(Trans::N, Trans::N, alpha, a, b, beta, c.as_mut());
+        return;
+    }
+
+    let k = a.cols();
+    let stride = n;
+    c.data_mut()
+        .par_chunks_mut(NB * stride)
+        .enumerate()
+        .for_each(|(chunk, cdata)| {
+            let i0 = chunk * NB;
+            let ib = NB.min(m - i0);
+            let cm = MatMut::from_slice(cdata, ib, n, stride);
+            let ablk = a.block(i0, 0, ib, k);
+            let mut cm = cm;
+            scale(&mut cm, beta);
+            if alpha != 0.0 {
+                gemm_nn(alpha, ablk, b, cm);
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_matrix;
+    use crate::norms::max_abs_diff;
+
+    /// Straightforward triple-loop reference.
+    fn naive(ta: Trans, tb: Trans, alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &Matrix) -> Matrix {
+        let (m, k) = ta.dims(a.as_ref());
+        let (_, n) = tb.dims(b.as_ref());
+        Matrix::from_fn(m, n, |i, j| {
+            let mut acc = 0.0;
+            for kk in 0..k {
+                acc += ta.at(a.as_ref(), i, kk) * tb.at(b.as_ref(), kk, j);
+            }
+            alpha * acc + beta * c[(i, j)]
+        })
+    }
+
+    #[test]
+    fn gemm_matches_naive_all_transposes() {
+        for &(ta, tb) in &[
+            (Trans::N, Trans::N),
+            (Trans::N, Trans::T),
+            (Trans::T, Trans::N),
+            (Trans::T, Trans::T),
+        ] {
+            let (m, n, k) = (37, 23, 51);
+            let (ar, ac) = if ta == Trans::N { (m, k) } else { (k, m) };
+            let (br, bc) = if tb == Trans::N { (k, n) } else { (n, k) };
+            let a = random_matrix(ar, ac, 1);
+            let b = random_matrix(br, bc, 2);
+            let c0 = random_matrix(m, n, 3);
+            let expect = naive(ta, tb, 1.5, &a, &b, -0.5, &c0);
+            let mut c = c0.clone();
+            gemm(ta, tb, 1.5, a.as_ref(), b.as_ref(), -0.5, c.as_mut());
+            assert!(max_abs_diff(&c, &expect) < 1e-10, "mismatch for {ta:?},{tb:?}");
+        }
+    }
+
+    #[test]
+    fn gemm_beta_zero_ignores_garbage_c() {
+        let a = random_matrix(8, 8, 10);
+        let b = random_matrix(8, 8, 11);
+        let mut c = Matrix::from_fn(8, 8, |_, _| f64::MAX / 4.0);
+        gemm(Trans::N, Trans::N, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        let expect = naive(Trans::N, Trans::N, 1.0, &a, &b, 0.0, &Matrix::zeros(8, 8));
+        assert!(max_abs_diff(&c, &expect) < 1e-10);
+    }
+
+    #[test]
+    fn gemm_on_blocks_of_larger_matrix() {
+        let big = random_matrix(20, 20, 7);
+        let a = big.block(2, 3, 5, 6);
+        let b = big.block(8, 1, 6, 4);
+        let mut c = Matrix::zeros(5, 4);
+        gemm(Trans::N, Trans::N, 1.0, a, b, 0.0, c.as_mut());
+        let an = a.to_owned();
+        let bn = b.to_owned();
+        let expect = naive(Trans::N, Trans::N, 1.0, &an, &bn, 0.0, &Matrix::zeros(5, 4));
+        assert!(max_abs_diff(&c, &expect) < 1e-12);
+    }
+
+    #[test]
+    fn gemmt_only_touches_requested_triangle() {
+        let a = random_matrix(9, 4, 20);
+        let mut c = Matrix::from_fn(9, 9, |_, _| 99.0);
+        gemmt(CUplo::Lower, Trans::N, Trans::T, 1.0, a.as_ref(), a.as_ref(), 0.0, c.as_mut());
+        for i in 0..9 {
+            for j in 0..9 {
+                if j > i {
+                    assert_eq!(c[(i, j)], 99.0, "upper triangle must be untouched");
+                }
+            }
+        }
+        // Lower triangle agrees with full gemm.
+        let mut full = Matrix::zeros(9, 9);
+        gemm(Trans::N, Trans::T, 1.0, a.as_ref(), a.as_ref(), 0.0, full.as_mut());
+        for i in 0..9 {
+            for j in 0..=i {
+                assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gemmt_upper_variant() {
+        let a = random_matrix(7, 3, 21);
+        let mut c = Matrix::zeros(7, 7);
+        gemmt(CUplo::Upper, Trans::N, Trans::T, -1.0, a.as_ref(), a.as_ref(), 1.0, c.as_mut());
+        for i in 0..7 {
+            for j in 0..7 {
+                if j < i {
+                    assert_eq!(c[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_gemm_matches_sequential() {
+        let a = random_matrix(130, 120, 30);
+        let b = random_matrix(120, 110, 31);
+        let c0 = random_matrix(130, 110, 32);
+        let mut c_par = c0.clone();
+        par_gemm(2.0, a.as_ref(), b.as_ref(), 0.25, &mut c_par);
+        let mut c_seq = c0.clone();
+        gemm(Trans::N, Trans::N, 2.0, a.as_ref(), b.as_ref(), 0.25, c_seq.as_mut());
+        assert!(max_abs_diff(&c_par, &c_seq) < 1e-9);
+    }
+
+    #[test]
+    fn par_gemm_large_enough_to_fork() {
+        // Exceeds the 1 Mflop threshold so the parallel path actually runs.
+        let a = random_matrix(160, 160, 40);
+        let b = random_matrix(160, 160, 41);
+        let mut c = Matrix::zeros(160, 160);
+        par_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, &mut c);
+        let expect = naive(Trans::N, Trans::N, 1.0, &a, &b, 0.0, &Matrix::zeros(160, 160));
+        assert!(max_abs_diff(&c, &expect) < 1e-8);
+    }
+
+    #[test]
+    fn zero_dim_gemm_is_noop() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 3);
+        let mut c = Matrix::zeros(0, 3);
+        gemm(Trans::N, Trans::N, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        let a = Matrix::zeros(4, 0);
+        let b = Matrix::zeros(0, 3);
+        let mut c = Matrix::from_fn(4, 3, |_, _| 2.0);
+        gemm(Trans::N, Trans::N, 1.0, a.as_ref(), b.as_ref(), 1.0, c.as_mut());
+        assert_eq!(c[(0, 0)], 2.0, "k=0 with beta=1 leaves C unchanged");
+    }
+}

@@ -1,0 +1,102 @@
+//! Deterministic workload generators.
+//!
+//! All generators are seeded so every experiment in the repository is
+//! reproducible bit-for-bit.
+
+use crate::gemm::{gemm, Trans};
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random matrix with entries in `[-1, 1)`.
+pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+}
+
+/// Random symmetric positive-definite matrix: `B·Bᵀ + n·I` for a random `B`.
+///
+/// The diagonal shift keeps the condition number modest so Cholesky residuals
+/// stay near machine precision across the sizes the test-suite uses.
+pub fn random_spd(n: usize, seed: u64) -> Matrix {
+    let b = random_matrix(n, n, seed);
+    let mut a = Matrix::zeros(n, n);
+    gemm(Trans::N, Trans::T, 1.0, b.as_ref(), b.as_ref(), 0.0, a.as_mut());
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    a
+}
+
+/// Random diagonally-dominant matrix — well conditioned for LU even without
+/// pivoting, which makes it a fair workload when comparing pivoting
+/// strategies (any instability is then attributable to the schedule).
+pub fn well_conditioned(n: usize, seed: u64) -> Matrix {
+    let mut a = random_matrix(n, n, seed);
+    for i in 0..n {
+        let row_sum: f64 = a.row(i).iter().map(|x| x.abs()).sum();
+        a[(i, i)] = row_sum + 1.0;
+    }
+    a
+}
+
+/// A matrix engineered to punish naive (non-)pivoting: tiny leading pivots
+/// force any correct partial-pivoting scheme to select off-diagonal rows at
+/// every step.
+pub fn needs_pivoting(n: usize, seed: u64) -> Matrix {
+    let mut a = random_matrix(n, n, seed);
+    for i in 0..n {
+        a[(i, i)] *= 1e-12;
+        // Put the big entry for column i somewhere below the diagonal.
+        let big_row = (i + 1 + (seed as usize + i * 7) % (n - i).max(1)).min(n - 1);
+        if big_row != i {
+            a[(big_row, i)] = 10.0 + (i as f64);
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::max_abs_diff;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(max_abs_diff(&random_matrix(10, 10, 5), &random_matrix(10, 10, 5)), 0.0);
+        assert_eq!(max_abs_diff(&random_spd(8, 2), &random_spd(8, 2)), 0.0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert!(max_abs_diff(&random_matrix(6, 6, 1), &random_matrix(6, 6, 2)) > 0.0);
+    }
+
+    #[test]
+    fn spd_is_symmetric_with_heavy_diagonal() {
+        let a = random_spd(12, 9);
+        for i in 0..12 {
+            for j in 0..12 {
+                assert!((a[(i, j)] - a[(j, i)]).abs() < 1e-12);
+            }
+            assert!(a[(i, i)] >= 12.0);
+        }
+    }
+
+    #[test]
+    fn diag_dominant_really_dominates() {
+        let a = well_conditioned(10, 3);
+        for i in 0..10 {
+            let off: f64 = (0..10).filter(|&j| j != i).map(|j| a[(i, j)].abs()).sum();
+            assert!(a[(i, i)].abs() > off);
+        }
+    }
+
+    #[test]
+    fn pivot_stress_matrix_has_tiny_diagonal() {
+        let a = needs_pivoting(8, 1);
+        for i in 0..7 {
+            assert!(a[(i, i)].abs() < 1e-10);
+        }
+    }
+}

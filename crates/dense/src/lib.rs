@@ -1,0 +1,72 @@
+//! Pure-Rust dense linear algebra kernels.
+//!
+//! This crate is the local-computation substrate of the `conflux-rs`
+//! workspace: a small, self-contained replacement for the BLAS/LAPACK
+//! routines the paper's implementation obtains from Intel MKL. It provides
+//! exactly the kernels the factorization schedules need:
+//!
+//! * [`gemm()`] — general matrix multiply `C ← α·op(A)·op(B) + β·C`,
+//! * [`gemmt()`] — the triangular-output variant used by Cholesky's trailing
+//!   update (only one triangle of `C` is written),
+//! * [`trsm()`] — triangular solve with multiple right-hand sides,
+//! * [`getrf()`] — LU factorization with partial pivoting,
+//! * [`potrf()`] — Cholesky factorization,
+//! * matrix generators and norms for building workloads and validating
+//!   results.
+//!
+//! All kernels operate on strided views ([`MatRef`] / [`MatMut`]) over
+//! row-major storage, so distributed codes can apply them directly to tiles
+//! of a larger local buffer without copying.
+//!
+//! The kernels favour clarity and testability over peak machine efficiency
+//! (this substrate is a simulator component, not a BLAS contender), but the
+//! compute-heavy ones are blocked for locality and `gemm` can parallelize
+//! across Rayon worker threads via [`par_gemm`].
+
+pub mod flops;
+pub mod gemm;
+pub mod gen;
+pub mod getrf;
+pub mod matrix;
+pub mod norms;
+pub mod potrf;
+pub mod refine;
+pub mod solve;
+pub mod trsm;
+
+pub use gemm::{gemm, gemmt, par_gemm, Trans};
+pub use gen::{random_matrix, random_spd, well_conditioned};
+pub use getrf::{apply_row_pivots, getrf, getrf_unblocked, permutation_vector};
+pub use matrix::{MatMut, MatRef, Matrix};
+pub use norms::{frobenius, lu_residual, max_abs, po_residual};
+pub use potrf::{potrf, potrf_unblocked};
+pub use refine::{lu_refine, Refinement};
+pub use solve::{cholesky_solve, lu_solve, lu_solve_perm};
+pub use trsm::{trsm, Diag, Side, Uplo};
+
+/// Errors reported by factorization kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// `getrf` found no usable pivot in the given column: the matrix is
+    /// exactly singular at that elimination step.
+    SingularAt(usize),
+    /// `potrf` found a non-positive diagonal entry: the matrix is not
+    /// positive definite (index of the offending leading minor).
+    NotPositiveDefinite(usize),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::SingularAt(k) => write!(f, "matrix is singular at elimination step {k}"),
+            Error::NotPositiveDefinite(k) => {
+                write!(f, "matrix is not positive definite (leading minor {k})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for factorization kernels.
+pub type Result<T> = std::result::Result<T, Error>;

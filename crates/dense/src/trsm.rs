@@ -1,0 +1,300 @@
+//! Triangular solve with multiple right-hand sides (`trsm`).
+//!
+//! Used by both factorizations: LU computes `L10 = A10·U00⁻¹` and
+//! `U01 = L00⁻¹·A01`; Cholesky computes `L10 = A10·L00⁻ᵀ`.
+
+use crate::gemm::Trans;
+use crate::matrix::{MatMut, MatRef};
+
+/// Which side the triangular operand appears on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Solve `op(A)·X = α·B` (A multiplies from the left).
+    Left,
+    /// Solve `X·op(A) = α·B` (A multiplies from the right).
+    Right,
+}
+
+/// Which triangle of the operand holds the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Uplo {
+    /// Lower triangular.
+    Lower,
+    /// Upper triangular.
+    Upper,
+}
+
+/// Whether the triangular operand has an implicit unit diagonal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Diag {
+    /// Diagonal entries are read from storage.
+    NonUnit,
+    /// Diagonal entries are assumed to be 1 and never read.
+    Unit,
+}
+
+/// Solve a triangular system in place: on return `B` holds `X` where
+/// `op(A)·X = α·B` (`Side::Left`) or `X·op(A) = α·B` (`Side::Right`).
+///
+/// `A` must be square; only its `uplo` triangle is read (plus the diagonal
+/// unless `Diag::Unit`).
+///
+/// # Panics
+/// On shape mismatch.
+pub fn trsm(
+    side: Side,
+    uplo: Uplo,
+    ta: Trans,
+    diag: Diag,
+    alpha: f64,
+    a: MatRef<'_>,
+    mut b: MatMut<'_>,
+) {
+    assert_eq!(a.rows(), a.cols(), "trsm: A must be square");
+    let n = a.rows();
+    match side {
+        Side::Left => assert_eq!(b.rows(), n, "trsm: B rows must match A"),
+        Side::Right => assert_eq!(b.cols(), n, "trsm: B cols must match A"),
+    }
+
+    if alpha != 1.0 {
+        for i in 0..b.rows() {
+            for x in b.row_mut(i) {
+                *x *= alpha;
+            }
+        }
+    }
+    if n == 0 || b.rows() == 0 || b.cols() == 0 {
+        return;
+    }
+
+    // Reduce the transposed cases to non-transposed ones with flipped uplo
+    // and (for Side) flipped traversal order, implemented directly below.
+    // op(A) lower-triangular with ta=T behaves as upper-triangular.
+    let eff_uplo = match (uplo, ta) {
+        (Uplo::Lower, Trans::N) | (Uplo::Upper, Trans::T) => Uplo::Lower,
+        (Uplo::Upper, Trans::N) | (Uplo::Lower, Trans::T) => Uplo::Upper,
+    };
+    let at = |i: usize, j: usize| -> f64 {
+        match ta {
+            Trans::N => a.get(i, j),
+            Trans::T => a.get(j, i),
+        }
+    };
+    let dia = |i: usize| -> f64 {
+        match diag {
+            Diag::Unit => 1.0,
+            Diag::NonUnit => at(i, i),
+        }
+    };
+
+    match (side, eff_uplo) {
+        // Forward substitution: row i of X depends on rows < i.
+        (Side::Left, Uplo::Lower) => {
+            for i in 0..n {
+                for k in 0..i {
+                    let aik = at(i, k);
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    // b[i, :] -= aik * b[k, :]; requires disjoint row access.
+                    axpy_rows(&mut b, i, k, -aik);
+                }
+                let d = dia(i);
+                for x in b.row_mut(i) {
+                    *x /= d;
+                }
+            }
+        }
+        // Backward substitution.
+        (Side::Left, Uplo::Upper) => {
+            for i in (0..n).rev() {
+                for k in i + 1..n {
+                    let aik = at(i, k);
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    axpy_rows(&mut b, i, k, -aik);
+                }
+                let d = dia(i);
+                for x in b.row_mut(i) {
+                    *x /= d;
+                }
+            }
+        }
+        // X·A = B with A lower: column j of X depends on columns > j.
+        (Side::Right, Uplo::Lower) => {
+            for j in (0..n).rev() {
+                let d = dia(j);
+                for r in 0..b.rows() {
+                    let xj = b.get(r, j) / d;
+                    b.set(r, j, xj);
+                    for k in 0..j {
+                        let akj = at(j, k);
+                        if akj != 0.0 {
+                            b.add(r, k, -xj * akj);
+                        }
+                    }
+                }
+            }
+        }
+        // X·A = B with A upper: column j depends on columns < j.
+        (Side::Right, Uplo::Upper) => {
+            for j in 0..n {
+                let d = dia(j);
+                for r in 0..b.rows() {
+                    let xj = b.get(r, j) / d;
+                    b.set(r, j, xj);
+                    for k in j + 1..n {
+                        let ajk = at(j, k);
+                        if ajk != 0.0 {
+                            b.add(r, k, -xj * ajk);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `B[dst, :] += s * B[src, :]` for distinct rows of the same view.
+fn axpy_rows(b: &mut MatMut<'_>, dst: usize, src: usize, s: f64) {
+    debug_assert_ne!(dst, src);
+    // Work around the single-view borrow by copying the source row; rows are
+    // short (≤ block size) in all call sites, so this stays cheap.
+    let srcrow: Vec<f64> = b.row(src).to_vec();
+    for (x, &y) in b.row_mut(dst).iter_mut().zip(srcrow.iter()) {
+        *x += s * y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm;
+    use crate::gen::random_matrix;
+    use crate::matrix::Matrix;
+    use crate::norms::max_abs_diff;
+
+    /// Build a well-conditioned triangular matrix.
+    fn tri(n: usize, uplo: Uplo, unit: bool, seed: u64) -> Matrix {
+        let r = random_matrix(n, n, seed);
+        Matrix::from_fn(n, n, |i, j| {
+            let keep = match uplo {
+                Uplo::Lower => j <= i,
+                Uplo::Upper => j >= i,
+            };
+            if !keep {
+                0.0
+            } else if i == j {
+                if unit {
+                    1.0
+                } else {
+                    2.0 + r[(i, j)].abs()
+                }
+            } else {
+                0.3 * r[(i, j)]
+            }
+        })
+    }
+
+    fn opm(ta: Trans, a: &Matrix) -> Matrix {
+        match ta {
+            Trans::N => a.clone(),
+            Trans::T => a.transposed(),
+        }
+    }
+
+    #[test]
+    fn trsm_all_sixteen_variants_solve_their_systems() {
+        let n = 13;
+        let nrhs = 7;
+        for &side in &[Side::Left, Side::Right] {
+            for &uplo in &[Uplo::Lower, Uplo::Upper] {
+                for &ta in &[Trans::N, Trans::T] {
+                    for &diag in &[Diag::NonUnit, Diag::Unit] {
+                        let a = tri(n, uplo, diag == Diag::Unit, 5);
+                        let (br, bc) = match side {
+                            Side::Left => (n, nrhs),
+                            Side::Right => (nrhs, n),
+                        };
+                        let b0 = random_matrix(br, bc, 6);
+                        let mut x = b0.clone();
+                        trsm(side, uplo, ta, diag, 2.0, a.as_ref(), x.as_mut());
+                        // Verify op(A)·X = 2·B (or X·op(A) = 2·B).
+                        let opa = opm(ta, &a);
+                        let mut lhs = Matrix::zeros(br, bc);
+                        match side {
+                            Side::Left => gemm(
+                                Trans::N,
+                                Trans::N,
+                                1.0,
+                                opa.as_ref(),
+                                x.as_ref(),
+                                0.0,
+                                lhs.as_mut(),
+                            ),
+                            Side::Right => gemm(
+                                Trans::N,
+                                Trans::N,
+                                1.0,
+                                x.as_ref(),
+                                opa.as_ref(),
+                                0.0,
+                                lhs.as_mut(),
+                            ),
+                        }
+                        let rhs = Matrix::from_fn(br, bc, |i, j| 2.0 * b0[(i, j)]);
+                        assert!(
+                            max_abs_diff(&lhs, &rhs) < 1e-9,
+                            "variant {side:?} {uplo:?} {ta:?} {diag:?} failed"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_unit_diag_never_reads_diagonal() {
+        // Poison the diagonal; Unit solves must not read it.
+        let mut a = tri(6, Uplo::Lower, true, 9);
+        for i in 0..6 {
+            a[(i, i)] = f64::NAN;
+        }
+        let mut b = random_matrix(6, 3, 10);
+        trsm(Side::Left, Uplo::Lower, Trans::N, Diag::Unit, 1.0, a.as_ref(), b.as_mut());
+        assert!(b.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn trsm_on_strided_blocks() {
+        let a = tri(5, Uplo::Upper, false, 11);
+        let mut big = Matrix::zeros(10, 10);
+        let b0 = random_matrix(5, 4, 12);
+        big.block_mut(3, 2, 5, 4).copy_from(b0.as_ref());
+        trsm(
+            Side::Left,
+            Uplo::Upper,
+            Trans::N,
+            Diag::NonUnit,
+            1.0,
+            a.as_ref(),
+            big.block_mut(3, 2, 5, 4),
+        );
+        let x = big.block(3, 2, 5, 4).to_owned();
+        let mut lhs = Matrix::zeros(5, 4);
+        gemm(Trans::N, Trans::N, 1.0, a.as_ref(), x.as_ref(), 0.0, lhs.as_mut());
+        assert!(max_abs_diff(&lhs, &b0) < 1e-9);
+        // Outside the window untouched.
+        assert_eq!(big[(0, 0)], 0.0);
+        assert_eq!(big[(9, 9)], 0.0);
+    }
+
+    #[test]
+    fn trsm_zero_rhs() {
+        let a = tri(4, Uplo::Lower, false, 13);
+        let mut b = Matrix::zeros(4, 0);
+        trsm(Side::Left, Uplo::Lower, Trans::N, Diag::NonUnit, 1.0, a.as_ref(), b.as_mut());
+    }
+}

@@ -1,0 +1,457 @@
+//! **COnfCHOX** — near-communication-optimal 2.5D Cholesky factorization
+//! (paper §7.5).
+//!
+//! Same skeleton as COnfLUX — tile-cyclic 2.5D decomposition, layer-local
+//! partial Schur updates, z-fibre reductions when a panel is needed — minus
+//! pivoting (SPD input), plus symmetry: only lower-triangular tiles are
+//! stored and updated, the trailing update uses `L10` in *two roles* (as the
+//! left operand by tile row and, transposed, as the right operand by tile
+//! column), and diagonal tiles use `gemmt`. This realizes Table 1 of the
+//! paper: Cholesky moves the same volume as LU while doing half the flops.
+
+use crate::common::{assemble_packed, pick_grid_and_block, Entry, Tiling};
+use dense::gemm::{gemm, gemmt, CUplo, Trans};
+use dense::potrf::potrf_unblocked;
+use dense::trsm::{trsm, Diag, Side, Uplo};
+use dense::{Error, Matrix};
+use std::collections::HashMap;
+use xmpi::{Comm, Grid3, WorldStats};
+
+const TAG_L10ROW: u64 = 6_000_000;
+
+/// Configuration of a COnfCHOX run.
+#[derive(Debug, Clone)]
+pub struct ConfchoxConfig {
+    /// Matrix dimension (must be divisible by `v`).
+    pub n: usize,
+    /// Block size `v` (must be a multiple of `grid.pz`).
+    pub v: usize,
+    /// Processor grid `[Px, Py, Pz]`.
+    pub grid: Grid3,
+    /// Collect factor entries so the host can assemble `L`.
+    pub collect: bool,
+}
+
+impl ConfchoxConfig {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    /// If `v` does not divide `n` or `pz` does not divide `v`.
+    pub fn new(n: usize, v: usize, grid: Grid3) -> Self {
+        let _ = Tiling::new(n, v, grid);
+        ConfchoxConfig { n, v, grid, collect: true }
+    }
+
+    /// Automatic grid and block-size selection (see
+    /// [`crate::conflux::ConfluxConfig::auto`]).
+    ///
+    /// # Panics
+    /// If no valid block size exists for the chosen grid.
+    pub fn auto(n: usize, p: usize) -> Self {
+        // Grid and block size are chosen jointly: the paper tunes
+        // v = a·P·M/N² = a·c (a small multiple of the replication depth),
+        // and a grid is only eligible if such a block size exists for n.
+        let (grid, v) = pick_grid_and_block(n, p);
+        ConfchoxConfig::new(n, v, grid)
+    }
+
+    /// Disable factor collection (volume-only runs).
+    pub fn volume_only(mut self) -> Self {
+        self.collect = false;
+        self
+    }
+}
+
+/// Result of a COnfCHOX factorization.
+#[derive(Debug)]
+pub struct CholOutput {
+    /// The Cholesky factor: `A = L·Lᵀ`, `L` in the lower triangle (zeros
+    /// above). `None` when collection is disabled.
+    pub l: Option<Matrix>,
+    /// Measured communication statistics.
+    pub stats: WorldStats,
+}
+
+/// Factor the SPD matrix `a` with COnfCHOX on the simulated machine.
+///
+/// Only the lower triangle of `a` is read.
+///
+/// # Errors
+/// [`Error::NotPositiveDefinite`] if a diagonal block fails to factor.
+///
+/// # Panics
+/// If `a` is not `n × n`.
+pub fn confchox_cholesky(cfg: &ConfchoxConfig, a: &Matrix) -> Result<CholOutput, Error> {
+    assert_eq!(a.rows(), cfg.n, "matrix shape mismatch");
+    assert_eq!(a.cols(), cfg.n, "matrix shape mismatch");
+    let out = xmpi::run(cfg.grid.size(), |comm| {
+        let tiles = stage_from_global(comm, cfg, a);
+        rank_program(comm, cfg, tiles)
+    });
+    let mut all_entries = Vec::with_capacity(out.results.len());
+    for res in out.results {
+        all_entries.push(res?);
+    }
+    let l = cfg.collect.then(|| {
+        let perm: Vec<usize> = (0..cfg.n).collect();
+        assemble_packed(cfg.n, &perm, &all_entries)
+    });
+    Ok(CholOutput { l, stats: out.stats })
+}
+
+/// Layer-0 staging of the lower-triangular tiles straight from a
+/// globally-known matrix (no measured traffic).
+pub(crate) fn stage_from_global(
+    comm: &Comm,
+    cfg: &ConfchoxConfig,
+    a: &Matrix,
+) -> HashMap<(usize, usize), Matrix> {
+    let g = cfg.grid;
+    let til = Tiling::new(cfg.n, cfg.v, g);
+    let (pi, pj, pk) = g.coords(comm.rank());
+    let v = cfg.v;
+    let mut orig = HashMap::new();
+    if pk == 0 {
+        for ti in til.tile_rows_of(pi) {
+            for tj in til.tile_cols_of(pj) {
+                if ti >= tj {
+                    orig.insert((ti, tj), a.block(ti * v, tj * v, v, v).to_owned());
+                }
+            }
+        }
+    }
+    orig
+}
+
+/// The SPMD program one rank executes. `orig` holds this rank's layer-0
+/// lower-triangular tiles (empty on layers > 0).
+pub(crate) fn rank_program(
+    comm: &Comm,
+    cfg: &ConfchoxConfig,
+    orig: HashMap<(usize, usize), Matrix>,
+) -> Result<Vec<Entry>, Error> {
+    let g = cfg.grid;
+    let til = Tiling::new(cfg.n, cfg.v, g);
+    let (pi, pj, pk) = g.coords(comm.rank());
+    let (v, nt, ks) = (cfg.v, til.nt, til.kslice());
+
+    let zfib = comm.subcomm(1, &g.z_members(pi, pj));
+    let yrow = comm.subcomm(2, &g.y_members(pi, pk));
+    let xcol = comm.subcomm(3, &g.x_members(pj, pk));
+    let panel_comm = (pk == 0).then(|| comm.subcomm(4, &g.x_members(pj, 0)));
+
+    let mut acc: HashMap<(usize, usize), Matrix> = HashMap::new();
+    let mut entries: Vec<Entry> = Vec::new();
+
+    for step in 0..nt {
+        let jt = step % g.py;
+        let it = step % g.px;
+        let last = step + 1 == nt;
+
+        // Trailing tile rows this process row owns (strictly below the
+        // diagonal block) and trailing tile columns this process column owns.
+        let trail_rows: Vec<usize> =
+            til.tile_rows_of(pi).into_iter().filter(|&ti| ti > step).collect();
+        let col_role_tiles: Vec<usize> =
+            til.tile_rows_of_py(pj, g.py).into_iter().filter(|&ti| ti > step).collect();
+
+        // ---- 1. Reduce block column `step` (rows ≥ step·v) -------------
+        comm.set_phase("reduce_col");
+        let mut panel_vals = Matrix::zeros(0, v); // trailing rows, tiles > step
+        let mut diag_vals = Matrix::zeros(0, v); // diagonal tile (step, step)
+        if pj == jt {
+            let own_diag = step % g.px == pi;
+            let mut buf = Vec::new();
+            if own_diag {
+                for r in til.rows_of_tile(step) {
+                    push_contrib(&orig, &acc, r, step, v, &mut buf);
+                }
+            }
+            for &ti in &trail_rows {
+                for r in til.rows_of_tile(ti) {
+                    push_contrib(&orig, &acc, r, step, v, &mut buf);
+                }
+            }
+            if !buf.is_empty() {
+                zfib.reduce_sum_f64(0, &mut buf);
+            }
+            if pk == 0 {
+                let nd = if own_diag { v } else { 0 };
+                diag_vals = Matrix::from_vec(nd, v, buf[..nd * v].to_vec());
+                panel_vals =
+                    Matrix::from_vec(trail_rows.len() * v, v, buf[nd * v..].to_vec());
+            }
+        }
+
+        // ---- 2. Factor diagonal block, broadcast L00 -------------------
+        comm.set_phase("potrf_bcast");
+        let mut l00_flat: Vec<f64> = Vec::new();
+        let mut potrf_err: Option<Error> = None;
+        if pj == jt && pk == 0
+            && pi == it {
+                let mut d = diag_vals;
+                if let Err(e) = potrf_unblocked(d.as_mut()) {
+                    potrf_err = Some(shift_err(e, step * v));
+                }
+                if potrf_err.is_none() && cfg.collect {
+                    for r in 0..v {
+                        for c in 0..=r {
+                            entries.push((
+                                (step * v + r) as u32,
+                                (step * v + c) as u32,
+                                d[(r, c)],
+                            ));
+                        }
+                    }
+                }
+                l00_flat = d.into_vec();
+            }
+        // One status word to everyone, so an indefinite block aborts all
+        // ranks cleanly instead of deadlocking the world.
+        let status_root = g.rank_of(it, jt, 0);
+        let mut status = vec![if potrf_err.is_some() { 1.0 } else { 0.0 }];
+        comm.bcast_f64(status_root, &mut status);
+        if status[0] != 0.0 {
+            return Err(
+                potrf_err.unwrap_or(Error::NotPositiveDefinite(step * v)),
+            );
+        }
+        if pj == jt && pk == 0 {
+            // Broadcast L00 within the panel group (process column `jt`).
+            panel_comm.as_ref().unwrap().bcast_f64(it, &mut l00_flat);
+        }
+
+        // ---- 3. Panel solve: L10 = A10·L00⁻ᵀ ---------------------------
+        comm.set_phase("panel_trsm");
+        let mut l10 = Matrix::zeros(0, v);
+        if pj == jt && pk == 0 && !trail_rows.is_empty() {
+            let l00 = Matrix::from_vec(v, v, l00_flat);
+            l10 = panel_vals;
+            trsm(
+                Side::Right,
+                Uplo::Lower,
+                Trans::T,
+                Diag::NonUnit,
+                1.0,
+                l00.as_ref(),
+                l10.as_mut(),
+            );
+            if cfg.collect {
+                for (bi, &ti) in trail_rows.iter().enumerate() {
+                    for r in 0..v {
+                        for c in 0..v {
+                            entries.push((
+                                (ti * v + r) as u32,
+                                (step * v + c) as u32,
+                                l10[(bi * v + r, c)],
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        if last {
+            continue;
+        }
+
+        // ---- 4a. Distribute L10, row role (by tile row, z-sliced) ------
+        comm.set_phase("scatter_panels");
+        let mut l10_row = Matrix::zeros(trail_rows.len() * v, ks);
+        if !trail_rows.is_empty() {
+            if pj == jt {
+                if pk == 0 {
+                    for pk2 in (0..g.pz).rev() {
+                        let sl = l10.block(0, pk2 * ks, trail_rows.len() * v, ks).to_owned();
+                        if pk2 == 0 {
+                            l10_row = sl;
+                        } else {
+                            comm.send_f64(
+                                g.rank_of(pi, jt, pk2),
+                                TAG_L10ROW + step as u64,
+                                sl.data(),
+                            );
+                        }
+                    }
+                } else {
+                    let flat = comm.recv_f64(g.rank_of(pi, jt, 0), TAG_L10ROW + step as u64);
+                    l10_row = Matrix::from_vec(trail_rows.len() * v, ks, flat);
+                }
+            }
+            let mut flat = l10_row.into_vec();
+            yrow.bcast_f64(jt, &mut flat);
+            l10_row = Matrix::from_vec(trail_rows.len() * v, ks, flat);
+        }
+
+        // ---- 4b. Distribute L10, column role (by tile column) ----------
+        // The row-role broadcast already placed, on every rank of the
+        // x-fibre (·, pj, pk), the k-slice of the panel rows whose tiles
+        // match its pi; the union over the fibre covers every tile row. One
+        // x-allgather of the `≡ pj (mod py)` subset of those rows therefore
+        // assembles the transposed operand with no extra hop.
+        let any_col_tiles = !col_role_tiles.is_empty();
+        let mut l10_col = Matrix::zeros(col_role_tiles.len() * v, ks);
+        if any_col_tiles {
+            let mut piece: Vec<f64> = Vec::new();
+            for (bi, &ti) in trail_rows.iter().enumerate() {
+                if ti % g.py != pj {
+                    continue;
+                }
+                for r in 0..v {
+                    piece.extend_from_slice(l10_row.row(bi * v + r));
+                }
+            }
+            let pieces = xcol.allgather_f64(&piece);
+            // Reassemble rows in ascending tile order.
+            let mut cursors = vec![0usize; g.px];
+            for (bi, &ti) in col_role_tiles.iter().enumerate() {
+                let src_group = ti % g.px;
+                let src = &pieces[src_group];
+                let cur = &mut cursors[src_group];
+                for r in 0..v {
+                    l10_col
+                        .row_mut(bi * v + r)
+                        .copy_from_slice(&src[*cur..*cur + ks]);
+                    *cur += ks;
+                }
+            }
+        }
+
+        // ---- 5. Trailing symmetric update (lower tiles only) -----------
+        comm.set_phase("update_a11");
+        if !trail_rows.is_empty() && any_col_tiles {
+            for (bi, &ti) in trail_rows.iter().enumerate() {
+                let rowblk = l10_row.block(bi * v, 0, v, ks);
+                for (bj, &tj) in col_role_tiles.iter().enumerate() {
+                    if ti < tj || !til.owns(pi, pj, ti, tj) {
+                        continue;
+                    }
+                    let colblk = l10_col.block(bj * v, 0, v, ks);
+                    let tile = acc.entry((ti, tj)).or_insert_with(|| Matrix::zeros(v, v));
+                    if ti == tj {
+                        gemmt(CUplo::Lower, Trans::N, Trans::T, 1.0, rowblk, colblk, 1.0, tile.as_mut());
+                    } else {
+                        gemm(Trans::N, Trans::T, 1.0, rowblk, colblk, 1.0, tile.as_mut());
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(entries)
+}
+
+/// Push this rank's contribution for row `r` of tile column `tj`.
+fn push_contrib(
+    orig: &HashMap<(usize, usize), Matrix>,
+    acc: &HashMap<(usize, usize), Matrix>,
+    r: usize,
+    tj: usize,
+    v: usize,
+    buf: &mut Vec<f64>,
+) {
+    let ti = r / v;
+    let lr = r % v;
+    let o = orig.get(&(ti, tj));
+    let ac = acc.get(&(ti, tj));
+    for c in 0..v {
+        buf.push(o.map_or(0.0, |m| m[(lr, c)]) - ac.map_or(0.0, |m| m[(lr, c)]));
+    }
+}
+
+fn shift_err(e: Error, offset: usize) -> Error {
+    match e {
+        Error::NotPositiveDefinite(k) => Error::NotPositiveDefinite(k + offset),
+        other => other,
+    }
+}
+
+impl Tiling {
+    /// Tile rows assigned to process *column* `pj` under the column-cyclic
+    /// map (used for the transposed operand role in symmetric updates).
+    pub fn tile_rows_of_py(&self, pj: usize, py: usize) -> Vec<usize> {
+        (pj..self.nt).step_by(py).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::gen::random_spd;
+    use dense::norms::po_residual;
+
+    fn check(n: usize, v: usize, grid: Grid3, seed: u64) {
+        let a = random_spd(n, seed);
+        let cfg = ConfchoxConfig::new(n, v, grid);
+        let out = confchox_cholesky(&cfg, &a).unwrap();
+        let res = po_residual(&a, out.l.as_ref().unwrap());
+        assert!(res < 1e-10, "residual {res} for n={n} v={v} grid={grid:?}");
+    }
+
+    #[test]
+    fn single_rank_equals_sequential_cholesky() {
+        check(16, 4, Grid3::new(1, 1, 1), 1);
+    }
+
+    #[test]
+    fn two_d_grids() {
+        check(24, 4, Grid3::new(2, 2, 1), 2);
+        check(24, 4, Grid3::new(2, 3, 1), 3);
+        check(32, 8, Grid3::new(4, 2, 1), 4);
+    }
+
+    #[test]
+    fn replicated_grids() {
+        check(24, 4, Grid3::new(2, 2, 2), 5);
+        check(32, 4, Grid3::new(2, 2, 4), 6);
+        check(48, 6, Grid3::new(3, 2, 2), 7);
+    }
+
+    #[test]
+    fn uneven_grids_and_single_tiles() {
+        check(16, 4, Grid3::new(4, 4, 1), 8);
+        check(8, 4, Grid3::new(4, 4, 1), 9);
+        check(36, 6, Grid3::new(3, 3, 3), 10);
+    }
+
+    #[test]
+    fn indefinite_matrix_reports_error() {
+        let mut a = random_spd(16, 11);
+        a[(9, 9)] = -50.0;
+        let cfg = ConfchoxConfig::new(16, 4, Grid3::new(2, 2, 1));
+        match confchox_cholesky(&cfg, &a) {
+            Err(Error::NotPositiveDefinite(_)) => {}
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auto_config_works() {
+        let cfg = ConfchoxConfig::auto(48, 8);
+        check(48, cfg.v, cfg.grid, 12);
+    }
+
+    #[test]
+    fn same_volume_as_lu_half_the_flops() {
+        // Table 1's point: COnfCHOX and COnfLUX move similar volume. Run
+        // both at the same configuration and compare within a loose band
+        // (Cholesky updates only the lower triangle, so somewhat less, but
+        // the panel traffic is identical in shape).
+        use crate::conflux::{conflux_lu, ConfluxConfig};
+        use dense::gen::random_matrix;
+        let n = 48;
+        let grid = Grid3::new(2, 2, 2);
+        let spd = random_spd(n, 13);
+        let gen = random_matrix(n, n, 13);
+        let vc = confchox_cholesky(&ConfchoxConfig::new(n, 4, grid).volume_only(), &spd)
+            .unwrap()
+            .stats
+            .total_bytes_sent();
+        let vl = conflux_lu(&ConfluxConfig::new(n, 4, grid).volume_only(), &gen)
+            .unwrap()
+            .stats
+            .total_bytes_sent();
+        let ratio = vc as f64 / vl as f64;
+        assert!(ratio > 0.35 && ratio < 1.3, "volume ratio chol/lu = {ratio}");
+    }
+}

@@ -1,0 +1,590 @@
+//! **COnfLUX** — near-communication-optimal 2.5D LU factorization
+//! (paper §7, Algorithm 1).
+//!
+//! The matrix is cut into `v × v` tiles; tile `(I, J)` lives at 2D grid
+//! coordinates `(I mod Px, J mod Py)`, with layer 0 holding the original
+//! values and every layer holding an accumulator for its `v/Pz`-wide slice
+//! of each rank-`v` Schur update. Per block step `t`:
+//!
+//! 1. **Reduce next block column** — the active (unpivoted) rows of tile
+//!    column `t` are summed along the z-fibres onto layer 0.
+//! 2. **TournPivot** — the `Px` panel ranks play a butterfly tournament and
+//!    all end up holding the `v` pivot row ids and the factored block `A00`.
+//! 3. **Broadcast** `A00` plus the pivot ids to every rank. *Row masking*:
+//!    only indices travel, no rows are swapped.
+//! 4. **Reduce `v` pivot rows** — the pivot rows' trailing segments are
+//!    reduced along z, gathered per process column, and solved against
+//!    `L00` to produce `U01`.
+//! 5. **FactorizeA10** — the remaining active panel rows are solved against
+//!    `U00` on their owning panel ranks, producing `L10`.
+//! 6. **Scatter** `L10` and `U01`: each rank receives only the rows/columns
+//!    matching its tiles and only its layer's `v/Pz` inner slice.
+//! 7. **FactorizeA11** — local GEMM into the layer-local accumulator,
+//!    touching only active rows (masking ⇒ no traffic and no flops are
+//!    wasted on retired rows).
+//!
+//! Per-rank I/O is `N³/(P√M) + O(N²/P)` — 1.5× the paper's lower bound
+//! (Lemma 10); the `volume_close_to_model` integration test checks the
+//! measured bytes against this model.
+
+use crate::common::{assemble_packed, pick_grid_and_block, Entry, RowMask, Tiling};
+use crate::tourn::tournament;
+use dense::gemm::{gemm, Trans};
+use dense::trsm::{trsm, Diag, Side, Uplo};
+use dense::Matrix;
+use std::collections::HashMap;
+use xmpi::{Comm, Grid3, WorldStats};
+
+const TAG_A01: u64 = 2_000_000;
+const TAG_L10: u64 = 3_000_000;
+const TAG_U01: u64 = 4_000_000;
+
+/// Configuration of a COnfLUX run.
+#[derive(Debug, Clone)]
+pub struct ConfluxConfig {
+    /// Matrix dimension (must be divisible by `v`).
+    pub n: usize,
+    /// Block size `v` (must be a multiple of `grid.pz`).
+    pub v: usize,
+    /// Processor grid `[Px, Py, Pz]`.
+    pub grid: Grid3,
+    /// Collect the factor entries so the host can assemble `L`/`U`
+    /// (disable for volume-only experiments at large `n`).
+    pub collect: bool,
+}
+
+impl ConfluxConfig {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    /// If `v` does not divide `n` or `pz` does not divide `v`.
+    pub fn new(n: usize, v: usize, grid: Grid3) -> Self {
+        let _ = Tiling::new(n, v, grid); // validates
+        ConfluxConfig { n, v, grid, collect: true }
+    }
+
+    /// Pick a grid and block size automatically for `p` ranks, in the
+    /// spirit of the paper's defaults: maximum replication the grid allows,
+    /// block size near `n / (4·max(Px, Py))` (clamped to at least `Pz`).
+    ///
+    /// # Panics
+    /// If no valid block size exists for the chosen grid (pathological `n`).
+    pub fn auto(n: usize, p: usize) -> Self {
+        // Grid and block size are chosen jointly: the paper tunes
+        // v = a·P·M/N² = a·c (a small multiple of the replication depth),
+        // and a grid is only eligible if such a block size exists for n.
+        let (grid, v) = pick_grid_and_block(n, p);
+        ConfluxConfig::new(n, v, grid)
+    }
+
+    /// Disable factor collection (volume-only runs).
+    pub fn volume_only(mut self) -> Self {
+        self.collect = false;
+        self
+    }
+}
+
+/// Result of a COnfLUX factorization.
+pub struct LuOutput {
+    /// `perm[s]` is the original row that is the `s`-th pivot: row `s` of
+    /// `P·A`.
+    pub perm: Vec<usize>,
+    /// Packed factor in pivoted row coordinates (`L` strictly lower with
+    /// unit diagonal, `U` upper): `P·A = L·U`. `None` when collection is
+    /// disabled.
+    pub packed: Option<Matrix>,
+    /// Measured communication statistics.
+    pub stats: WorldStats,
+}
+
+/// Factor `a` with COnfLUX on the simulated machine described by `cfg`.
+///
+/// The input is staged into the tile layout without measured communication,
+/// matching the paper's cost accounting ("we assume that the input matrix is
+/// already distributed in the block cyclic layout imposed by the
+/// algorithm").
+///
+/// # Errors
+/// Returns the underlying kernel error if the matrix is singular.
+///
+/// # Panics
+/// If `a` is not `n × n`.
+pub fn conflux_lu(cfg: &ConfluxConfig, a: &Matrix) -> Result<LuOutput, dense::Error> {
+    assert_eq!(a.rows(), cfg.n, "matrix shape mismatch");
+    assert_eq!(a.cols(), cfg.n, "matrix shape mismatch");
+    let out = xmpi::run(cfg.grid.size(), |comm| {
+        let tiles = stage_from_global(comm, cfg, a);
+        rank_program(comm, cfg, tiles)
+    });
+    let mut all_entries = Vec::with_capacity(out.results.len());
+    let mut perm = Vec::new();
+    for (rank, res) in out.results.into_iter().enumerate() {
+        let (entries, rank_perm) = res?;
+        if rank == 0 {
+            perm = rank_perm;
+        }
+        all_entries.push(entries);
+    }
+    let packed = cfg.collect.then(|| assemble_packed(cfg.n, &perm, &all_entries));
+    Ok(LuOutput { perm, packed, stats: out.stats })
+}
+
+/// Layer-0 tile staging straight from a globally-known matrix (the
+/// "already distributed" convention of the paper: no measured traffic).
+pub(crate) fn stage_from_global(
+    comm: &Comm,
+    cfg: &ConfluxConfig,
+    a: &Matrix,
+) -> HashMap<(usize, usize), Matrix> {
+    let g = cfg.grid;
+    let til = Tiling::new(cfg.n, cfg.v, g);
+    let (pi, pj, pk) = g.coords(comm.rank());
+    let v = cfg.v;
+    let mut orig = HashMap::new();
+    if pk == 0 {
+        for ti in til.tile_rows_of(pi) {
+            for tj in til.tile_cols_of(pj) {
+                orig.insert((ti, tj), a.block(ti * v, tj * v, v, v).to_owned());
+            }
+        }
+    }
+    orig
+}
+
+/// The SPMD program one rank executes. `orig` is this rank's layer-0 tile
+/// set (empty on layers > 0), produced by [`stage_from_global`] or by a
+/// measured redistribution from a caller's layout (the ScaLAPACK wrapper).
+#[allow(clippy::type_complexity)]
+pub(crate) fn rank_program(
+    comm: &Comm,
+    cfg: &ConfluxConfig,
+    orig: HashMap<(usize, usize), Matrix>,
+) -> Result<(Vec<Entry>, Vec<usize>), dense::Error> {
+    let g = cfg.grid;
+    let til = Tiling::new(cfg.n, cfg.v, g);
+    let (pi, pj, pk) = g.coords(comm.rank());
+    let (n, v, nt, ks) = (cfg.n, cfg.v, til.nt, til.kslice());
+
+    // Static sub-communicators.
+    let zfib = comm.subcomm(1, &g.z_members(pi, pj));
+    let yrow = comm.subcomm(2, &g.y_members(pi, pk));
+    let xcol = comm.subcomm(3, &g.x_members(pj, pk));
+    let panel_comm = (pk == 0).then(|| comm.subcomm(4, &g.x_members(pj, 0)));
+
+    // Layer 0 holds the original tiles; every layer holds lazily-allocated
+    // update accumulators.
+    let mut acc: HashMap<(usize, usize), Matrix> = HashMap::new();
+
+    let mut mask = RowMask::new(n);
+    let mut perm: Vec<usize> = Vec::with_capacity(n);
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // Reads the up-to-date contribution of this rank for global row `r` of
+    // tile column `tj`: original value (layer 0) minus accumulated updates.
+    let contrib = |orig: &HashMap<(usize, usize), Matrix>,
+                   acc: &HashMap<(usize, usize), Matrix>,
+                   r: usize,
+                   tj: usize,
+                   buf: &mut Vec<f64>| {
+        let ti = r / v;
+        let lr = r % v;
+        let o = orig.get(&(ti, tj));
+        let ac = acc.get(&(ti, tj));
+        for c in 0..v {
+            let oo = o.map_or(0.0, |m| m[(lr, c)]);
+            let aa = ac.map_or(0.0, |m| m[(lr, c)]);
+            buf.push(oo - aa);
+        }
+    };
+
+    for step in 0..nt {
+        let jt = step % g.py;
+        let it = step % g.px;
+        let last = step + 1 == nt;
+
+        // ---- 1. Reduce next block column ------------------------------
+        comm.set_phase("reduce_col");
+        let mut panel_rows: Vec<usize> = Vec::new();
+        let mut panel_vals = Matrix::zeros(0, v);
+        if pj == jt {
+            let mut row_ids = Vec::new();
+            let mut buf = Vec::new();
+            for ti in til.tile_rows_of(pi) {
+                for r in mask.active_in(til.rows_of_tile(ti)) {
+                    row_ids.push(r);
+                    contrib(&orig, &acc, r, step, &mut buf);
+                }
+            }
+            if !buf.is_empty() {
+                zfib.reduce_sum_f64(0, &mut buf);
+            }
+            if pk == 0 {
+                panel_vals = Matrix::from_vec(row_ids.len(), v, buf);
+                panel_rows = row_ids;
+            }
+        }
+
+        // ---- 2. TournPivot --------------------------------------------
+        comm.set_phase("pivoting");
+        let mut a00_flat: Vec<f64> = Vec::new();
+        let mut piv_ids: Vec<u64> = Vec::new();
+        let mut tourn_err: Option<dense::Error> = None;
+        if pj == jt && pk == 0 {
+            let ids: Vec<u64> = panel_rows.iter().map(|&r| r as u64).collect();
+            match tournament(panel_comm.as_ref().unwrap(), &panel_vals, &ids, v) {
+                Ok(pb) => {
+                    a00_flat = pb.a00.into_vec();
+                    piv_ids = pb.ids;
+                }
+                // The failing factorization is redundant and deterministic,
+                // so every panel rank lands here together.
+                Err(e) => tourn_err = Some(e),
+            }
+        }
+
+        // ---- 3. Broadcast A00 and pivot row ids (row masking) ----------
+        comm.set_phase("bcast_a00");
+        let root = g.rank_of(0, jt, 0);
+        // One status word first, so a singular panel aborts every rank
+        // cleanly instead of deadlocking the world.
+        let mut status = vec![if tourn_err.is_some() { 1.0 } else { 0.0 }];
+        comm.bcast_f64(root, &mut status);
+        if status[0] != 0.0 {
+            return Err(tourn_err.unwrap_or(dense::Error::SingularAt(step * v)));
+        }
+        comm.bcast_f64(root, &mut a00_flat);
+        comm.bcast_u64(root, &mut piv_ids);
+        let a00 = Matrix::from_vec(v, v, a00_flat);
+        let pivots: Vec<usize> = piv_ids.iter().map(|&x| x as usize).collect();
+        if cfg.collect && comm.rank() == root {
+            for (r, &p) in pivots.iter().enumerate() {
+                for c in 0..v {
+                    entries.push((p as u32, (step * v + c) as u32, a00[(r, c)]));
+                }
+            }
+        }
+        perm.extend_from_slice(&pivots);
+        mask.retire(&pivots);
+
+        // Trailing tile columns this process column owns.
+        let trail_cols: Vec<usize> =
+            til.tile_cols_of(pj).into_iter().filter(|&tj| tj > step).collect();
+        let trail_len = trail_cols.len() * v;
+
+        // ---- 4. Reduce pivot rows, solve U01 = L00⁻¹·A01 ---------------
+        comm.set_phase("reduce_pivots");
+        let my_piv: Vec<usize> =
+            pivots.iter().copied().filter(|&p| (p / v) % g.px == pi).collect();
+        let mut u01 = Matrix::zeros(0, 0);
+        if !last && !trail_cols.is_empty() {
+            let mut a01_contrib = Vec::new();
+            if !my_piv.is_empty() {
+                for &p in &my_piv {
+                    for &tj in &trail_cols {
+                        contrib(&orig, &acc, p, tj, &mut a01_contrib);
+                    }
+                }
+                zfib.reduce_sum_f64(0, &mut a01_contrib);
+            }
+            // Gather the pivot-row segments at the step's U-owner and solve.
+            if pk == 0 {
+                let owner = g.rank_of(it, pj, 0);
+                if comm.rank() == owner {
+                    // Pull each contributing group's buffer (own group local).
+                    let mut group_bufs: HashMap<usize, (Vec<f64>, usize)> = HashMap::new();
+                    let groups: Vec<usize> = {
+                        let mut s: Vec<usize> =
+                            pivots.iter().map(|&p| (p / v) % g.px).collect();
+                        s.sort_unstable();
+                        s.dedup();
+                        s
+                    };
+                    for &spi in &groups {
+                        let src = g.rank_of(spi, pj, 0);
+                        let buf = if src == owner {
+                            a01_contrib.clone()
+                        } else {
+                            comm_recv_world(comm, src, TAG_A01 + step as u64)
+                        };
+                        group_bufs.insert(spi, (buf, 0));
+                    }
+                    let mut a01m = Matrix::zeros(v, trail_len);
+                    for (pos, &p) in pivots.iter().enumerate() {
+                        let spi = (p / v) % g.px;
+                        let (buf, cursor) = group_bufs.get_mut(&spi).unwrap();
+                        a01m.row_mut(pos).copy_from_slice(&buf[*cursor..*cursor + trail_len]);
+                        *cursor += trail_len;
+                    }
+                    trsm(
+                        Side::Left,
+                        Uplo::Lower,
+                        Trans::N,
+                        Diag::Unit,
+                        1.0,
+                        a00.as_ref(),
+                        a01m.as_mut(),
+                    );
+                    if cfg.collect {
+                        for (pos, &p) in pivots.iter().enumerate() {
+                            for (cj, &tj) in trail_cols.iter().enumerate() {
+                                for c in 0..v {
+                                    entries.push((
+                                        p as u32,
+                                        (tj * v + c) as u32,
+                                        a01m[(pos, cj * v + c)],
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    u01 = a01m;
+                } else if !my_piv.is_empty() {
+                    comm_send_world(comm, owner, TAG_A01 + step as u64, &a01_contrib);
+                }
+            }
+        }
+
+        // ---- 5. FactorizeA10: L10 = A10·U00⁻¹ on panel ranks ------------
+        comm.set_phase("panel_trsm");
+        let mut l10 = Matrix::zeros(0, v);
+        if pj == jt && pk == 0 {
+            let keep: Vec<usize> = (0..panel_rows.len())
+                .filter(|&i| mask.is_active(panel_rows[i]))
+                .collect();
+            l10 = Matrix::from_fn(keep.len(), v, |i, j| panel_vals[(keep[i], j)]);
+            trsm(Side::Right, Uplo::Upper, Trans::N, Diag::NonUnit, 1.0, a00.as_ref(), l10.as_mut());
+            if cfg.collect {
+                for (i, &ki) in keep.iter().enumerate() {
+                    let r = panel_rows[ki];
+                    for c in 0..v {
+                        entries.push((r as u32, (step * v + c) as u32, l10[(i, c)]));
+                    }
+                }
+            }
+        }
+
+        // Rows every rank expects for its `pi` group (identical bookkeeping
+        // everywhere — this is what row masking buys: indices, not data).
+        let my_l10_rows: Vec<usize> = til
+            .tile_rows_of(pi)
+            .into_iter()
+            .flat_map(|ti| mask.active_in(til.rows_of_tile(ti)))
+            .collect();
+
+        // ---- 6a. Scatter L10: z-slice then broadcast along y -----------
+        comm.set_phase("scatter_panels");
+        let mut l10_slice = Matrix::zeros(my_l10_rows.len(), ks);
+        if !last && !my_l10_rows.is_empty() {
+            if pj == jt {
+                if pk == 0 {
+                    for pk2 in (0..g.pz).rev() {
+                        let sl = l10.block(0, pk2 * ks, my_l10_rows.len(), ks).to_owned();
+                        if pk2 == 0 {
+                            l10_slice = sl;
+                        } else {
+                            comm_send_world(
+                                comm,
+                                g.rank_of(pi, jt, pk2),
+                                TAG_L10 + step as u64,
+                                sl.data(),
+                            );
+                        }
+                    }
+                } else {
+                    let flat =
+                        comm_recv_world(comm, g.rank_of(pi, jt, 0), TAG_L10 + step as u64);
+                    l10_slice = Matrix::from_vec(my_l10_rows.len(), ks, flat);
+                }
+            }
+            let mut flat = l10_slice.into_vec();
+            yrow.bcast_f64(jt, &mut flat);
+            l10_slice = Matrix::from_vec(my_l10_rows.len(), ks, flat);
+        }
+
+        // ---- 6b. Scatter U01: z-slice then broadcast along x -----------
+        let mut u01_slice = Matrix::zeros(ks, trail_len);
+        if !last && trail_len > 0 {
+            if pi == it {
+                if pk == 0 {
+                    for pk2 in (0..g.pz).rev() {
+                        let sl = u01.block(pk2 * ks, 0, ks, trail_len).to_owned();
+                        if pk2 == 0 {
+                            u01_slice = sl;
+                        } else {
+                            comm_send_world(
+                                comm,
+                                g.rank_of(it, pj, pk2),
+                                TAG_U01 + step as u64,
+                                sl.data(),
+                            );
+                        }
+                    }
+                } else {
+                    let flat =
+                        comm_recv_world(comm, g.rank_of(it, pj, 0), TAG_U01 + step as u64);
+                    u01_slice = Matrix::from_vec(ks, trail_len, flat);
+                }
+            }
+            let mut flat = u01_slice.into_vec();
+            xcol.bcast_f64(it, &mut flat);
+            u01_slice = Matrix::from_vec(ks, trail_len, flat);
+        }
+
+        // ---- 7. FactorizeA11: layer-local partial Schur update ---------
+        comm.set_phase("update_a11");
+        if !last && !my_l10_rows.is_empty() && trail_len > 0 {
+            let mut upd = Matrix::zeros(my_l10_rows.len(), trail_len);
+            gemm(
+                Trans::N,
+                Trans::N,
+                1.0,
+                l10_slice.as_ref(),
+                u01_slice.as_ref(),
+                0.0,
+                upd.as_mut(),
+            );
+            for (ri, &r) in my_l10_rows.iter().enumerate() {
+                let ti = r / v;
+                let lr = r % v;
+                for (cj, &tj) in trail_cols.iter().enumerate() {
+                    let tile =
+                        acc.entry((ti, tj)).or_insert_with(|| Matrix::zeros(v, v));
+                    let urow = &upd.row(ri)[cj * v..(cj + 1) * v];
+                    for (x, &u) in tile.row_mut(lr).iter_mut().zip(urow) {
+                        *x += u;
+                    }
+                }
+            }
+        }
+    }
+
+    Ok((entries, perm))
+}
+
+/// Point-to-point send addressed by *world* rank over the world comm.
+fn comm_send_world(comm: &Comm, world_dst: usize, tag: u64, data: &[f64]) {
+    comm.send_f64(world_dst, tag, data);
+}
+
+/// Point-to-point receive addressed by *world* rank over the world comm.
+fn comm_recv_world(comm: &Comm, world_src: usize, tag: u64) -> Vec<f64> {
+    comm.recv_f64(world_src, tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::gen::{needs_pivoting, random_matrix};
+    use dense::norms::lu_residual_perm;
+
+    fn check(n: usize, v: usize, grid: Grid3, seed: u64) {
+        let a = random_matrix(n, n, seed);
+        let cfg = ConfluxConfig::new(n, v, grid);
+        let out = conflux_lu(&cfg, &a).unwrap();
+        assert_eq!(out.perm.len(), n);
+        let mut sorted = out.perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "perm must be a permutation");
+        let res = lu_residual_perm(&a, out.packed.as_ref().unwrap(), &out.perm);
+        assert!(res < 1e-10, "residual {res} too large for n={n} v={v} grid={grid:?}");
+    }
+
+    #[test]
+    fn single_rank_equals_sequential_lu() {
+        check(16, 4, Grid3::new(1, 1, 1), 1);
+    }
+
+    #[test]
+    fn two_d_grids() {
+        check(24, 4, Grid3::new(2, 2, 1), 2);
+        check(24, 4, Grid3::new(2, 3, 1), 3);
+        check(32, 8, Grid3::new(4, 2, 1), 4);
+    }
+
+    #[test]
+    fn replicated_grids_exercise_z_reduction() {
+        check(24, 4, Grid3::new(2, 2, 2), 5);
+        check(32, 4, Grid3::new(2, 2, 4), 6);
+        check(48, 6, Grid3::new(2, 2, 2), 7);
+    }
+
+    #[test]
+    fn non_power_of_two_panel_groups() {
+        check(36, 4, Grid3::new(3, 3, 2), 8);
+        check(30, 6, Grid3::new(3, 2, 3), 9);
+    }
+
+    #[test]
+    fn single_tile_per_rank_edge() {
+        // nt == px == py: each rank owns exactly one tile row/column.
+        check(16, 4, Grid3::new(4, 4, 1), 10);
+    }
+
+    #[test]
+    fn grid_larger_than_tiles() {
+        // More process rows than tile rows: some ranks own nothing.
+        check(8, 4, Grid3::new(4, 4, 1), 11);
+    }
+
+    #[test]
+    fn pivoting_stress_matrix() {
+        let n = 24;
+        let a = needs_pivoting(n, 3);
+        let cfg = ConfluxConfig::new(n, 4, Grid3::new(2, 2, 2));
+        let out = conflux_lu(&cfg, &a).unwrap();
+        let res = lu_residual_perm(&a, out.packed.as_ref().unwrap(), &out.perm);
+        assert!(res < 1e-8, "residual {res}");
+    }
+
+    #[test]
+    fn singular_matrix_aborts_cleanly_on_all_ranks() {
+        // Two identical columns inside the first block: the tournament's
+        // pivot block is singular at step 0 and every rank must get the
+        // error (no deadlock).
+        let n = 16;
+        let mut a = random_matrix(n, n, 99);
+        for i in 0..n {
+            a[(i, 1)] = a[(i, 0)];
+        }
+        let cfg = ConfluxConfig::new(n, 4, Grid3::new(2, 2, 2));
+        match conflux_lu(&cfg, &a) {
+            Err(dense::Error::SingularAt(_)) => {}
+            other => panic!("expected SingularAt, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn volume_only_skips_collection() {
+        let a = random_matrix(16, 16, 12);
+        let cfg = ConfluxConfig::new(16, 4, Grid3::new(2, 2, 1)).volume_only();
+        let out = conflux_lu(&cfg, &a).unwrap();
+        assert!(out.packed.is_none());
+        assert!(out.stats.total_bytes_sent() > 0);
+    }
+
+    #[test]
+    fn auto_config_is_valid_and_works() {
+        let cfg = ConfluxConfig::auto(48, 8);
+        assert_eq!(cfg.grid.size(), 8);
+        check(48, cfg.v, cfg.grid, 13);
+    }
+
+    #[test]
+    fn replication_reduces_volume() {
+        // Same P = 64: the c = 4 cube must communicate less than the flat
+        // 2D-style grid. (The win grows with P — at P = 8 the z-reduction
+        // overhead ~N²c/P still cancels the √c scatter saving, which is
+        // exactly the paper's observation that 2.5D libraries only pay off
+        // beyond a processor-count threshold.)
+        let n = 128;
+        let a = random_matrix(n, n, 14);
+        let flat = ConfluxConfig::new(n, 8, Grid3::new(8, 8, 1)).volume_only();
+        let repl = ConfluxConfig::new(n, 8, Grid3::new(4, 4, 4)).volume_only();
+        let v_flat = conflux_lu(&flat, &a).unwrap().stats.total_bytes_sent();
+        let v_repl = conflux_lu(&repl, &a).unwrap().stats.total_bytes_sent();
+        assert!(
+            v_repl < v_flat,
+            "replication should cut volume: c=4 {v_repl} vs c=1 {v_flat}"
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Distributed matrix factorizations: the paper's contribution and its
+//! baselines.
+//!
+//! * [`conflux`] — **COnfLUX**: near-communication-optimal 2.5D LU
+//!   factorization with tournament pivoting and row masking (paper §7,
+//!   Algorithm 1).
+//! * [`confchox`] — **COnfCHOX**: the Cholesky analogue (paper §7.5).
+//! * [`twod`] — ScaLAPACK-style 2D block-cyclic LU / Cholesky with partial
+//!   pivoting and explicit row swapping: the stand-in for Intel MKL and
+//!   SLATE, which the paper shows both use this schedule.
+//! * [`lu25d_swap`] — a 2.5D LU *without* row masking (explicit pivot-row
+//!   swapping across replicated layers): an executable ablation showing why
+//!   COnfLUX's masking halves the leading-term volume (paper §7.3).
+//! * [`models`] — the analytic per-rank I/O cost models of Table 2 for all
+//!   six compared implementations, used to validate measurements and to
+//!   extrapolate to paper-scale machines.
+//! * [`scalapack`] — `pdgetrf`/`pdpotrf`-style wrappers: caller's
+//!   block-cyclic layout in, factor in the same layout out, with the
+//!   COSTA-style staging measured end to end.
+//! * [`mmm25d()`] — 2.5D matrix multiplication (SUMMA within layers, a final
+//!   z-reduction): the kernel the X-partitioning framework was built on,
+//!   showing the machinery generalizes beyond factorizations.
+//! * [`cholqr`] — distributed CholeskyQR2, the algorithm behind the CAPITAL
+//!   comparison target.
+//!
+//! All schedules run on the [`xmpi`] simulated machine, so their
+//! communication volume is *measured*, not asserted.
+
+pub mod cholqr;
+pub mod common;
+pub mod confchox;
+pub mod conflux;
+pub mod lu25d_swap;
+pub mod mmm25d;
+pub mod models;
+pub mod scalapack;
+pub mod tourn;
+pub mod twod;
+
+pub use confchox::{confchox_cholesky, ConfchoxConfig};
+pub use conflux::{conflux_lu, ConfluxConfig, LuOutput};
+pub use cholqr::{cholesky_qr, CholQrConfig};
+pub use mmm25d::{mmm25d, Mmm25dConfig};
+pub use scalapack::{pdgetrf, pdpotrf, ScalapackOutput};
+pub use twod::{twod_cholesky, twod_lu, TwodConfig};

@@ -1,0 +1,194 @@
+//! Analytic per-rank I/O cost models — Table 2 of the paper — plus the
+//! machine-parameter conventions the experiments share.
+//!
+//! All models return **words** (multiply by 8 for bytes, as the paper does
+//! when plotting). `n` is the matrix dimension, `p` the rank count and `m`
+//! the per-rank memory in words. The paper's experiments always grant enough
+//! memory for maximal replication (`M ≥ N²/P^(2/3)`, caption of Fig. 8);
+//! [`MachineParams::paper_default`] reproduces that convention.
+//!
+//! Sources:
+//! * COnfLUX / COnfCHOX — paper §7.4 (Lemma 10) and Table 1/2:
+//!   `N³/(P√M) + O(N²/P)`.
+//! * lower bounds — paper §6: `2N³/(3P√M)` (LU), `N³/(3P√M)` (Cholesky).
+//! * MKL / SLATE — 2D partial-pivoting decomposition (paper §9 finds both
+//!   behave identically): `≈ N²/√P` row+column panel traffic plus swap and
+//!   panel-broadcast terms.
+//! * CANDMC — Solomonik & Demmel's model, quoted by the paper as
+//!   `5N³/(P√M)` ("COnfLUX communicates five times less").
+//! * CAPITAL — the paper reports its Cholesky I/O may reach 16× the
+//!   Cholesky lower bound, i.e. `16·N³/(3P√M)`.
+
+/// Machine/problem parameters shared by the model functions.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineParams {
+    /// Matrix dimension `N`.
+    pub n: usize,
+    /// Number of ranks `P`.
+    pub p: usize,
+    /// Per-rank memory `M` in words.
+    pub m: f64,
+}
+
+impl MachineParams {
+    /// The paper's convention: enough memory for maximum replication
+    /// `c = P^(1/3)`, i.e. `M = N²/P^(2/3)` (Fig. 8 caption).
+    pub fn paper_default(n: usize, p: usize) -> Self {
+        let m = (n as f64).powi(2) / (p as f64).powf(2.0 / 3.0);
+        MachineParams { n, p, m }
+    }
+
+    /// Explicit memory (words per rank).
+    pub fn with_memory(n: usize, p: usize, m: f64) -> Self {
+        MachineParams { n, p, m }
+    }
+
+    /// Replication factor this memory affords: `c = P·M/N²`, at least 1.
+    pub fn replication(&self) -> f64 {
+        (self.p as f64 * self.m / (self.n as f64).powi(2)).max(1.0)
+    }
+}
+
+fn cube(n: usize) -> f64 {
+    (n as f64).powi(3)
+}
+
+fn sq(n: usize) -> f64 {
+    (n as f64).powi(2)
+}
+
+/// Parallel I/O lower bound for LU (paper §6.1): `2N³/(3P√M) + N²/(2P)`.
+pub fn lu_lower_bound(mp: MachineParams) -> f64 {
+    2.0 * cube(mp.n) / (3.0 * mp.p as f64 * mp.m.sqrt()) + sq(mp.n) / (2.0 * mp.p as f64)
+}
+
+/// Parallel I/O lower bound for Cholesky (paper §6.2):
+/// `N³/(3P√M) + N²/(2P) + N/P`.
+pub fn cholesky_lower_bound(mp: MachineParams) -> f64 {
+    cube(mp.n) / (3.0 * mp.p as f64 * mp.m.sqrt())
+        + sq(mp.n) / (2.0 * mp.p as f64)
+        + mp.n as f64 / mp.p as f64
+}
+
+/// COnfLUX cost model (paper Lemma 10): `N³/(P√M) + O(N²/P)`; the
+/// second-order constant follows from summing the per-step `O(Nv/P)` terms
+/// (pivot-row reduction, `A00` broadcasts) to `≈ 5N²/(2P)`.
+pub fn conflux_model(mp: MachineParams) -> f64 {
+    cube(mp.n) / (mp.p as f64 * mp.m.sqrt()) + 2.5 * sq(mp.n) / mp.p as f64
+}
+
+/// COnfCHOX cost model: Table 1 shows the same leading communication term
+/// as COnfLUX (the symmetric update halves computation, not input volume),
+/// restricted to the lower triangle for the panel terms.
+pub fn confchox_model(mp: MachineParams) -> f64 {
+    cube(mp.n) / (mp.p as f64 * mp.m.sqrt()) + 2.0 * sq(mp.n) / mp.p as f64
+}
+
+/// 2D partial-pivoting LU (MKL / SLATE): with a `√P×√P` grid and block size
+/// `nb`, per-rank volume `≈ N²/√P` for each of the two panel-broadcast
+/// directions (halved by the shrinking trailing matrix), plus `N·nb` panel
+/// column broadcasts and `2N²/P` row swaps.
+pub fn twod_lu_model(mp: MachineParams, nb: usize) -> f64 {
+    let sp = (mp.p as f64).sqrt();
+    sq(mp.n) / sp + (mp.n as f64) * nb as f64 + 2.0 * sq(mp.n) / mp.p as f64
+}
+
+/// 2D Cholesky (MKL / SLATE): same structure without pivot search or swaps,
+/// on the lower triangle.
+pub fn twod_cholesky_model(mp: MachineParams, nb: usize) -> f64 {
+    0.5 * sq(mp.n) / (mp.p as f64).sqrt() + (mp.n as f64) * nb as f64
+}
+
+/// CANDMC 2.5D LU model as quoted by the paper: `5N³/(P√M)`.
+pub fn candmc_model(mp: MachineParams) -> f64 {
+    5.0 * cube(mp.n) / (mp.p as f64 * mp.m.sqrt())
+}
+
+/// CAPITAL 2.5D Cholesky model: up to 16× the Cholesky lower-bound leading
+/// term, `16·N³/(3P√M)`.
+pub fn capital_model(mp: MachineParams) -> f64 {
+    16.0 * cube(mp.n) / (3.0 * mp.p as f64 * mp.m.sqrt())
+}
+
+/// All LU models evaluated at once: `(name, words-per-rank)` rows of
+/// Table 2's LU half.
+pub fn lu_table(mp: MachineParams, nb: usize) -> Vec<(&'static str, f64)> {
+    vec![
+        ("lower bound", lu_lower_bound(mp)),
+        ("COnfLUX", conflux_model(mp)),
+        ("CANDMC", candmc_model(mp)),
+        ("MKL (2D)", twod_lu_model(mp, nb)),
+        ("SLATE (2D)", twod_lu_model(mp, nb)),
+    ]
+}
+
+/// All Cholesky models at once: Table 2's Cholesky half.
+pub fn cholesky_table(mp: MachineParams, nb: usize) -> Vec<(&'static str, f64)> {
+    vec![
+        ("lower bound", cholesky_lower_bound(mp)),
+        ("COnfCHOX", confchox_model(mp)),
+        ("CAPITAL", capital_model(mp)),
+        ("MKL (2D)", twod_cholesky_model(mp, nb)),
+        ("SLATE (2D)", twod_cholesky_model(mp, nb)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflux_is_1_5x_the_lu_lower_bound_leading_term() {
+        // Small M relative to N so the N²/P terms vanish (√M/N → 0):
+        // ratio → 3/2 (paper §7.4).
+        let mp = MachineParams::with_memory(1 << 20, 64, 1e6);
+        let ratio = conflux_model(mp) / lu_lower_bound(mp);
+        assert!((ratio - 1.5).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn candmc_is_5x_conflux_leading_term() {
+        let mp = MachineParams::with_memory(1 << 20, 64, 1e6);
+        let ratio = candmc_model(mp) / conflux_model(mp);
+        assert!((ratio - 5.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn conflux_beats_2d_at_scale_but_not_tiny_p() {
+        // The paper's motivation: 2.5D wins clearly at large P.
+        let big = MachineParams::paper_default(1 << 16, 4096);
+        assert!(conflux_model(big) < twod_lu_model(big, 256));
+        // Weak-scaling shape: at fixed work per node the 2D model grows
+        // with P while 2.5D stays flat (Fig. 8b).
+        let mp1 = MachineParams::paper_default(3200, 1);
+        let mp64 = MachineParams::paper_default(3200 * 4, 64); // N=3200·∛64
+        let r2d = twod_lu_model(mp64, 128) / twod_lu_model(mp1, 128);
+        let r25d = conflux_model(mp64) / conflux_model(mp1);
+        assert!(r25d < r2d, "2.5D must weak-scale better: {r25d} vs {r2d}");
+    }
+
+    #[test]
+    fn replication_factor() {
+        let mp = MachineParams::paper_default(1024, 64);
+        assert!((mp.replication() - 4.0).abs() < 1e-9, "c = P^(1/3) = 4");
+        let flat = MachineParams::with_memory(1024, 64, 1024.0 * 1024.0 / 64.0);
+        assert!((flat.replication() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_lower_bound_is_half_of_lu_leading() {
+        let mp = MachineParams::with_memory(1 << 20, 64, 1e6);
+        let r = lu_lower_bound(mp) / cholesky_lower_bound(mp);
+        assert!((r - 2.0).abs() < 0.05, "ratio {r}");
+    }
+
+    #[test]
+    fn tables_are_complete() {
+        let mp = MachineParams::paper_default(16384, 64);
+        assert_eq!(lu_table(mp, 128).len(), 5);
+        assert_eq!(cholesky_table(mp, 128).len(), 5);
+        for (_, v) in lu_table(mp, 128) {
+            assert!(v > 0.0);
+        }
+    }
+}

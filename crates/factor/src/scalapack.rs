@@ -1,0 +1,293 @@
+//! ScaLAPACK-compatible entry points — the paper's "fully
+//! ScaLAPACK-compatible" wrapper layer (§8): the caller's matrix arrives in
+//! *their* block-cyclic layout (any `DESC`-expressible one), is staged with
+//! the COSTA-style redistribution onto COnfLUX's layer-0 tile layout, is
+//! factored, and the factor travels back into the caller's layout — every
+//! staging byte measured.
+//!
+//! Naming follows ScaLAPACK: [`pdgetrf`] (LU) and [`pdpotrf`] (Cholesky).
+//! Unlike ScaLAPACK's `pdgetrf`, the factor comes back in *pivoted row
+//! coordinates* with an explicit permutation (COnfLUX's row masking never
+//! swaps rows, so the natural output is `P·A = L·U` plus `perm`).
+
+use crate::confchox::{self, ConfchoxConfig};
+use crate::conflux::{self, ConfluxConfig};
+use crate::common::{Entry, Tiling};
+use dense::{Error, Matrix};
+use layout::{redist::redistribute_subset, BlockCyclic, DistMatrix};
+use xmpi::{Comm, Grid2, WorldStats};
+
+const TAG_WRITEBACK: u64 = 9_900_000;
+
+/// Result of a wrapped factorization: per-rank output shards in the
+/// caller's layout, plus the permutation and measured traffic.
+pub struct ScalapackOutput {
+    /// One shard per rank, in the caller's layout. For LU the shard holds
+    /// the packed `L\U` of the *pivoted* matrix; for Cholesky, `L` in the
+    /// lower triangle.
+    pub shards: Vec<DistMatrix>,
+    /// `perm[s]` = original row at pivoted position `s` (identity for
+    /// Cholesky).
+    pub perm: Vec<usize>,
+    /// Measured traffic, including both staging directions.
+    pub stats: WorldStats,
+}
+
+/// The layer-0 tile layout of a 2.5D configuration, as a block-cyclic
+/// descriptor over the first `px·py` world ranks.
+fn tile_desc(n: usize, v: usize, px: usize, py: usize) -> BlockCyclic {
+    BlockCyclic::new(n, n, v, v, Grid2::new(px, py))
+}
+
+/// ScaLAPACK-style LU: factor a matrix distributed in `user_desc` with
+/// COnfLUX and return the factor in `user_desc` again.
+///
+/// `user_desc` must span the same rank count as `cfg.grid` (the caller's
+/// machine is the machine).
+///
+/// # Errors
+/// Propagates singularity.
+///
+/// # Panics
+/// On extent or rank-count mismatch.
+pub fn pdgetrf(
+    user_desc: BlockCyclic,
+    a: &Matrix,
+    cfg: &ConfluxConfig,
+) -> Result<ScalapackOutput, Error> {
+    assert_eq!(user_desc.m, cfg.n, "descriptor extent mismatch");
+    assert_eq!(user_desc.n, cfg.n, "descriptor extent mismatch");
+    assert_eq!(
+        user_desc.nprocs(),
+        cfg.grid.size(),
+        "user layout must span the whole machine"
+    );
+    assert!(cfg.collect, "the wrapper must collect entries to return the factor");
+    let tdesc = tile_desc(cfg.n, cfg.v, cfg.grid.px, cfg.grid.py);
+    let out = xmpi::run(cfg.grid.size(), |comm| -> Result<_, Error> {
+        // 1. The caller's shard is pre-existing state (unmeasured).
+        let mine = DistMatrix::from_global(user_desc, user_desc.grid.coords(comm.rank()), a);
+        // 2. Stage onto the layer-0 tile layout (measured).
+        comm.set_phase("staging_in");
+        let staged = redistribute_subset(comm, Some(&mine), tdesc);
+        let tiles = shard_to_tiles(staged.as_ref(), cfg.n, cfg.v, cfg.grid.px, cfg.grid.py);
+        // 3. Factor.
+        let (entries, perm) = conflux::rank_program(comm, cfg, tiles)?;
+        // 4. Route factor entries to the pivoted tile layout (measured).
+        comm.set_phase("staging_out");
+        let pivoted = entries_to_shard(comm, cfg.n, tdesc, &perm, entries);
+        // 5. Back to the caller's layout (measured).
+        let back = redistribute_subset(comm, pivoted.as_ref(), user_desc)
+            .expect("user layout covers every rank");
+        Ok((back, perm))
+    });
+    collect(out, cfg.grid.size())
+}
+
+/// ScaLAPACK-style Cholesky: factor an SPD matrix distributed in
+/// `user_desc` with COnfCHOX and return `L` in `user_desc`.
+///
+/// # Errors
+/// Propagates [`Error::NotPositiveDefinite`].
+///
+/// # Panics
+/// On extent or rank-count mismatch.
+pub fn pdpotrf(
+    user_desc: BlockCyclic,
+    a: &Matrix,
+    cfg: &ConfchoxConfig,
+) -> Result<ScalapackOutput, Error> {
+    assert_eq!(user_desc.m, cfg.n, "descriptor extent mismatch");
+    assert_eq!(user_desc.n, cfg.n, "descriptor extent mismatch");
+    assert_eq!(
+        user_desc.nprocs(),
+        cfg.grid.size(),
+        "user layout must span the whole machine"
+    );
+    assert!(cfg.collect, "the wrapper must collect entries to return the factor");
+    let tdesc = tile_desc(cfg.n, cfg.v, cfg.grid.px, cfg.grid.py);
+    let identity: Vec<usize> = (0..cfg.n).collect();
+    let out = xmpi::run(cfg.grid.size(), |comm| -> Result<_, Error> {
+        let mine = DistMatrix::from_global(user_desc, user_desc.grid.coords(comm.rank()), a);
+        comm.set_phase("staging_in");
+        let staged = redistribute_subset(comm, Some(&mine), tdesc);
+        // Keep only the lower-triangular tiles (COnfCHOX's storage).
+        let mut tiles = shard_to_tiles(staged.as_ref(), cfg.n, cfg.v, cfg.grid.px, cfg.grid.py);
+        tiles.retain(|&(ti, tj), _| ti >= tj);
+        let entries = confchox::rank_program(comm, cfg, tiles)?;
+        comm.set_phase("staging_out");
+        let pivoted = entries_to_shard(comm, cfg.n, tdesc, &identity, entries);
+        let back = redistribute_subset(comm, pivoted.as_ref(), user_desc)
+            .expect("user layout covers every rank");
+        Ok((back, identity.clone()))
+    });
+    collect(out, cfg.grid.size())
+}
+
+fn collect(
+    out: xmpi::WorldResult<Result<(DistMatrix, Vec<usize>), Error>>,
+    _p: usize,
+) -> Result<ScalapackOutput, Error> {
+    let mut shards = Vec::new();
+    let mut perm = Vec::new();
+    for (rank, res) in out.results.into_iter().enumerate() {
+        let (shard, rank_perm) = res?;
+        if rank == 0 {
+            perm = rank_perm;
+        }
+        shards.push(shard);
+    }
+    Ok(ScalapackOutput { shards, perm, stats: out.stats })
+}
+
+/// Slice a staged layer-0 shard (v×v block-cyclic) into the tile map the
+/// rank programs consume. Non-layer-0 ranks (shard `None`) get an empty map.
+fn shard_to_tiles(
+    shard: Option<&DistMatrix>,
+    n: usize,
+    v: usize,
+    px: usize,
+    py: usize,
+) -> std::collections::HashMap<(usize, usize), Matrix> {
+    let mut tiles = std::collections::HashMap::new();
+    let Some(shard) = shard else { return tiles };
+    let til = Tiling::new(n, v, xmpi::Grid3::new(px, py, 1));
+    let (pi, pj) = shard.coords;
+    for ti in til.tile_rows_of(pi) {
+        for tj in til.tile_cols_of(pj) {
+            let li0 = (ti / px) * v;
+            let lj0 = (tj / py) * v;
+            tiles.insert((ti, tj), shard.local.block(li0, lj0, v, v).to_owned());
+        }
+    }
+    tiles
+}
+
+/// Route factor entries — `(original row, col, value)` triples scattered
+/// across the machine — into a layer-0 shard of the *pivoted* matrix:
+/// each entry's pivoted row decides its tile owner; triples travel
+/// point-to-point (measured; this is the factor-writeback cost of a
+/// wrapper, `O(N²/P)` per rank with a 3x header overhead).
+fn entries_to_shard(
+    comm: &Comm,
+    n: usize,
+    tdesc: BlockCyclic,
+    perm: &[usize],
+    entries: Vec<Entry>,
+) -> Option<DistMatrix> {
+    let p = comm.size();
+    let me = comm.rank();
+    let q = tdesc.nprocs();
+    let mut pos = vec![usize::MAX; n];
+    for (s, &r) in perm.iter().enumerate() {
+        pos[r] = s;
+    }
+    // Bucket per destination: indices (pivoted row, col) and values.
+    let mut idx: Vec<Vec<u64>> = vec![Vec::new(); q];
+    let mut val: Vec<Vec<f64>> = vec![Vec::new(); q];
+    for (r, c, x) in entries {
+        let s = pos[r as usize];
+        debug_assert!(s != usize::MAX, "factor row missing from perm");
+        let dst = tdesc.owner(s, c as usize);
+        idx[dst].extend_from_slice(&[s as u64, c as u64]);
+        val[dst].push(x);
+    }
+    for dst in 0..q {
+        if dst == me {
+            continue;
+        }
+        comm.send_u64(dst, TAG_WRITEBACK, &idx[dst]);
+        comm.send_f64(dst, TAG_WRITEBACK, &val[dst]);
+    }
+    if me >= q {
+        return None;
+    }
+    let mut shard = DistMatrix::zeros(tdesc, tdesc.grid.coords(me));
+    let mut write = |idx: &[u64], val: &[f64]| {
+        for (pair, &x) in idx.chunks_exact(2).zip(val) {
+            shard.set_global(pair[0] as usize, pair[1] as usize, x);
+        }
+    };
+    let my_idx = std::mem::take(&mut idx[me]);
+    let my_val = std::mem::take(&mut val[me]);
+    write(&my_idx, &my_val);
+    for src in 0..p {
+        if src == me {
+            continue;
+        }
+        let i = comm.recv_u64(src, TAG_WRITEBACK);
+        let v = comm.recv_f64(src, TAG_WRITEBACK);
+        write(&i, &v);
+    }
+    Some(shard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::gen::{random_matrix, random_spd};
+    use dense::norms::{lu_residual_perm, po_residual};
+    use layout::dist::assemble;
+    use xmpi::Grid3;
+
+    #[test]
+    fn pdgetrf_round_trips_through_a_foreign_layout() {
+        let n = 48;
+        let cfg = ConfluxConfig::new(n, 8, Grid3::new(2, 2, 2));
+        let p = cfg.grid.size();
+        let user = BlockCyclic::new(n, n, 5, 3, Grid2::new(2, 4));
+        assert_eq!(user.nprocs(), p);
+        let a = random_matrix(n, n, 31);
+        let out = pdgetrf(user, &a, &cfg).unwrap();
+        let packed = assemble(&user, &out.shards);
+        let res = lu_residual_perm(&a, &packed, &out.perm);
+        assert!(res < 1e-10, "residual {res}");
+        // Both staging phases must have moved data.
+        let phases = out.stats.phase_totals();
+        assert!(phases.get("staging_in").is_some_and(|&(s, _)| s > 0));
+        assert!(phases.get("staging_out").is_some_and(|&(s, _)| s > 0));
+    }
+
+    #[test]
+    fn pdgetrf_matches_driver_api() {
+        let n = 32;
+        let cfg = ConfluxConfig::new(n, 8, Grid3::new(2, 2, 1));
+        let user = BlockCyclic::new(n, n, 8, 8, Grid2::new(2, 2));
+        let a = random_matrix(n, n, 32);
+        let wrapped = pdgetrf(user, &a, &cfg).unwrap();
+        let direct = crate::conflux_lu(&cfg, &a).unwrap();
+        assert_eq!(wrapped.perm, direct.perm, "same pivots");
+        let packed = assemble(&user, &wrapped.shards);
+        let dpacked = direct.packed.unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                assert!((packed[(i, j)] - dpacked[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn pdpotrf_round_trips() {
+        let n = 48;
+        let cfg = ConfchoxConfig::new(n, 8, Grid3::new(2, 2, 2));
+        let user = BlockCyclic::new(n, n, 6, 10, Grid2::new(4, 2));
+        let a = random_spd(n, 33);
+        let out = pdpotrf(user, &a, &cfg).unwrap();
+        let l = assemble(&user, &out.shards);
+        let res = po_residual(&a, &l);
+        assert!(res < 1e-10, "residual {res}");
+    }
+
+    #[test]
+    fn pdpotrf_indefinite_errors_cleanly() {
+        let n = 32;
+        let cfg = ConfchoxConfig::new(n, 8, Grid3::new(2, 2, 1));
+        let user = BlockCyclic::new(n, n, 8, 8, Grid2::new(2, 2));
+        let mut a = random_spd(n, 34);
+        a[(17, 17)] = -9.0;
+        assert!(matches!(
+            pdpotrf(user, &a, &cfg),
+            Err(Error::NotPositiveDefinite(_))
+        ));
+    }
+}

@@ -1,0 +1,577 @@
+//! 2D block-cyclic baselines: ScaLAPACK-style right-looking LU with partial
+//! pivoting and explicit row swapping, and right-looking Cholesky.
+//!
+//! The paper's measurements show Intel MKL and SLATE both use this schedule
+//! ("the standard partial pivoting algorithm using the 2D decomposition",
+//! §9); these routines are their executable stand-ins. The communication
+//! structure is the classical one:
+//!
+//! * per column: pivot search over the owning process column (all-gather of
+//!   local candidates), pivot broadcast, full-row swap between the two
+//!   owning process rows of every process column;
+//! * per panel: `L` panel broadcast along process rows, `U` block row
+//!   broadcast along process columns, local rank-`nb` update.
+//!
+//! Per-rank volume scales as `N²/√P` — the 2D wall the 2.5D schedules break.
+
+use dense::gemm::{gemm, Trans};
+use dense::potrf::potrf_unblocked;
+use dense::trsm::{trsm, Diag, Side, Uplo};
+use dense::{Error, Matrix};
+use layout::{BlockCyclic, DistMatrix};
+use xmpi::{Comm, Grid2, WorldStats};
+
+const TAG_SWAP: u64 = 8_000_000;
+
+/// Configuration for the 2D baselines.
+#[derive(Debug, Clone)]
+pub struct TwodConfig {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Block size (panel width and distribution block).
+    pub nb: usize,
+    /// 2D process grid.
+    pub grid: Grid2,
+    /// Collect the factored matrix.
+    pub collect: bool,
+}
+
+impl TwodConfig {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    /// If `nb` is zero or does not divide `n` (kept aligned for simplicity,
+    /// as ScaLAPACK defaults do for benchmark sizes).
+    pub fn new(n: usize, nb: usize, grid: Grid2) -> Self {
+        assert!(nb > 0 && n.is_multiple_of(nb), "nb={nb} must divide n={n}");
+        TwodConfig { n, nb, grid, collect: true }
+    }
+
+    /// Near-square grid and a default block size.
+    pub fn auto(n: usize, p: usize) -> Self {
+        let grid = Grid2::near_square(p);
+        let mut nb = 32.min(n);
+        while !n.is_multiple_of(nb) {
+            nb -= 1;
+        }
+        TwodConfig::new(n, nb, grid)
+    }
+
+    /// Disable result collection.
+    pub fn volume_only(mut self) -> Self {
+        self.collect = false;
+        self
+    }
+}
+
+/// Output of the 2D LU baseline.
+pub struct TwodLuOutput {
+    /// LAPACK-style swap sequence: at step `k`, row `k` was swapped with
+    /// `ipiv[k]`.
+    pub ipiv: Vec<usize>,
+    /// The factored matrix (packed `L\U`, rows physically swapped), if
+    /// collected.
+    pub packed: Option<Matrix>,
+    /// Measured communication statistics.
+    pub stats: WorldStats,
+}
+
+/// ScaLAPACK-style 2D LU with partial pivoting.
+///
+/// # Errors
+/// If a pivot column is exactly zero.
+///
+/// # Panics
+/// If `a` is not `n × n`.
+pub fn twod_lu(cfg: &TwodConfig, a: &Matrix) -> Result<TwodLuOutput, Error> {
+    assert_eq!(a.rows(), cfg.n);
+    assert_eq!(a.cols(), cfg.n);
+    let desc = BlockCyclic::new(cfg.n, cfg.n, cfg.nb, cfg.nb, cfg.grid);
+    let out = xmpi::run(cfg.grid.size(), |comm| lu_rank(comm, cfg, desc, a));
+    let mut shards = Vec::new();
+    let mut ipiv = Vec::new();
+    for (rank, res) in out.results.into_iter().enumerate() {
+        let (shard, rank_ipiv) = res?;
+        if rank == 0 {
+            ipiv = rank_ipiv;
+        }
+        shards.push(shard);
+    }
+    let packed = cfg.collect.then(|| layout::dist::assemble(&desc, &shards));
+    Ok(TwodLuOutput { ipiv, packed, stats: out.stats })
+}
+
+#[allow(clippy::type_complexity)]
+fn lu_rank(
+    comm: &Comm,
+    cfg: &TwodConfig,
+    desc: BlockCyclic,
+    a: &Matrix,
+) -> Result<(DistMatrix, Vec<usize>), Error> {
+    let g = cfg.grid;
+    let (pi, pj) = g.coords(comm.rank());
+    let n = cfg.n;
+    let nb = cfg.nb;
+    let mut m = DistMatrix::from_global(desc, (pi, pj), a);
+    let mut ipiv: Vec<usize> = Vec::with_capacity(n);
+
+    // Static sub-communicators: my process row and my process column.
+    let rowc = comm.subcomm(1, &g.row_members(pi)); // local rank = pj
+    let colc = comm.subcomm(2, &g.col_members(pj)); // local rank = pi
+
+    let mut k0 = 0;
+    while k0 < n {
+        let kb = nb.min(n - k0);
+        let end = k0 + kb;
+        let pcol = (k0 / nb) % g.cols; // process column owning the panel
+        let prow = (k0 / nb) % g.rows; // process row owning the U block row
+
+        // ---- Panel factorization with partial pivoting ------------------
+        comm.set_phase("panel");
+        for j in k0..end {
+            // Pivot search over the owning process column.
+            let mut piv_row = j;
+            if pj == pcol {
+                let (mut best, mut best_row) = (f64::NEG_INFINITY, j);
+                for r in j..n {
+                    if m.owns(r, j) {
+                        let val = m.get_global(r, j).abs();
+                        if val > best {
+                            best = val;
+                            best_row = r;
+                        }
+                    }
+                }
+                // All-gather candidates over the process column; every
+                // member picks the same winner (ties: smallest row).
+                let cands = colc.allgather_f64(&[best, best_row as f64]);
+                let (mut gbest, mut grow) = (f64::NEG_INFINITY, usize::MAX);
+                for c in &cands {
+                    if c[0] > gbest || (c[0] == gbest && (c[1] as usize) < grow) {
+                        gbest = c[0];
+                        grow = c[1] as usize;
+                    }
+                }
+                piv_row = if gbest == 0.0 { usize::MAX } else { grow };
+            }
+            // Propagate the pivot to every process column (pivot metadata
+            // broadcast along process rows); a singular column is signalled
+            // as a negative sentinel so every rank aborts together.
+            let mut pbuf = vec![if piv_row == usize::MAX { -1.0 } else { piv_row as f64 }];
+            rowc.bcast_f64(pcol, &mut pbuf);
+            if pbuf[0] < 0.0 {
+                return Err(Error::SingularAt(j));
+            }
+            piv_row = pbuf[0] as usize;
+            ipiv.push(piv_row);
+
+            // Full-row swap j ↔ piv_row in every process column.
+            if piv_row != j {
+                swap_rows_dist(comm, &g, &mut m, j, piv_row);
+            }
+
+            // Broadcast the pivot row's panel segment (cols j..end) plus the
+            // pivot value down the owning process column, then eliminate.
+            if pj == pcol {
+                let (owner_pi, _) = desc.row_g2l(j);
+                let mut seg: Vec<f64> = if owner_pi == pi {
+                    (j..end).map(|c| m.get_global(j, c)).collect()
+                } else {
+                    Vec::new()
+                };
+                colc.bcast_f64(owner_pi, &mut seg);
+                let ajj = seg[0];
+                for r in j + 1..n {
+                    if !m.owns(r, j) {
+                        continue;
+                    }
+                    let l = m.get_global(r, j) / ajj;
+                    m.set_global(r, j, l);
+                    for (ci, c) in (j + 1..end).enumerate() {
+                        let cur = m.get_global(r, c);
+                        m.set_global(r, c, cur - l * seg[ci + 1]);
+                    }
+                }
+            }
+        }
+
+        if end >= n {
+            break;
+        }
+
+        // ---- Broadcast L00 along the U-owning process row, solve U12 ----
+        comm.set_phase("u_panel");
+        if pi == prow {
+            let mut l00 = vec![0.0; kb * kb];
+            if pj == pcol {
+                for r in 0..kb {
+                    for c in 0..kb {
+                        l00[r * kb + c] = m.get_global(k0 + r, k0 + c);
+                    }
+                }
+            }
+            rowc.bcast_f64(pcol, &mut l00);
+            let l00m = Matrix::from_vec(kb, kb, l00);
+            // My trailing columns in the U block row.
+            let my_cols: Vec<usize> = (end..n).filter(|&c| {
+                let (pc, _) = desc.col_g2l(c);
+                pc == pj
+            }).collect();
+            if !my_cols.is_empty() {
+                let mut u12 = Matrix::from_fn(kb, my_cols.len(), |r, ci| {
+                    m.get_global(k0 + r, my_cols[ci])
+                });
+                trsm(Side::Left, Uplo::Lower, Trans::N, Diag::Unit, 1.0, l00m.as_ref(), u12.as_mut());
+                for (ci, &c) in my_cols.iter().enumerate() {
+                    for r in 0..kb {
+                        m.set_global(k0 + r, c, u12[(r, ci)]);
+                    }
+                }
+            }
+        }
+
+        // ---- Broadcast panels, rank-kb trailing update -------------------
+        comm.set_phase("update");
+        let my_rows: Vec<usize> = (end..n).filter(|&r| desc.row_g2l(r).0 == pi).collect();
+        let my_cols: Vec<usize> = (end..n).filter(|&c| desc.col_g2l(c).0 == pj).collect();
+
+        // L panel rows ≡ pi travel along the process row from pcol.
+        let mut lbuf: Vec<f64> = Vec::new();
+        if !my_rows.is_empty() {
+            if pj == pcol {
+                for &r in &my_rows {
+                    for c in k0..end {
+                        lbuf.push(m.get_global(r, c));
+                    }
+                }
+            }
+            rowc.bcast_f64(pcol, &mut lbuf);
+        }
+        // U block-row columns ≡ pj travel down the process column from prow.
+        let mut ubuf: Vec<f64> = Vec::new();
+        if !my_cols.is_empty() {
+            if pi == prow {
+                for r in k0..end {
+                    for &c in &my_cols {
+                        ubuf.push(m.get_global(r, c));
+                    }
+                }
+            }
+            colc.bcast_f64(prow, &mut ubuf);
+        }
+
+        if !my_rows.is_empty() && !my_cols.is_empty() {
+            let l = Matrix::from_vec(my_rows.len(), kb, lbuf);
+            let u = Matrix::from_vec(kb, my_cols.len(), ubuf);
+            let mut upd = Matrix::zeros(my_rows.len(), my_cols.len());
+            gemm(Trans::N, Trans::N, 1.0, l.as_ref(), u.as_ref(), 0.0, upd.as_mut());
+            for (ri, &r) in my_rows.iter().enumerate() {
+                for (ci, &c) in my_cols.iter().enumerate() {
+                    let cur = m.get_global(r, c);
+                    m.set_global(r, c, cur - upd[(ri, ci)]);
+                }
+            }
+        }
+
+        k0 = end;
+    }
+
+    Ok((m, ipiv))
+}
+
+/// Exchange full rows `r1 ↔ r2` of a distributed matrix: in every process
+/// column, the two owning ranks swap their local row pieces.
+fn swap_rows_dist(comm: &Comm, g: &Grid2, m: &mut DistMatrix, r1: usize, r2: usize) {
+    let (p1, l1) = m.desc.row_g2l(r1);
+    let (p2, l2) = m.desc.row_g2l(r2);
+    let (pi, pj) = m.coords;
+    if p1 == p2 {
+        if pi == p1 {
+            for c in 0..m.local.cols() {
+                let t = m.local[(l1, c)];
+                m.local[(l1, c)] = m.local[(l2, c)];
+                m.local[(l2, c)] = t;
+            }
+        }
+        return;
+    }
+    if pi == p1 {
+        let mine: Vec<f64> = m.local.row(l1).to_vec();
+        let partner = g.rank_of(p2, pj);
+        comm.send_f64(partner, TAG_SWAP, &mine);
+        let theirs = comm.recv_f64(partner, TAG_SWAP);
+        m.local.row_mut(l1).copy_from_slice(&theirs);
+    } else if pi == p2 {
+        let mine: Vec<f64> = m.local.row(l2).to_vec();
+        let partner = g.rank_of(p1, pj);
+        comm.send_f64(partner, TAG_SWAP, &mine);
+        let theirs = comm.recv_f64(partner, TAG_SWAP);
+        m.local.row_mut(l2).copy_from_slice(&theirs);
+    }
+}
+
+/// Output of the 2D Cholesky baseline.
+pub struct TwodCholOutput {
+    /// Factored matrix with `L` in the lower triangle, if collected.
+    pub l: Option<Matrix>,
+    /// Measured communication statistics.
+    pub stats: WorldStats,
+}
+
+/// ScaLAPACK-style 2D right-looking Cholesky (lower).
+///
+/// # Errors
+/// [`Error::NotPositiveDefinite`] if a leading minor is not positive.
+///
+/// # Panics
+/// If `a` is not `n × n`.
+pub fn twod_cholesky(cfg: &TwodConfig, a: &Matrix) -> Result<TwodCholOutput, Error> {
+    assert_eq!(a.rows(), cfg.n);
+    assert_eq!(a.cols(), cfg.n);
+    let desc = BlockCyclic::new(cfg.n, cfg.n, cfg.nb, cfg.nb, cfg.grid);
+    let out = xmpi::run(cfg.grid.size(), |comm| chol_rank(comm, cfg, desc, a));
+    let mut shards = Vec::new();
+    for res in out.results {
+        shards.push(res?);
+    }
+    let l = cfg.collect.then(|| {
+        let full = layout::dist::assemble(&desc, &shards);
+        // Zero the strictly-upper garbage for a clean factor.
+        Matrix::from_fn(cfg.n, cfg.n, |i, j| if j <= i { full[(i, j)] } else { 0.0 })
+    });
+    Ok(TwodCholOutput { l, stats: out.stats })
+}
+
+fn chol_rank(
+    comm: &Comm,
+    cfg: &TwodConfig,
+    desc: BlockCyclic,
+    a: &Matrix,
+) -> Result<DistMatrix, Error> {
+    let g = cfg.grid;
+    let (pi, pj) = g.coords(comm.rank());
+    let n = cfg.n;
+    let nb = cfg.nb;
+    let mut m = DistMatrix::from_global(desc, (pi, pj), a);
+
+    let rowc = comm.subcomm(1, &g.row_members(pi));
+    let colc = comm.subcomm(2, &g.col_members(pj));
+
+    let mut k0 = 0;
+    while k0 < n {
+        let kb = nb.min(n - k0);
+        let end = k0 + kb;
+        let pcol = (k0 / nb) % g.cols;
+        let prow = (k0 / nb) % g.rows;
+
+        // ---- Diagonal block factorization --------------------------------
+        comm.set_phase("panel");
+        let mut l00 = vec![0.0; kb * kb];
+        let mut potrf_err: Option<Error> = None;
+        if pi == prow && pj == pcol {
+            for r in 0..kb {
+                for c in 0..kb {
+                    l00[r * kb + c] = m.get_global(k0 + r, k0 + c);
+                }
+            }
+            let mut d = Matrix::from_vec(kb, kb, l00.clone());
+            match potrf_unblocked(d.as_mut()) {
+                Ok(()) => {
+                    for r in 0..kb {
+                        for c in 0..kb {
+                            m.set_global(k0 + r, k0 + c, d[(r, c)]);
+                        }
+                    }
+                    l00 = d.into_vec();
+                }
+                Err(Error::NotPositiveDefinite(k)) => {
+                    potrf_err = Some(Error::NotPositiveDefinite(k + k0));
+                }
+                Err(other) => potrf_err = Some(other),
+            }
+        }
+        // Status word to all ranks so an indefinite block aborts cleanly.
+        let mut status = vec![if potrf_err.is_some() { 1.0 } else { 0.0 }];
+        comm.bcast_f64(g.rank_of(prow, pcol), &mut status);
+        if status[0] != 0.0 {
+            return Err(potrf_err.unwrap_or(Error::NotPositiveDefinite(k0)));
+        }
+        if pj == pcol {
+            colc.bcast_f64(prow, &mut l00);
+        }
+
+        if end >= n {
+            break;
+        }
+
+        // ---- Panel solve: L10 = A10·L00⁻ᵀ on the owning process column ---
+        let my_rows: Vec<usize> = (end..n).filter(|&r| desc.row_g2l(r).0 == pi).collect();
+        let mut lpanel = Matrix::zeros(0, kb);
+        if pj == pcol && !my_rows.is_empty() {
+            let l00m = Matrix::from_vec(kb, kb, l00.clone());
+            let mut p = Matrix::from_fn(my_rows.len(), kb, |ri, c| {
+                m.get_global(my_rows[ri], k0 + c)
+            });
+            trsm(Side::Right, Uplo::Lower, Trans::T, Diag::NonUnit, 1.0, l00m.as_ref(), p.as_mut());
+            for (ri, &r) in my_rows.iter().enumerate() {
+                for c in 0..kb {
+                    m.set_global(r, k0 + c, p[(ri, c)]);
+                }
+            }
+            lpanel = p;
+        }
+
+        // ---- Distribute the panel in both roles ---------------------------
+        comm.set_phase("update");
+        // Row role: rows ≡ pi along the process row.
+        let mut rowbuf: Vec<f64> = if pj == pcol { lpanel.data().to_vec() } else { Vec::new() };
+        if !my_rows.is_empty() {
+            rowc.bcast_f64(pcol, &mut rowbuf);
+        }
+        // Column role: rank (pi,pj) needs panel rows r that are *columns* it
+        // owns (r ≡ pj in the column distribution). After the row-role
+        // broadcast, the process column (·, pj) jointly holds every panel
+        // row; one column all-gather of each member's `col-owner == pj`
+        // subset assembles the operand without an extra routing hop.
+        let my_cols: Vec<usize> = (end..n).filter(|&c| desc.col_g2l(c).0 == pj).collect();
+        let col_needed = !my_cols.is_empty();
+        let mut colpanel = Matrix::zeros(my_cols.len(), kb);
+        if col_needed {
+            let rowm_view = Matrix::from_vec(my_rows.len(), kb, rowbuf.clone());
+            let mut piece: Vec<f64> = Vec::new();
+            for (ri, &r) in my_rows.iter().enumerate() {
+                if desc.col_g2l(r).0 == pj {
+                    piece.extend_from_slice(rowm_view.row(ri));
+                }
+            }
+            let pieces = colc.allgather_f64(&piece);
+            let mut cursors = vec![0usize; g.rows];
+            for (ci, &c) in my_cols.iter().enumerate() {
+                let srow = desc.row_g2l(c).0;
+                let cur = &mut cursors[srow];
+                colpanel.row_mut(ci).copy_from_slice(&pieces[srow][*cur..*cur + kb]);
+                *cur += kb;
+            }
+        }
+
+        // ---- Trailing symmetric update (lower entries only) ---------------
+        if !my_rows.is_empty() && col_needed {
+            let rowm = Matrix::from_vec(my_rows.len(), kb, rowbuf);
+            let mut upd = Matrix::zeros(my_rows.len(), my_cols.len());
+            gemm(Trans::N, Trans::T, 1.0, rowm.as_ref(), colpanel.as_ref(), 0.0, upd.as_mut());
+            for (ri, &r) in my_rows.iter().enumerate() {
+                for (ci, &c) in my_cols.iter().enumerate() {
+                    if c <= r {
+                        let cur = m.get_global(r, c);
+                        m.set_global(r, c, cur - upd[(ri, ci)]);
+                    }
+                }
+            }
+        }
+
+        k0 = end;
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::gen::{needs_pivoting, random_matrix, random_spd};
+    use dense::norms::{lu_residual, po_residual};
+
+    fn check_lu(n: usize, nb: usize, grid: Grid2, seed: u64) {
+        let a = random_matrix(n, n, seed);
+        let cfg = TwodConfig::new(n, nb, grid);
+        let out = twod_lu(&cfg, &a).unwrap();
+        assert_eq!(out.ipiv.len(), n);
+        let res = lu_residual(&a, out.packed.as_ref().unwrap(), &out.ipiv);
+        assert!(res < 1e-10, "residual {res} n={n} nb={nb} grid={grid:?}");
+    }
+
+    fn check_chol(n: usize, nb: usize, grid: Grid2, seed: u64) {
+        let a = random_spd(n, seed);
+        let cfg = TwodConfig::new(n, nb, grid);
+        let out = twod_cholesky(&cfg, &a).unwrap();
+        let res = po_residual(&a, out.l.as_ref().unwrap());
+        assert!(res < 1e-10, "residual {res} n={n} nb={nb} grid={grid:?}");
+    }
+
+    #[test]
+    fn lu_single_rank() {
+        check_lu(16, 4, Grid2::new(1, 1), 1);
+    }
+
+    #[test]
+    fn lu_various_grids() {
+        check_lu(24, 4, Grid2::new(2, 2), 2);
+        check_lu(24, 4, Grid2::new(1, 4), 3);
+        check_lu(24, 4, Grid2::new(4, 1), 4);
+        check_lu(32, 8, Grid2::new(2, 3), 5);
+    }
+
+    #[test]
+    fn lu_pivoting_stress() {
+        let n = 24;
+        let a = needs_pivoting(n, 7);
+        let cfg = TwodConfig::new(n, 4, Grid2::new(2, 2));
+        let out = twod_lu(&cfg, &a).unwrap();
+        let res = lu_residual(&a, out.packed.as_ref().unwrap(), &out.ipiv);
+        assert!(res < 1e-8, "residual {res}");
+    }
+
+    #[test]
+    fn lu_matches_sequential_pivots_on_one_rank() {
+        let n = 20;
+        let a = random_matrix(n, n, 9);
+        let cfg = TwodConfig::new(n, 5, Grid2::new(1, 1));
+        let out = twod_lu(&cfg, &a).unwrap();
+        let mut seq = a.clone();
+        let ipiv_seq = dense::getrf(&mut seq, 5).unwrap();
+        assert_eq!(out.ipiv, ipiv_seq, "distributed pivots must match LAPACK reference");
+    }
+
+    #[test]
+    fn chol_single_rank() {
+        check_chol(16, 4, Grid2::new(1, 1), 1);
+    }
+
+    #[test]
+    fn chol_various_grids() {
+        check_chol(24, 4, Grid2::new(2, 2), 2);
+        check_chol(24, 4, Grid2::new(1, 4), 3);
+        check_chol(24, 6, Grid2::new(3, 2), 4);
+        check_chol(32, 8, Grid2::new(2, 2), 5);
+    }
+
+    #[test]
+    fn chol_indefinite_reports_error() {
+        let mut a = random_spd(16, 6);
+        a[(10, 10)] = -1.0;
+        let cfg = TwodConfig::new(16, 4, Grid2::new(2, 2));
+        assert!(matches!(
+            twod_cholesky(&cfg, &a),
+            Err(Error::NotPositiveDefinite(_))
+        ));
+    }
+
+    #[test]
+    fn volume_scales_like_inverse_sqrt_p() {
+        // The 2D wall: per-rank volume ~ N²/√P. Going from P=1 to P=4 should
+        // not reduce per-rank volume by more than ~3x (it halves, plus
+        // log-factors), unlike a 2.5D schedule.
+        let n = 64;
+        let a = random_matrix(n, n, 8);
+        let v4 = twod_lu(&TwodConfig::new(n, 8, Grid2::new(2, 2)).volume_only(), &a)
+            .unwrap()
+            .stats;
+        let v16 = twod_lu(&TwodConfig::new(n, 8, Grid2::new(4, 4)).volume_only(), &a)
+            .unwrap()
+            .stats;
+        let per4 = v4.avg_rank_bytes();
+        let per16 = v16.avg_rank_bytes();
+        // √(16/4) = 2: expect roughly a 2x drop, allow wide band.
+        let ratio = per4 / per16;
+        assert!(ratio > 1.2 && ratio < 4.0, "2D scaling ratio {ratio}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Layout redistribution — the COSTA substitute.
+//!
+//! Transforms a distributed matrix from one block-cyclic layout to another
+//! (different block sizes and/or different grids, over the same
+//! communicator). Every rank walks its local rows, splits each row into the
+//! maximal runs that stay within one destination column block, and ships the
+//! runs to their new owners in one message per destination; receivers write
+//! runs into their new shard. Wire format per destination: an index buffer
+//! of `(global row, global col start, len)` triples plus one element buffer,
+//! so the measured overhead over the raw payload is explicit and small for
+//! block runs.
+//!
+//! Layouts may span a *subset* of the communicator (grids of size `q ≤ P`
+//! occupy ranks `0..q`): that is how a ScaLAPACK caller's full-machine
+//! layout is staged onto the layer-0 grid of a 2.5D decomposition.
+
+use crate::desc::BlockCyclic;
+use crate::dist::DistMatrix;
+use xmpi::Comm;
+
+/// User-tag base for redistribution traffic.
+const TAG_REDIST: u64 = 7_000_000;
+
+/// Redistribute between layouts that both span the whole communicator.
+/// Convenience wrapper over [`redistribute_subset`].
+///
+/// # Panics
+/// On descriptor mismatch (extents or process counts).
+pub fn redistribute(comm: &Comm, src: &DistMatrix, dst_desc: BlockCyclic) -> DistMatrix {
+    assert_eq!(src.desc.nprocs(), comm.size(), "source layout does not span communicator");
+    assert_eq!(dst_desc.nprocs(), comm.size(), "target layout does not span communicator");
+    redistribute_subset(comm, Some(src), dst_desc).expect("rank is inside the target grid")
+}
+
+/// Redistribute where source and/or target layouts occupy only ranks
+/// `0..q` of the communicator.
+///
+/// Collective over the *whole* communicator: ranks inside the source grid
+/// pass `Some(shard)`, others `None`; the return is `Some(new shard)` on
+/// ranks inside the target grid, `None` elsewhere.
+///
+/// # Panics
+/// If a rank's `src` presence disagrees with the source grid, or on
+/// extent/descriptor mismatch.
+pub fn redistribute_subset(
+    comm: &Comm,
+    src: Option<&DistMatrix>,
+    dst_desc: BlockCyclic,
+) -> Option<DistMatrix> {
+    let p = comm.size();
+    let me = comm.rank();
+    assert!(dst_desc.nprocs() <= p, "target layout larger than communicator");
+
+    // Consistency between this rank's src argument and the source grid.
+    if let Some(s) = src {
+        assert_eq!(s.desc.m, dst_desc.m, "redistribute: row extents differ");
+        assert_eq!(s.desc.n, dst_desc.n, "redistribute: column extents differ");
+        assert!(me < s.desc.nprocs(), "rank outside source grid passed Some");
+    }
+    // Every rank learns the source grid's extent (collective: rank 0 is
+    // always inside the source grid and broadcasts it).
+    let q_src = src_grid_size(comm, src);
+
+    // Pack runs per destination rank.
+    let q_dst = dst_desc.nprocs();
+    let mut meta: Vec<Vec<u64>> = vec![Vec::new(); q_dst];
+    let mut data: Vec<Vec<f64>> = vec![Vec::new(); q_dst];
+    if let Some(src) = src {
+        let sd = &src.desc;
+        let (spi, spj) = src.coords;
+        let lr = src.local.rows();
+        let lc = src.local.cols();
+        for li in 0..lr {
+            let gi = sd.row_l2g(spi, li);
+            let (dpi, _) = dst_desc.row_g2l(gi);
+            let mut lj = 0;
+            while lj < lc {
+                let gj = sd.col_l2g(spj, lj);
+                // The run may extend while both source-local columns and the
+                // destination column block stay contiguous.
+                let src_block_left = sd.cb - (gj % sd.cb);
+                let dst_block_left = dst_desc.cb - (gj % dst_desc.cb);
+                let run = src_block_left.min(dst_block_left).min(lc - lj);
+                let (dpj, _) = dst_desc.col_g2l(gj);
+                let dst = dst_desc.grid.rank_of(dpi, dpj);
+                meta[dst].extend_from_slice(&[gi as u64, gj as u64, run as u64]);
+                data[dst].extend_from_slice(&src.local.row(li)[lj..lj + run]);
+                lj += run;
+            }
+        }
+    }
+
+    let mut out = (me < q_dst).then(|| DistMatrix::zeros(dst_desc, dst_desc.grid.coords(me)));
+    let write_runs = |out: &mut DistMatrix, meta: &[u64], data: &[f64]| {
+        let (dpi, dpj) = out.coords;
+        let mut off = 0;
+        for t in meta.chunks_exact(3) {
+            let (gi, gj, len) = (t[0] as usize, t[1] as usize, t[2] as usize);
+            let (opi, li) = out.desc.row_g2l(gi);
+            let (opj, lj0) = out.desc.col_g2l(gj);
+            debug_assert_eq!((opi, opj), (dpi, dpj), "run routed to wrong rank");
+            out.local.row_mut(li)[lj0..lj0 + len].copy_from_slice(&data[off..off + len]);
+            off += len;
+        }
+        debug_assert_eq!(off, data.len());
+    };
+
+    // Every source rank sends to every destination rank (possibly empty
+    // messages keep the protocol static and deadlock-free).
+    if src.is_some() {
+        for dst in 0..q_dst {
+            if dst == me {
+                continue;
+            }
+            comm.send_u64(dst, TAG_REDIST, &meta[dst]);
+            comm.send_f64(dst, TAG_REDIST, &data[dst]);
+        }
+    }
+    if let Some(out) = out.as_mut() {
+        if src.is_some() && me < q_dst {
+            write_runs(out, &meta[me], &data[me]);
+        }
+        for srcr in 0..q_src {
+            if srcr == me {
+                continue;
+            }
+            let m = comm.recv_u64(srcr, TAG_REDIST);
+            let d = comm.recv_f64(srcr, TAG_REDIST);
+            write_runs(out, &m, &d);
+        }
+    }
+    out
+}
+
+/// Every rank must know the source grid's extent to post receives; it is
+/// agreed out of band by the collective contract (all ranks call with
+/// layouts of the same grids), so the ranks holding a shard simply use its
+/// descriptor and the others learn it from rank 0's broadcast.
+fn src_grid_size(comm: &Comm, src: Option<&DistMatrix>) -> usize {
+    // The source grid always includes rank 0; it broadcasts the size.
+    let mut buf = vec![src.map_or(0.0, |s| s.desc.nprocs() as f64)];
+    comm.bcast_f64(0, &mut buf);
+    buf[0] as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::assemble;
+    use dense::gen::random_matrix;
+    use xmpi::{run, Grid2};
+
+    fn roundtrip(m: usize, n: usize, src: BlockCyclic, dst: BlockCyclic, seed: u64) {
+        let a = random_matrix(m, n, seed);
+        let aref = a.clone();
+        let p = src.nprocs();
+        let out = run(p, |comm| {
+            let mine = DistMatrix::from_global(src, src.grid.coords(comm.rank()), &a);
+            redistribute(comm, &mine, dst)
+        });
+        let back = assemble(&dst, &out.results);
+        assert_eq!(back, aref);
+    }
+
+    #[test]
+    fn same_layout_is_identity() {
+        let d = BlockCyclic::new(16, 16, 4, 4, Grid2::new(2, 2));
+        roundtrip(16, 16, d, d, 1);
+    }
+
+    #[test]
+    fn change_block_size() {
+        let s = BlockCyclic::new(20, 20, 4, 4, Grid2::new(2, 2));
+        let t = BlockCyclic::new(20, 20, 3, 5, Grid2::new(2, 2));
+        roundtrip(20, 20, s, t, 2);
+    }
+
+    #[test]
+    fn change_grid_shape() {
+        let s = BlockCyclic::new(24, 18, 4, 3, Grid2::new(2, 3));
+        let t = BlockCyclic::new(24, 18, 4, 3, Grid2::new(3, 2));
+        roundtrip(24, 18, s, t, 3);
+    }
+
+    #[test]
+    fn change_everything_irregular_sizes() {
+        let s = BlockCyclic::new(23, 17, 5, 2, Grid2::new(2, 2));
+        let t = BlockCyclic::new(23, 17, 3, 7, Grid2::new(4, 1));
+        roundtrip(23, 17, s, t, 4);
+    }
+
+    #[test]
+    fn single_rank_redistribution() {
+        let s = BlockCyclic::new(9, 9, 2, 2, Grid2::new(1, 1));
+        let t = BlockCyclic::new(9, 9, 4, 3, Grid2::new(1, 1));
+        roundtrip(9, 9, s, t, 5);
+    }
+
+    #[test]
+    fn shrink_onto_a_rank_subset_and_back() {
+        // 8-rank world; source spans all 8, target only the first 4 (a
+        // 2.5D layer-0 grid), then back out to all 8.
+        let n = 24;
+        let a = random_matrix(n, n, 6);
+        let full = BlockCyclic::new(n, n, 3, 5, Grid2::new(2, 4));
+        let sub = BlockCyclic::new(n, n, 4, 4, Grid2::new(2, 2));
+        let aref = a.clone();
+        let out = run(8, |comm| {
+            let mine = DistMatrix::from_global(full, full.grid.coords(comm.rank()), &a);
+            let staged = redistribute_subset(comm, Some(&mine), sub);
+            assert_eq!(staged.is_some(), comm.rank() < 4);
+            // And back out to the full layout.
+            let back = redistribute_subset(comm, staged.as_ref(), full);
+            back.expect("full layout covers every rank")
+        });
+        let back = assemble(&full, &out.results);
+        assert_eq!(back, aref);
+    }
+
+    #[test]
+    fn volume_is_bounded_by_matrix_size_plus_headers() {
+        let m = 32;
+        let n = 32;
+        let s = BlockCyclic::new(m, n, 4, 4, Grid2::new(2, 2));
+        let t = BlockCyclic::new(m, n, 8, 8, Grid2::new(4, 1));
+        let a = random_matrix(m, n, 6);
+        let out = run(4, |comm| {
+            let mine = DistMatrix::from_global(s, s.grid.coords(comm.rank()), &a);
+            redistribute(comm, &mine, t)
+        });
+        let payload = (m * n * 8) as u64;
+        assert!(out.stats.total_bytes_sent() <= payload + payload * 3 / 4 + 4096);
+        assert!(out.stats.total_bytes_sent() > 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! The constrained maximization behind Lemma 3 and §3.2:
+//!
+//! ```text
+//! max  ∏_t |Dᵗ|      s.t.   Σ_j ∏_{k ∈ φⱼ} |Dᵏ| ≤ X,   |Dᵗ| ≥ 1
+//! ```
+//!
+//! `χ(X)` — the maximal subcomputation size as a function of the dominator
+//! budget `X` — falls out of this problem; `X₀ = argmin χ(X)/(X−M)` then
+//! yields the tightest Lemma 2 bound. We provide the balanced closed form
+//! (all accesses the same size: the matrix-multiply case, `χ(X) =
+//! (X/m)^(l/…)`) and a numeric posynomial solver for general access
+//! structures, cross-checked against the closed forms in tests.
+
+/// An access structure: for each input access, the indices of the loop
+/// variables appearing in it (e.g. LU's S2 over `(k,i,j) = (0,1,2)`:
+/// `[[1,2], [1,0], [0,2]]`).
+pub type Accesses = Vec<Vec<usize>>;
+
+/// Numerically maximize `∏ x_t` subject to `Σ_j ∏_{k∈S_j} x_k ≤ X`,
+/// `x ≥ 1`. Returns `(x, H)` where `H = ∏ x_t`.
+///
+/// Uses iterative proportional fitting on the KKT condition (at an interior
+/// optimum, `Σ_{j∋t} P_j` is equal across variables, where `P_j` is access
+/// `j`'s product), with bisection rescaling to keep the constraint active.
+///
+/// # Panics
+/// If an access references a variable index ≥ `nvars`, or `x < m` where `m`
+/// is the number of accesses (then even all-ones is infeasible).
+pub fn maximize_h(accesses: &Accesses, nvars: usize, x_budget: f64) -> (Vec<f64>, f64) {
+    for s in accesses {
+        for &k in s {
+            assert!(k < nvars, "access variable out of range");
+        }
+    }
+    assert!(
+        x_budget >= accesses.len() as f64,
+        "X must be at least the number of accesses"
+    );
+
+    let constraint = |x: &[f64]| -> f64 {
+        accesses.iter().map(|s| s.iter().map(|&k| x[k]).product::<f64>()).sum()
+    };
+
+    // Variables appearing in no access would make H unbounded; pin them at
+    // 1 (such programs violate the DAAP dominator structure anyway).
+    let mut used = vec![false; nvars];
+    for s in accesses {
+        for &k in s {
+            used[k] = true;
+        }
+    }
+
+    // Scale the free variables (those > 1 after clamping) by a common
+    // factor so the constraint is active.
+    let rescale = |x: &mut Vec<f64>| {
+        // Bisection on the multiplier applied to the used variables
+        // (clamped at 1); the constraint is monotone in the multiplier.
+        let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+        // Grow hi until infeasible.
+        let base = x.clone();
+        let eval = |s: f64, base: &[f64]| {
+            let scaled: Vec<f64> = base
+                .iter()
+                .enumerate()
+                .map(|(t, &b)| if used[t] { (b * s).max(1.0) } else { 1.0 })
+                .collect();
+            constraint(&scaled)
+        };
+        while eval(hi, &base) < x_budget && hi < 1e18 {
+            lo = hi;
+            hi *= 2.0;
+        }
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if eval(mid, &base) <= x_budget {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        for (t, (xi, &b)) in x.iter_mut().zip(&base).enumerate() {
+            *xi = if used[t] { (b * lo).max(1.0) } else { 1.0 };
+        }
+    };
+
+    let mut x = vec![1.0_f64; nvars];
+    rescale(&mut x);
+    let mut last_h = 0.0_f64;
+    for _ in 0..500 {
+        // KKT balance: equalize Σ_{j∋t} P_j across variables.
+        let prods: Vec<f64> =
+            accesses.iter().map(|s| s.iter().map(|&k| x[k]).product()).collect();
+        let mut sums = vec![0.0_f64; nvars];
+        for (j, s) in accesses.iter().enumerate() {
+            for &k in s {
+                sums[k] += prods[j];
+            }
+        }
+        let active: Vec<usize> = (0..nvars).filter(|&t| sums[t] > 0.0).collect();
+        if active.is_empty() {
+            break;
+        }
+        let avg = active.iter().map(|&t| sums[t]).sum::<f64>() / active.len() as f64;
+        for &t in &active {
+            x[t] = (x[t] * (avg / sums[t]).powf(0.5)).max(1.0);
+        }
+        rescale(&mut x);
+        let h: f64 = x.iter().product();
+        if (h - last_h).abs() <= 1e-12 * h.abs() {
+            break;
+        }
+        last_h = h;
+    }
+    let h = x.iter().product();
+    (x, h)
+}
+
+/// `χ(X)` for a given access structure: the maximal `|H|` as a function of
+/// the dominator budget.
+pub fn chi(accesses: &Accesses, nvars: usize, x_budget: f64) -> f64 {
+    maximize_h(accesses, nvars, x_budget).1
+}
+
+/// Find `X₀ = argmin_{X > M} χ(X)/(X − M)` by golden-section search in
+/// `log X` over `(M, x_hi]`, returning `(X₀, ρ(X₀))`.
+pub fn find_x0(
+    chi_fn: &dyn Fn(f64) -> f64,
+    m: f64,
+    x_hi: f64,
+) -> (f64, f64) {
+    assert!(x_hi > m + 1.0, "search interval empty");
+    let rho = |x: f64| chi_fn(x) / (x - m);
+    let (mut a, mut b) = ((m + 1e-6).ln(), x_hi.ln());
+    // Guard: evaluate on a coarse grid first to bracket the minimum (ρ can
+    // be flat near M where χ≈0/0).
+    let grid: Vec<f64> = (0..64).map(|i| a + (b - a) * i as f64 / 63.0).collect();
+    let best = grid
+        .iter()
+        .copied()
+        .min_by(|p, q| rho(p.exp()).partial_cmp(&rho(q.exp())).unwrap())
+        .unwrap();
+    let w = (b - a) / 63.0;
+    a = (best - w).max((m + 1e-6).ln());
+    b = best + w;
+    let phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    let (mut c, mut d) = (b - phi * (b - a), a + phi * (b - a));
+    for _ in 0..90 {
+        if rho(c.exp()) < rho(d.exp()) {
+            b = d;
+        } else {
+            a = c;
+        }
+        c = b - phi * (b - a);
+        d = a + phi * (b - a);
+    }
+    let x0 = (0.5 * (a + b)).exp();
+    (x0, rho(x0))
+}
+
+/// End-to-end Lemma 2 for one statement: given its access structure, the
+/// number of compute vertices, and fast-memory size `M`, return the I/O
+/// lower bound `Q ≥ |V|·(X₀ − M)/χ(X₀)`.
+pub fn statement_lower_bound(
+    accesses: &Accesses,
+    nvars: usize,
+    n_compute: f64,
+    m: f64,
+) -> f64 {
+    let chi_fn = |x: f64| chi(accesses, nvars, x);
+    let (_, rho) = find_x0(&chi_fn, m, 64.0 * m + 1024.0);
+    n_compute / rho
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// LU's S2 / matmul access structure over (k, i, j): IJ + IK + KJ ≤ X.
+    fn mmm_accesses() -> Accesses {
+        vec![vec![1, 2], vec![1, 0], vec![0, 2]]
+    }
+
+    #[test]
+    fn balanced_case_matches_closed_form() {
+        // The paper's §6.1 solution: K = I = J = √(X/3), H = (X/3)^{3/2}.
+        for &x in &[30.0, 300.0, 3000.0] {
+            let (vars, h) = maximize_h(&mmm_accesses(), 3, x);
+            let expect = (x / 3.0_f64).powf(1.5);
+            assert!(
+                (h - expect).abs() / expect < 1e-3,
+                "X={x}: H={h} expected {expect}"
+            );
+            let side = (x / 3.0_f64).sqrt();
+            for v in vars {
+                assert!((v - side).abs() / side < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn x0_is_3m_for_matmul() {
+        let chi_fn = |x: f64| chi(&mmm_accesses(), 3, x);
+        for &m in &[64.0, 256.0, 1024.0] {
+            let (x0, rho) = find_x0(&chi_fn, m, 100.0 * m);
+            assert!((x0 - 3.0 * m).abs() / (3.0 * m) < 0.05, "m={m}: X0={x0}");
+            // ρ(X0) = √M/2 (the paper's ρ_S2 bound).
+            let expect = m.sqrt() / 2.0;
+            assert!((rho - expect).abs() / expect < 0.05, "m={m}: ρ={rho}");
+        }
+    }
+
+    #[test]
+    fn statement_bound_reproduces_2n3_over_sqrtm() {
+        // Q_mmm ≥ n³/(√M/2) = 2n³/√M for the n³ multiply vertices.
+        let n: f64 = 512.0;
+        let m = 256.0;
+        let q = statement_lower_bound(&mmm_accesses(), 3, n * n * n, m);
+        let expect = 2.0 * n * n * n / m.sqrt();
+        assert!((q - expect).abs() / expect < 0.05, "q={q} expected {expect}");
+    }
+
+    #[test]
+    fn unbalanced_structure_clamps_at_one() {
+        // Two accesses: {0} and {0,1}: x0 + x0·x1 ≤ X. Maximizing x0·x1
+        // wants all budget in the product: x0·x1 ≈ X/2 at x0 = x1 = √(X/2)…
+        // check the solver respects the constraint and beats all-ones.
+        let acc: Accesses = vec![vec![0], vec![0, 1]];
+        let (vars, h) = maximize_h(&acc, 2, 100.0);
+        let used = vars[0] + vars[0] * vars[1];
+        assert!(used <= 100.0 * (1.0 + 1e-6), "constraint violated: {used}");
+        assert!(h > 40.0, "H={h} should be close to the ~47 optimum");
+    }
+
+    #[test]
+    fn single_variable_single_access() {
+        // max x s.t. x ≤ X: trivially x = X.
+        let acc: Accesses = vec![vec![0]];
+        let (_, h) = maximize_h(&acc, 1, 77.0);
+        assert!((h - 77.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variable_not_in_any_access_is_unbounded_guard() {
+        // A variable appearing in no access would make H unbounded; the
+        // solver must keep it clamped (we treat it as 1, the safe choice —
+        // such programs violate the DAAP structure anyway).
+        let acc: Accesses = vec![vec![0]];
+        let (vars, _) = maximize_h(&acc, 2, 10.0);
+        assert!((vars[0] - 10.0).abs() < 1e-6);
+        // vars[1] stays at 1 (never scaled above: sums[1] = 0).
+        assert!((vars[1] - 1.0).abs() < 1e-9);
+    }
+}

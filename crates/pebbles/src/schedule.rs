@@ -1,0 +1,201 @@
+//! From X-partition to schedule — the *constructive* claim of the paper's
+//! framework ("X-partition provides powerful hints for obtaining parallel
+//! schedules", §12).
+//!
+//! Given a valid X-partition, [`schedule_from_partition`] materializes a
+//! legal red-blue pebbling: subcomputations execute in topological order;
+//! for each subcomputation `H`, its dominator set is loaded (≤ X loads),
+//! `H` is computed inside fast memory, and its minimum set is stored
+//! (≤ X stores). The resulting cost is at most `s·2X` for an `s`-part
+//! partition — the upper-bound counterpart of Lemma 2's
+//! `s ≥ (Q + X − M)/(X − M)` lower-bound direction, and exactly how the
+//! paper turns partitions into communication-avoiding schedules.
+//!
+//! The generated schedule needs `M ≥ X + |H|` red pebbles in the worst case
+//! (inputs plus the whole subcomputation live simultaneously); callers pick
+//! `X` accordingly, mirroring the `X₀ = 3M` relationship the optimization
+//! derives.
+
+use crate::cdag::{Cdag, NodeId};
+use crate::game::Move;
+use crate::xpart::{frontier_dominator, min_set};
+use std::collections::HashSet;
+
+/// Build a pebbling schedule from an X-partition (parts in any order; they
+/// are topologically sorted internally).
+///
+/// Returns the move list, verifiable with [`crate::game::verify`] given
+/// enough red pebbles (`max over parts of |Dom(H)| + |H|`).
+///
+/// # Panics
+/// If `parts` is not a partition of the graph's vertices (checked loosely:
+/// counts must match) or has cyclic inter-part dependencies.
+pub fn schedule_from_partition(g: &Cdag, parts: &[Vec<NodeId>]) -> Vec<Move> {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    assert_eq!(total, g.len(), "parts must cover every vertex exactly once");
+
+    // Topologically order the parts by inter-part edges.
+    let mut owner = vec![usize::MAX; g.len()];
+    for (pi, part) in parts.iter().enumerate() {
+        for &v in part {
+            owner[v] = pi;
+        }
+    }
+    let np = parts.len();
+    let mut indeg = vec![0usize; np];
+    let mut edges: HashSet<(usize, usize)> = HashSet::new();
+    for v in 0..g.len() {
+        for &s in &g.succs[v] {
+            let (a, b) = (owner[v], owner[s]);
+            if a != b && edges.insert((a, b)) {
+                indeg[b] += 1;
+            }
+        }
+    }
+    let mut ready: Vec<usize> = (0..np).filter(|&p| indeg[p] == 0).collect();
+    let mut order = Vec::with_capacity(np);
+    while let Some(p) = ready.pop() {
+        order.push(p);
+        for &(a, b) in &edges {
+            if a == p {
+                indeg[b] -= 1;
+                if indeg[b] == 0 {
+                    ready.push(b);
+                }
+            }
+        }
+    }
+    assert_eq!(order.len(), np, "cyclic dependencies between parts");
+
+    // Emit moves: load Dom(H), compute H in topological order, store
+    // Min(H), evict everything.
+    let mut moves = Vec::new();
+    let mut blue: HashSet<NodeId> = g.inputs().into_iter().collect();
+    for &pi in &order {
+        let part = &parts[pi];
+        let hset: HashSet<NodeId> = part.iter().copied().collect();
+        let dom = frontier_dominator(g, part);
+        let mut red: HashSet<NodeId> = HashSet::new();
+        for &d in &dom {
+            debug_assert!(blue.contains(&d), "dominator {d} not in slow memory");
+            moves.push(Move::Load(d));
+            red.insert(d);
+        }
+        // Compute the part's non-input vertices in topological order.
+        let topo = g.topo_order();
+        for v in topo {
+            if !hset.contains(&v) || g.preds[v].is_empty() {
+                continue;
+            }
+            // Predecessors are either in the dominator (loaded) or earlier
+            // vertices of this part (already computed red).
+            moves.push(Move::Compute(v));
+            red.insert(v);
+        }
+        // Store everything later parts (or the final result) will need:
+        // vertices of H with a successor outside H, plus graph outputs.
+        // (`Min(H)` bounds this set's analysis-relevant part; operationally
+        // a vertex consumed both inside and outside H must persist too.)
+        for &v in part {
+            let escapes = g.succs[v].iter().any(|s| !hset.contains(s)) || g.succs[v].is_empty();
+            if escapes && !g.preds[v].is_empty() && !blue.contains(&v) {
+                moves.push(Move::Store(v));
+                blue.insert(v);
+            }
+        }
+        debug_assert!(min_set(g, part).len() <= part.len());
+        for v in red {
+            moves.push(Move::Evict(v));
+        }
+    }
+    moves
+}
+
+/// Red-pebble requirement of the generated schedule: the largest
+/// `|Dom(H)| + |H non-input|` over parts.
+pub fn required_memory(g: &Cdag, parts: &[Vec<NodeId>]) -> usize {
+    parts
+        .iter()
+        .map(|part| {
+            let dom = frontier_dominator(g, part).len();
+            let comp = part.iter().filter(|&&v| !g.preds[v].is_empty()).count();
+            dom + comp
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdag::{lu_cdag, mmm_cdag};
+    use crate::game::verify;
+    use crate::xpart::check_x_partition;
+
+    /// Slice a topological order into chunks of `k` vertices — always a
+    /// valid partition (acyclic by construction).
+    fn topo_chunks(g: &Cdag, k: usize) -> Vec<Vec<NodeId>> {
+        g.topo_order().chunks(k).map(|c| c.to_vec()).collect()
+    }
+
+    #[test]
+    fn partition_schedules_verify_for_lu() {
+        let g = lu_cdag(5);
+        for k in [4usize, 8, 16] {
+            let parts = topo_chunks(&g, k);
+            assert!(check_x_partition(&g, &parts, g.len()).is_ok());
+            let moves = schedule_from_partition(&g, &parts);
+            let m = required_memory(&g, &parts);
+            let stats = verify(&g, &moves, m).unwrap_or_else(|e| panic!("k={k}: {e}"));
+            assert!(stats.q > 0);
+            assert!(stats.peak_red <= m);
+        }
+    }
+
+    #[test]
+    fn partition_schedules_verify_for_mmm() {
+        let g = mmm_cdag(3);
+        let parts = topo_chunks(&g, 9);
+        let moves = schedule_from_partition(&g, &parts);
+        let m = required_memory(&g, &parts);
+        assert!(verify(&g, &moves, m).is_ok());
+    }
+
+    #[test]
+    fn coarser_partitions_do_less_io() {
+        // Fewer, larger subcomputations reuse more inside fast memory:
+        // Lemma 2's s·X intuition, executed.
+        let g = lu_cdag(6);
+        let q_fine = {
+            let parts = topo_chunks(&g, 2);
+            let m = required_memory(&g, &parts);
+            verify(&g, &schedule_from_partition(&g, &parts), m).unwrap().q
+        };
+        let q_coarse = {
+            let parts = topo_chunks(&g, 24);
+            let m = required_memory(&g, &parts);
+            verify(&g, &schedule_from_partition(&g, &parts), m).unwrap().q
+        };
+        assert!(
+            q_coarse < q_fine,
+            "coarse {q_coarse} should beat fine {q_fine}"
+        );
+    }
+
+    #[test]
+    fn single_part_costs_inputs_plus_outputs() {
+        let g = mmm_cdag(2);
+        let parts = vec![(0..g.len()).collect::<Vec<_>>()];
+        let m = required_memory(&g, &parts);
+        let stats = verify(&g, &schedule_from_partition(&g, &parts), m).unwrap();
+        assert_eq!(stats.loads, g.inputs().len());
+        assert_eq!(stats.stores, g.outputs().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every vertex")]
+    fn incomplete_partition_is_rejected() {
+        let g = lu_cdag(3);
+        schedule_from_partition(&g, &[vec![0, 1]]);
+    }
+}

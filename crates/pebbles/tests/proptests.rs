@@ -1,0 +1,133 @@
+//! Property-based tests of the pebbling framework on *random* DAGs: the
+//! greedy scheduler must always produce rule-conforming schedules, dominator
+//! and minimum sets must satisfy their defining properties, and partitions
+//! built from any topological slicing must validate.
+
+use pebbles::cdag::{Builder, Cdag};
+use pebbles::game::{greedy_schedule, verify};
+use pebbles::xpart::{check_x_partition, frontier_dominator, min_set};
+use proptest::prelude::*;
+
+/// Build a random layered DAG: `layers × width` compute vertices, each
+/// consuming 1–3 vertices from earlier layers (or fresh inputs).
+fn random_dag(layers: usize, width: usize, edges: &[usize]) -> Cdag {
+    let mut b = Builder::new();
+    let mut prev: Vec<(String, Vec<usize>)> = Vec::new();
+    let mut e = edges.iter().cycle();
+    for l in 0..layers {
+        let mut cur = Vec::new();
+        for w in 0..width {
+            let name = format!("v{l}");
+            let idx = vec![w];
+            let mut ins: Vec<(String, Vec<usize>)> = Vec::new();
+            let fanin = 1 + e.next().unwrap() % 3;
+            for f in 0..fanin {
+                if prev.is_empty() || e.next().unwrap().is_multiple_of(4) {
+                    // Fresh input vertex.
+                    ins.push((format!("in{l}_{w}_{f}"), vec![0]));
+                } else {
+                    let pick = e.next().unwrap() % prev.len();
+                    ins.push(prev[pick].clone());
+                }
+            }
+            let ins_ref: Vec<(&str, &[usize])> =
+                ins.iter().map(|(a, i)| (a.as_str(), i.as_slice())).collect();
+            b.compute((&name, &idx), &ins_ref);
+            cur.push((name, idx));
+        }
+        prev = cur;
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn greedy_schedules_are_always_valid(
+        layers in 1usize..5,
+        width in 1usize..5,
+        edges in proptest::collection::vec(0usize..100, 8..32),
+        extra_m in 0usize..12,
+    ) {
+        let g = random_dag(layers, width, &edges);
+        let max_indeg = (0..g.len()).map(|v| g.preds[v].len()).max().unwrap_or(0);
+        let m = max_indeg + 1 + extra_m;
+        let moves = greedy_schedule(&g, m);
+        let stats = verify(&g, &moves, m);
+        prop_assert!(stats.is_ok(), "{:?}", stats.err());
+    }
+
+    #[test]
+    fn more_memory_never_increases_greedy_io(
+        layers in 2usize..5,
+        width in 2usize..5,
+        edges in proptest::collection::vec(0usize..100, 8..32),
+    ) {
+        let g = random_dag(layers, width, &edges);
+        let max_indeg = (0..g.len()).map(|v| g.preds[v].len()).max().unwrap_or(0);
+        let m_small = max_indeg + 1;
+        let m_big = m_small + 64;
+        let q_small = verify(&g, &greedy_schedule(&g, m_small), m_small).unwrap().q;
+        let q_big = verify(&g, &greedy_schedule(&g, m_big), m_big).unwrap().q;
+        prop_assert!(q_big <= q_small, "q({m_big})={q_big} > q({m_small})={q_small}");
+    }
+
+    #[test]
+    fn dominator_and_min_set_properties(
+        layers in 1usize..5,
+        width in 1usize..5,
+        edges in proptest::collection::vec(0usize..100, 8..32),
+        cut in 0usize..100,
+    ) {
+        let g = random_dag(layers, width, &edges);
+        // Take a topological prefix as H.
+        let topo = g.topo_order();
+        let k = 1 + cut % topo.len();
+        let h: Vec<_> = topo[..k].to_vec();
+        let dom = frontier_dominator(&g, &h);
+        // Every vertex of the dominator is an input of H's closure: either
+        // an input vertex inside H or an external predecessor.
+        for &d in &dom {
+            let inside = h.contains(&d);
+            prop_assert!(
+                !inside || g.preds[d].is_empty(),
+                "dominator vertex {d} violates the frontier property"
+            );
+        }
+        // Min set members have no successors inside H.
+        let min = min_set(&g, &h);
+        for &v in &min {
+            for &s in &g.succs[v] {
+                prop_assert!(!h.contains(&s));
+            }
+        }
+        // A topological prefix + suffix is always a valid 2-partition for
+        // X = |V| (sizes trivially bounded).
+        let rest: Vec<_> = topo[k..].to_vec();
+        let parts: Vec<Vec<_>> = if rest.is_empty() { vec![h] } else { vec![h, rest] };
+        prop_assert!(check_x_partition(&g, &parts, g.len()).is_ok());
+    }
+
+    #[test]
+    fn greedy_io_at_least_compulsory(
+        layers in 1usize..4,
+        width in 1usize..4,
+        edges in proptest::collection::vec(0usize..100, 8..24),
+    ) {
+        // Any valid pebbling loads every used input at least once and
+        // stores every output: Q ≥ used inputs + outputs.
+        let g = random_dag(layers, width, &edges);
+        let max_indeg = (0..g.len()).map(|v| g.preds[v].len()).max().unwrap_or(0);
+        let m = max_indeg + 2;
+        let stats = verify(&g, &greedy_schedule(&g, m), m).unwrap();
+        let used_inputs = g
+            .inputs()
+            .into_iter()
+            .filter(|&v| !g.succs[v].is_empty())
+            .count();
+        let outputs = g.outputs().into_iter().filter(|&v| !g.preds[v].is_empty()).count();
+        prop_assert!(stats.loads >= used_inputs);
+        prop_assert!(stats.stores >= outputs);
+    }
+}

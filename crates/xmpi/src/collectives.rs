@@ -1,0 +1,411 @@
+//! Collective operations, built on point-to-point sends so every hop's bytes
+//! are measured.
+//!
+//! Algorithms follow the classic MPICH implementations: binomial trees for
+//! broadcast and reduce, recursive doubling for all-reduce on power-of-two
+//! groups (the butterfly pattern the paper's tournament pivoting also uses),
+//! a ring for all-gather, and direct fan-in/fan-out for (small-group)
+//! gather/scatter.
+
+use crate::comm::Comm;
+
+/// Tag namespace for collectives, above any user point-to-point tag.
+const COLL: u64 = 1 << 32;
+const TAG_BARRIER: u64 = COLL;
+const TAG_BCAST: u64 = COLL + 1;
+const TAG_REDUCE: u64 = COLL + 2;
+const TAG_ALLREDUCE: u64 = COLL + 3;
+const TAG_GATHER: u64 = COLL + 4;
+const TAG_SCATTER: u64 = COLL + 5;
+const TAG_ALLGATHER: u64 = COLL + 6;
+
+impl Comm {
+    /// Dissemination barrier: all ranks block until every rank has entered.
+    pub fn barrier(&self) {
+        let p = self.size();
+        let r = self.rank();
+        let mut k = 1;
+        while k < p {
+            self.send_f64((r + k) % p, TAG_BARRIER, &[]);
+            self.recv_f64((r + p - k) % p, TAG_BARRIER);
+            k <<= 1;
+        }
+    }
+
+    /// Binomial-tree broadcast of an element buffer from `root`. Non-root
+    /// ranks' buffers are overwritten (and resized) with the root's data.
+    pub fn bcast_f64(&self, root: usize, buf: &mut Vec<f64>) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let vr = (self.rank() + p - root) % p;
+        // Receive phase: wait for the parent in the binomial tree.
+        let mut mask = 1;
+        while mask < p {
+            if vr & mask != 0 {
+                let src = (vr - mask + root) % p;
+                *buf = self.recv_f64(src, TAG_BCAST);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward phase: fan out to children.
+        mask >>= 1;
+        while mask > 0 {
+            if vr & mask == 0 && vr + mask < p {
+                let dst = (vr + mask + root) % p;
+                self.send_f64(dst, TAG_BCAST, buf);
+            }
+            mask >>= 1;
+        }
+    }
+
+    /// Binomial-tree broadcast of an index buffer from `root`.
+    pub fn bcast_u64(&self, root: usize, buf: &mut Vec<u64>) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let vr = (self.rank() + p - root) % p;
+        let mut mask = 1;
+        while mask < p {
+            if vr & mask != 0 {
+                let src = (vr - mask + root) % p;
+                *buf = self.recv_u64(src, TAG_BCAST);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if vr & mask == 0 && vr + mask < p {
+                let dst = (vr + mask + root) % p;
+                self.send_u64(dst, TAG_BCAST, buf);
+            }
+            mask >>= 1;
+        }
+    }
+
+    /// Binomial-tree elementwise-sum reduction to `root`. On the root, `buf`
+    /// holds the sum on return; on other ranks `buf` is left in an
+    /// unspecified partially-reduced state.
+    ///
+    /// # Panics
+    /// If contributions disagree in length.
+    pub fn reduce_sum_f64(&self, root: usize, buf: &mut [f64]) {
+        let p = self.size();
+        let vr = (self.rank() + p - root) % p;
+        let mut mask = 1;
+        while mask < p {
+            if vr & mask == 0 {
+                let src_vr = vr | mask;
+                if src_vr < p {
+                    let src = (src_vr + root) % p;
+                    let other = self.recv_f64(src, TAG_REDUCE);
+                    assert_eq!(other.len(), buf.len(), "reduce: length mismatch");
+                    for (x, y) in buf.iter_mut().zip(other) {
+                        *x += y;
+                    }
+                }
+            } else {
+                let dst = (vr - mask + root) % p;
+                self.send_f64(dst, TAG_REDUCE, buf);
+                return;
+            }
+            mask <<= 1;
+        }
+    }
+
+    /// All-reduce (elementwise sum) via recursive doubling on power-of-two
+    /// group sizes, reduce-plus-broadcast otherwise. Every rank ends with the
+    /// global sum in `buf`.
+    pub fn allreduce_sum(&self, buf: &mut Vec<f64>) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        if p.is_power_of_two() {
+            let r = self.rank();
+            let mut mask = 1;
+            while mask < p {
+                let partner = r ^ mask;
+                self.send_f64(partner, TAG_ALLREDUCE + mask as u64, buf);
+                let other = self.recv_f64(partner, TAG_ALLREDUCE + mask as u64);
+                assert_eq!(other.len(), buf.len(), "allreduce: length mismatch");
+                for (x, y) in buf.iter_mut().zip(other) {
+                    *x += y;
+                }
+                mask <<= 1;
+            }
+        } else {
+            self.reduce_sum_f64(0, buf);
+            self.bcast_f64(0, buf);
+        }
+    }
+
+    /// All-reduce taking the elementwise maximum.
+    pub fn allreduce_max(&self, buf: &mut Vec<f64>) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        // Recursive doubling works for any associative op; fall back to a
+        // flat exchange through rank 0 for non-powers of two.
+        if p.is_power_of_two() {
+            let r = self.rank();
+            let mut mask = 1;
+            while mask < p {
+                let partner = r ^ mask;
+                self.send_f64(partner, TAG_ALLREDUCE + mask as u64, buf);
+                let other = self.recv_f64(partner, TAG_ALLREDUCE + mask as u64);
+                for (x, y) in buf.iter_mut().zip(other) {
+                    *x = x.max(y);
+                }
+                mask <<= 1;
+            }
+        } else {
+            if self.rank() != 0 {
+                self.send_f64(0, TAG_ALLREDUCE, buf);
+            } else {
+                for src in 1..p {
+                    let other = self.recv_f64(src, TAG_ALLREDUCE);
+                    for (x, y) in buf.iter_mut().zip(other) {
+                        *x = x.max(y);
+                    }
+                }
+            }
+            self.bcast_f64(0, buf);
+        }
+    }
+
+    /// Gather variable-length element buffers to `root`. Returns `Some` of
+    /// the per-rank buffers (indexed by local rank) on the root, `None`
+    /// elsewhere.
+    pub fn gather_f64(&self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        if self.rank() != root {
+            self.send_f64(root, TAG_GATHER, data);
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            if src == root {
+                out.push(data.to_vec());
+            } else {
+                out.push(self.recv_f64(src, TAG_GATHER));
+            }
+        }
+        Some(out)
+    }
+
+    /// Gather variable-length index buffers to `root`.
+    pub fn gather_u64(&self, root: usize, data: &[u64]) -> Option<Vec<Vec<u64>>> {
+        if self.rank() != root {
+            self.send_u64(root, TAG_GATHER, data);
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            if src == root {
+                out.push(data.to_vec());
+            } else {
+                out.push(self.recv_u64(src, TAG_GATHER));
+            }
+        }
+        Some(out)
+    }
+
+    /// Scatter per-rank buffers from `root`: the root passes `Some(pieces)`
+    /// (one per local rank), everyone receives their piece.
+    ///
+    /// # Panics
+    /// On the root if `pieces.len() != size()`.
+    pub fn scatter_f64(&self, root: usize, pieces: Option<Vec<Vec<f64>>>) -> Vec<f64> {
+        if self.rank() == root {
+            let pieces = pieces.expect("scatter: root must supply pieces");
+            assert_eq!(pieces.len(), self.size(), "scatter: need one piece per rank");
+            let mut mine = Vec::new();
+            for (dst, piece) in pieces.into_iter().enumerate() {
+                if dst == root {
+                    mine = piece;
+                } else {
+                    self.send_f64(dst, TAG_SCATTER, &piece);
+                }
+            }
+            mine
+        } else {
+            self.recv_f64(root, TAG_SCATTER)
+        }
+    }
+
+    /// Ring all-gather of equal-or-variable-length buffers: returns every
+    /// rank's contribution, indexed by local rank.
+    pub fn allgather_f64(&self, data: &[f64]) -> Vec<Vec<f64>> {
+        let p = self.size();
+        let r = self.rank();
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
+        out[r] = data.to_vec();
+        // At step s, send the piece originating at (r - s) to the right
+        // neighbour and receive the piece originating at (r - s - 1) from the
+        // left neighbour.
+        for s in 0..p.saturating_sub(1) {
+            let right = (r + 1) % p;
+            let left = (r + p - 1) % p;
+            let send_origin = (r + p - s) % p;
+            let recv_origin = (r + p - s - 1) % p;
+            self.send_f64(right, TAG_ALLGATHER + s as u64, &out[send_origin]);
+            out[recv_origin] = self.recv_f64(left, TAG_ALLGATHER + s as u64);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::run;
+
+    #[test]
+    fn barrier_completes_for_various_sizes() {
+        for p in [1, 2, 3, 5, 8] {
+            run(p, |c| c.barrier());
+        }
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        for p in [1, 2, 4, 5, 7, 8] {
+            for root in 0..p {
+                let out = run(p, move |c| {
+                    let mut buf = if c.rank() == root { vec![3.5, -1.0] } else { vec![] };
+                    c.bcast_f64(root, &mut buf);
+                    buf
+                });
+                for r in out.results {
+                    assert_eq!(r, vec![3.5, -1.0], "p={p} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_u64_carries_indices() {
+        let out = run(6, |c| {
+            let mut buf = if c.rank() == 2 { vec![9, 8, 7] } else { vec![] };
+            c.bcast_u64(2, &mut buf);
+            buf
+        });
+        for r in out.results {
+            assert_eq!(r, vec![9, 8, 7]);
+        }
+    }
+
+    #[test]
+    fn reduce_sums_to_root() {
+        for p in [1, 2, 3, 4, 6, 8] {
+            for root in [0, p - 1] {
+                let out = run(p, move |c| {
+                    let mut buf = vec![c.rank() as f64, 1.0];
+                    c.reduce_sum_f64(root, &mut buf);
+                    buf
+                });
+                let expect = (p * (p - 1) / 2) as f64;
+                assert_eq!(out.results[root][0], expect, "p={p}");
+                assert_eq!(out.results[root][1], p as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_all_sizes() {
+        for p in [1, 2, 3, 4, 5, 8, 9] {
+            let out = run(p, |c| {
+                let mut buf = vec![(c.rank() + 1) as f64];
+                c.allreduce_sum(&mut buf);
+                buf[0]
+            });
+            let expect = (p * (p + 1) / 2) as f64;
+            assert!(out.results.iter().all(|&x| x == expect), "p={p}");
+        }
+    }
+
+    #[test]
+    fn allreduce_max_finds_global_max() {
+        for p in [2, 4, 6] {
+            let out = run(p, |c| {
+                let mut buf = vec![-(c.rank() as f64), c.rank() as f64];
+                c.allreduce_max(&mut buf);
+                buf
+            });
+            for r in out.results {
+                assert_eq!(r, vec![0.0, (p - 1) as f64], "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = run(5, |c| c.gather_f64(3, &[c.rank() as f64]));
+        let gathered = out.results[3].as_ref().unwrap();
+        for (i, g) in gathered.iter().enumerate() {
+            assert_eq!(g, &vec![i as f64]);
+        }
+        assert!(out.results[0].is_none());
+    }
+
+    #[test]
+    fn scatter_routes_pieces() {
+        let out = run(4, |c| {
+            let pieces = if c.rank() == 1 {
+                Some((0..4).map(|i| vec![i as f64 * 10.0]).collect())
+            } else {
+                None
+            };
+            c.scatter_f64(1, pieces)
+        });
+        for (i, r) in out.results.iter().enumerate() {
+            assert_eq!(r, &vec![i as f64 * 10.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_every_rank_sees_everything() {
+        for p in [1, 3, 4, 6] {
+            let out = run(p, |c| c.allgather_f64(&[c.rank() as f64, 0.5]));
+            for r in out.results {
+                for (i, piece) in r.iter().enumerate() {
+                    assert_eq!(piece, &vec![i as f64, 0.5], "p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_variable_lengths() {
+        let out = run(3, |c| c.allgather_f64(&vec![1.0; c.rank() + 1]));
+        for r in out.results {
+            for (i, piece) in r.iter().enumerate() {
+                assert_eq!(piece.len(), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_volume_matches_binomial_tree() {
+        // A binomial bcast of B bytes to p ranks moves exactly (p-1)*B bytes.
+        let out = run(8, |c| {
+            let mut buf = if c.rank() == 0 { vec![0.0; 100] } else { vec![] };
+            c.bcast_f64(0, &mut buf);
+        });
+        assert_eq!(out.stats.total_bytes_sent(), 7 * 800);
+    }
+
+    #[test]
+    fn allreduce_volume_matches_recursive_doubling() {
+        // Recursive doubling: each of p ranks sends B bytes log2(p) times.
+        let out = run(8, |c| {
+            let mut buf = vec![1.0; 50];
+            c.allreduce_sum(&mut buf);
+        });
+        assert_eq!(out.stats.total_bytes_sent(), 8 * 3 * 400);
+    }
+}

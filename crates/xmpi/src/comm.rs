@@ -1,0 +1,405 @@
+//! Point-to-point transport and communicators.
+//!
+//! Each rank owns a mailbox (a mutex-protected queue plus a condition
+//! variable). A send appends to the destination's mailbox and never blocks —
+//! the buffered-send semantics the paper's asynchronous MPI usage assumes. A
+//! receive scans the mailbox for the first message matching
+//! `(source, context, tag)`; per-channel FIFO order is preserved because a
+//! sender's messages arrive in program order and matching scans in arrival
+//! order.
+//!
+//! Communicators carry a *context id* so sub-communicators (grid rows,
+//! columns, z-fibres, layers) get isolated message streams over the shared
+//! mailboxes, mirroring MPI communicator semantics.
+
+use crate::stats::Counters;
+use parking_lot::{Condvar, Mutex};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a receive may wait before the runtime declares a deadlock and
+/// panics with a diagnostic (a hung test is useless; a loud failure is not).
+const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Message payloads. Both variants count 8 bytes per element, matching the
+/// double-precision element size the paper uses when scaling its models.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// A buffer of matrix elements.
+    F64(Vec<f64>),
+    /// A buffer of indices (pivot rows, counts, displacements).
+    U64(Vec<u64>),
+}
+
+impl Payload {
+    /// Wire size in bytes.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Payload::F64(v) => 8 * v.len() as u64,
+            Payload::U64(v) => 8 * v.len() as u64,
+        }
+    }
+}
+
+pub(crate) struct Message {
+    src_world: usize,
+    ctx: u64,
+    tag: u64,
+    payload: Payload,
+}
+
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    queue: Mutex<Vec<Message>>,
+    arrived: Condvar,
+}
+
+/// State shared by all ranks of a world.
+pub(crate) struct Shared {
+    pub mailboxes: Vec<Mailbox>,
+    pub counters: Vec<Counters>,
+    pub windows: crate::rma::WindowRegistry,
+}
+
+impl Shared {
+    pub(crate) fn new(p: usize) -> Arc<Self> {
+        Arc::new(Shared {
+            mailboxes: (0..p).map(|_| Mailbox::default()).collect(),
+            counters: (0..p).map(|_| Counters::default()).collect(),
+            windows: crate::rma::WindowRegistry::default(),
+        })
+    }
+}
+
+/// A communicator: this rank's handle onto a group of ranks.
+///
+/// The world communicator spans all ranks; [`Comm::subcomm`] creates handles
+/// over subsets (with local rank numbering), which is how the factorization
+/// schedules address grid rows, columns, and z-fibres.
+pub struct Comm {
+    shared: Arc<Shared>,
+    /// This rank's id within this communicator.
+    rank: usize,
+    /// World rank of each member, indexed by communicator-local rank.
+    members: Arc<Vec<usize>>,
+    /// Context id isolating this communicator's message stream.
+    ctx: u64,
+}
+
+impl Comm {
+    pub(crate) fn world(shared: Arc<Shared>, world_rank: usize) -> Self {
+        let p = shared.mailboxes.len();
+        Comm { shared, rank: world_rank, members: Arc::new((0..p).collect()), ctx: 0 }
+    }
+
+    /// This rank's id within the communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// World rank of communicator-local rank `r`.
+    #[inline]
+    pub fn world_rank_of(&self, r: usize) -> usize {
+        self.members[r]
+    }
+
+    /// World rank of *this* rank.
+    #[inline]
+    pub fn world_rank(&self) -> usize {
+        self.members[self.rank]
+    }
+
+    /// Declare the active measurement phase for this rank; all subsequent
+    /// traffic is attributed to it (Table 1's per-routine breakdown).
+    pub fn set_phase(&self, name: &str) {
+        let w = self.world_rank();
+        *self.shared.counters[w].phase.lock() = name.to_string();
+    }
+
+    /// Build a sub-communicator from communicator-local member ranks.
+    ///
+    /// Every listed member must call `subcomm` with the *same* `salt` and the
+    /// *same* member list (SPMD style); the position of a rank in `members`
+    /// becomes its local rank in the new communicator. Ranks not listed must
+    /// not call. `salt` disambiguates different sub-communicators over
+    /// identical member sets.
+    ///
+    /// # Panics
+    /// If the calling rank is not in `members`.
+    pub fn subcomm(&self, salt: u64, members: &[usize]) -> Comm {
+        let world_members: Vec<usize> = members.iter().map(|&r| self.members[r]).collect();
+        let my_pos = members
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("subcomm: calling rank must be a member");
+        let mut h = DefaultHasher::new();
+        self.ctx.hash(&mut h);
+        salt.hash(&mut h);
+        world_members.hash(&mut h);
+        // Bit 63 marks non-world contexts so a world ctx of 0 can never
+        // collide with a derived one.
+        let ctx = h.finish() | (1 << 63);
+        Comm { shared: self.shared.clone(), rank: my_pos, members: Arc::new(world_members), ctx }
+    }
+
+    /// Send a buffer of matrix elements to local rank `dst` with `tag`.
+    /// Buffered semantics: never blocks.
+    pub fn send_f64(&self, dst: usize, tag: u64, data: &[f64]) {
+        self.send_payload(dst, tag, Payload::F64(data.to_vec()));
+    }
+
+    /// Send an index buffer to local rank `dst` with `tag`.
+    pub fn send_u64(&self, dst: usize, tag: u64, data: &[u64]) {
+        self.send_payload(dst, tag, Payload::U64(data.to_vec()));
+    }
+
+    /// Send an already-owned payload (avoids a copy for large buffers).
+    pub fn send_payload(&self, dst: usize, tag: u64, payload: Payload) {
+        assert!(dst < self.size(), "send: destination {dst} out of range");
+        let dst_world = self.members[dst];
+        let src_world = self.world_rank();
+        self.shared.counters[src_world].record_send(payload.bytes());
+        let mbox = &self.shared.mailboxes[dst_world];
+        mbox.queue.lock().push(Message { src_world, ctx: self.ctx, tag, payload });
+        mbox.arrived.notify_all();
+    }
+
+    /// Receive matrix elements from local rank `src` with `tag` (blocking).
+    ///
+    /// # Panics
+    /// If the matching message carries indices instead of elements, or if no
+    /// message arrives within the deadlock timeout.
+    pub fn recv_f64(&self, src: usize, tag: u64) -> Vec<f64> {
+        match self.recv_payload(src, tag) {
+            Payload::F64(v) => v,
+            Payload::U64(_) => panic!(
+                "recv_f64: rank {} got index payload from {src} tag {tag}",
+                self.rank
+            ),
+        }
+    }
+
+    /// Receive an index buffer from local rank `src` with `tag` (blocking).
+    pub fn recv_u64(&self, src: usize, tag: u64) -> Vec<u64> {
+        match self.recv_payload(src, tag) {
+            Payload::U64(v) => v,
+            Payload::F64(_) => panic!(
+                "recv_u64: rank {} got element payload from {src} tag {tag}",
+                self.rank
+            ),
+        }
+    }
+
+    /// Receive any payload type from `(src, tag)` (blocking, with deadlock
+    /// timeout).
+    pub fn recv_payload(&self, src: usize, tag: u64) -> Payload {
+        assert!(src < self.size(), "recv: source {src} out of range");
+        let src_world = self.members[src];
+        let my_world = self.world_rank();
+        let mbox = &self.shared.mailboxes[my_world];
+        let mut queue = mbox.queue.lock();
+        loop {
+            if let Some(pos) = queue
+                .iter()
+                .position(|m| m.src_world == src_world && m.ctx == self.ctx && m.tag == tag)
+            {
+                let msg = queue.remove(pos);
+                drop(queue);
+                self.shared.counters[my_world].record_recv(msg.payload.bytes());
+                return msg.payload;
+            }
+            let timed_out = mbox.arrived.wait_for(&mut queue, RECV_TIMEOUT).timed_out();
+            if timed_out {
+                panic!(
+                    "xmpi deadlock: rank {} (world {}) waited {:?} for msg from local {} \
+                     (world {}) tag {} ctx {:#x}; {} unmatched messages pending",
+                    self.rank,
+                    my_world,
+                    RECV_TIMEOUT,
+                    src,
+                    src_world,
+                    tag,
+                    self.ctx,
+                    queue.len()
+                );
+            }
+        }
+    }
+
+    /// Simultaneous exchange with a partner rank: send `data`, receive the
+    /// partner's buffer. Safe against head-on exchanges because sends are
+    /// buffered.
+    pub fn sendrecv_f64(&self, partner: usize, tag: u64, data: &[f64]) -> Vec<f64> {
+        self.send_f64(partner, tag, data);
+        self.recv_f64(partner, tag)
+    }
+
+    /// The communicator's context id (RMA windows key their rendezvous on
+    /// it so windows on different communicators never collide).
+    pub(crate) fn ctx_id(&self) -> u64 {
+        self.ctx
+    }
+
+    /// The world's RMA window registry.
+    pub(crate) fn registry(&self) -> &crate::rma::WindowRegistry {
+        &self.shared.windows
+    }
+
+    /// Account a one-sided put/accumulate: this rank sends, `dst` receives.
+    pub(crate) fn account_rma(&self, dst_world: usize, bytes: u64) {
+        self.shared.counters[self.world_rank()].record_send(bytes);
+        self.shared.counters[dst_world].record_recv(bytes);
+    }
+
+    /// Account a one-sided get: `src` sends, this rank receives.
+    pub(crate) fn account_rma_from(&self, src_world: usize, bytes: u64) {
+        self.shared.counters[src_world].record_send(bytes);
+        self.shared.counters[self.world_rank()].record_recv(bytes);
+    }
+
+    /// Exchange a (elements, indices) pair with a partner — the message shape
+    /// tournament pivoting uses (candidate rows + their global row ids).
+    pub fn exchange_pair(
+        &self,
+        partner: usize,
+        tag: u64,
+        data: &[f64],
+        idx: &[u64],
+    ) -> (Vec<f64>, Vec<u64>) {
+        self.send_f64(partner, tag, data);
+        self.send_u64(partner, tag, idx);
+        let d = self.recv_f64(partner, tag);
+        let i = self.recv_u64(partner, tag);
+        (d, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::run;
+
+    #[test]
+    fn payload_byte_sizes() {
+        assert_eq!(Payload::F64(vec![0.0; 10]).bytes(), 80);
+        assert_eq!(Payload::U64(vec![0; 3]).bytes(), 24);
+    }
+
+    #[test]
+    fn pingpong_preserves_data() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                c.send_f64(1, 7, &[1.0, 2.0, 3.0]);
+                c.recv_f64(1, 8)
+            } else {
+                let v = c.recv_f64(0, 7);
+                c.send_f64(0, 8, &[v.iter().sum()]);
+                v
+            }
+        });
+        assert_eq!(out.results[0], vec![6.0]);
+        assert_eq!(out.results[1], vec![1.0, 2.0, 3.0]);
+        assert_eq!(out.stats.ranks[0].bytes_sent, 24);
+        assert_eq!(out.stats.ranks[0].bytes_recv, 8);
+    }
+
+    #[test]
+    fn tag_matching_is_out_of_order() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                c.send_f64(1, 1, &[1.0]);
+                c.send_f64(1, 2, &[2.0]);
+                vec![]
+            } else {
+                // Receive in reverse tag order.
+                let b = c.recv_f64(0, 2);
+                let a = c.recv_f64(0, 1);
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(out.results[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn same_tag_is_fifo() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..5 {
+                    c.send_f64(1, 0, &[i as f64]);
+                }
+                vec![]
+            } else {
+                (0..5).map(|_| c.recv_f64(0, 0)[0]).collect()
+            }
+        });
+        assert_eq!(out.results[1], vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn subcomm_isolates_contexts_and_renumbers() {
+        let out = run(4, |c| {
+            // Two disjoint pairs; both use the same tags over the same salt.
+            let members = if c.rank() < 2 { vec![0, 1] } else { vec![2, 3] };
+            let sub = c.subcomm(1, &members);
+            assert_eq!(sub.size(), 2);
+            if sub.rank() == 0 {
+                sub.send_f64(1, 0, &[c.rank() as f64]);
+                -1.0
+            } else {
+                sub.recv_f64(0, 0)[0]
+            }
+        });
+        assert_eq!(out.results[1], 0.0);
+        assert_eq!(out.results[3], 2.0);
+    }
+
+    #[test]
+    fn nested_subcomms() {
+        let out = run(8, |c| {
+            let half = if c.rank() < 4 { vec![0, 1, 2, 3] } else { vec![4, 5, 6, 7] };
+            let sub = c.subcomm(2, &half);
+            let pair_local = if sub.rank() < 2 { vec![0, 1] } else { vec![2, 3] };
+            let pair = sub.subcomm(3, &pair_local);
+            if pair.rank() == 0 {
+                pair.send_u64(1, 9, &[c.rank() as u64]);
+                u64::MAX
+            } else {
+                pair.recv_u64(0, 9)[0]
+            }
+        });
+        assert_eq!(out.results[1], 0);
+        assert_eq!(out.results[3], 2);
+        assert_eq!(out.results[5], 4);
+        assert_eq!(out.results[7], 6);
+    }
+
+    #[test]
+    fn exchange_pair_roundtrip() {
+        let out = run(2, |c| {
+            let me = c.rank() as f64;
+            let (d, i) = c.exchange_pair(1 - c.rank(), 5, &[me], &[c.rank() as u64 * 10]);
+            (d[0], i[0])
+        });
+        assert_eq!(out.results[0], (1.0, 10));
+        assert_eq!(out.results[1], (0.0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "destination")]
+    fn send_out_of_range_panics() {
+        run(2, |c| {
+            if c.rank() == 0 {
+                c.send_f64(5, 0, &[1.0]);
+            }
+        });
+    }
+}

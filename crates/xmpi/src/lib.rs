@@ -1,0 +1,44 @@
+//! `xmpi` — a thread-backed message-passing runtime.
+//!
+//! The paper's implementations run MPI over the Cray Aries interconnect and
+//! measure aggregate communication volume with the Score-P profiler. This
+//! crate substitutes both: every *rank* is an OS thread, point-to-point
+//! messages travel through in-process mailboxes, and **every byte that
+//! crosses a rank boundary is counted** at the same places an MPI library
+//! would count them. Collectives (broadcast, reduce, all-reduce, gather,
+//! scatter, butterfly exchange) are implemented *on top of* point-to-point
+//! sends, so the measured volume reflects a real collective algorithm's
+//! traffic (binomial trees, recursive doubling) rather than an abstract
+//! formula.
+//!
+//! One-sided (MPI-3 RMA style) access is available through [`Comm::window`]
+//! — the paper's implementation uses it for runtime-dependent communication
+//! like pivot-index distribution.
+//!
+//! # Example
+//!
+//! ```
+//! use xmpi::run;
+//!
+//! // Four ranks each contribute their rank id; all-reduce sums them.
+//! let out = run(4, |comm| {
+//!     let mut v = vec![comm.rank() as f64];
+//!     comm.allreduce_sum(&mut v);
+//!     v[0]
+//! });
+//! assert!(out.results.iter().all(|&x| x == 6.0));
+//! assert!(out.stats.total_bytes_sent() > 0);
+//! ```
+
+pub mod collectives;
+pub mod comm;
+pub mod grid;
+pub mod rma;
+pub mod stats;
+pub mod world;
+
+pub use comm::Comm;
+pub use grid::{Grid2, Grid3};
+pub use stats::{RankStats, WorldStats};
+pub use rma::Window;
+pub use world::{run, WorldResult};

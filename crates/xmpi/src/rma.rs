@@ -1,0 +1,243 @@
+//! One-sided communication (MPI-3 RMA substitute).
+//!
+//! The paper's implementation uses MPI one-sided operations for
+//! runtime-dependent communication ("for runtime-dependent communication
+//! (e.g., pivot index distribution) we use MPI one-sided", §8). This module
+//! provides the same abstraction on the simulated machine: a [`Window`]
+//! exposes a per-rank buffer; [`Window::put`] and [`Window::get`] access a
+//! remote rank's buffer directly, with every transferred byte counted like
+//! a message; [`Window::fence`] separates access epochs (a barrier, as in
+//! `MPI_Win_fence` active-target synchronization).
+
+use crate::comm::Comm;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type Buffers = Arc<Vec<RwLock<Vec<f64>>>>;
+
+/// Registry of live windows, keyed by (context, window id); lives in the
+/// world's shared state so all ranks of a communicator can rendezvous on
+/// the same buffers.
+#[derive(Default)]
+pub(crate) struct WindowRegistry {
+    map: Mutex<HashMap<(u64, u64), (Buffers, usize)>>,
+    created: Condvar,
+}
+
+impl WindowRegistry {
+    /// Rendezvous: the first caller allocates, the rest attach. `refcount`
+    /// tracks attachments so the entry is dropped when the last rank frees.
+    fn attach(&self, key: (u64, u64), nranks: usize, local_len: usize) -> Buffers {
+        let mut map = self.map.lock();
+        if let Some((buf, rc)) = map.get_mut(&key) {
+            *rc += 1;
+            let buf = buf.clone();
+            if *rc == nranks {
+                self.created.notify_all();
+            }
+            return buf;
+        }
+        let buf: Buffers =
+            Arc::new((0..nranks).map(|_| RwLock::new(vec![0.0; local_len])).collect());
+        map.insert(key, (buf.clone(), 1));
+        buf
+    }
+
+    fn detach(&self, key: (u64, u64)) {
+        let mut map = self.map.lock();
+        if let Some((_, rc)) = map.get_mut(&key) {
+            *rc -= 1;
+            if *rc == 0 {
+                map.remove(&key);
+            }
+        }
+    }
+}
+
+/// A one-sided communication window over a communicator: every rank
+/// exposes `local_len` elements.
+pub struct Window<'c> {
+    comm: &'c Comm,
+    buffers: Buffers,
+    key: (u64, u64),
+    local_len: usize,
+}
+
+impl Comm {
+    /// Collectively create an RMA window exposing `local_len` elements per
+    /// rank, identified by `wid` (distinct concurrent windows on the same
+    /// communicator need distinct ids). All ranks must call with the same
+    /// arguments; returns after every rank has attached.
+    pub fn window(&self, wid: u64, local_len: usize) -> Window<'_> {
+        let key = (self.ctx_id(), wid);
+        let buffers = self.registry().attach(key, self.size(), local_len);
+        // Creation is collective in MPI; synchronize so no rank touches the
+        // window before everyone exists.
+        self.barrier();
+        Window { comm: self, buffers, key, local_len }
+    }
+}
+
+impl Window<'_> {
+    /// Elements exposed per rank.
+    pub fn local_len(&self) -> usize {
+        self.local_len
+    }
+
+    /// Write into this rank's own exposed buffer (no traffic).
+    pub fn local_write(&self, offset: usize, data: &[f64]) {
+        let mut buf = self.buffers[self.comm.rank()].write();
+        buf[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Read this rank's own exposed buffer (no traffic).
+    pub fn local_read(&self, offset: usize, len: usize) -> Vec<f64> {
+        self.buffers[self.comm.rank()].read()[offset..offset + len].to_vec()
+    }
+
+    /// One-sided put: write `data` into `dst`'s buffer at `offset`. Counts
+    /// as `8·len` bytes sent by this rank and received by `dst`.
+    ///
+    /// # Panics
+    /// If the target range overruns the window.
+    pub fn put(&self, dst: usize, offset: usize, data: &[f64]) {
+        assert!(offset + data.len() <= self.local_len, "put overruns window");
+        let dst_world = self.comm.world_rank_of(dst);
+        self.comm.account_rma(dst_world, (8 * data.len()) as u64);
+        let mut buf = self.buffers[dst].write();
+        buf[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// One-sided get: read `len` elements from `src`'s buffer at `offset`.
+    /// Counts as `8·len` bytes sent by `src` and received by this rank.
+    ///
+    /// # Panics
+    /// If the source range overruns the window.
+    pub fn get(&self, src: usize, offset: usize, len: usize) -> Vec<f64> {
+        assert!(offset + len <= self.local_len, "get overruns window");
+        let src_world = self.comm.world_rank_of(src);
+        self.comm.account_rma_from(src_world, (8 * len) as u64);
+        self.buffers[src].read()[offset..offset + len].to_vec()
+    }
+
+    /// One-sided accumulate: `dst[offset..] += data` (MPI_Accumulate with
+    /// MPI_SUM). Element-wise atomic under the window's per-rank lock.
+    pub fn accumulate(&self, dst: usize, offset: usize, data: &[f64]) {
+        assert!(offset + data.len() <= self.local_len, "accumulate overruns window");
+        let dst_world = self.comm.world_rank_of(dst);
+        self.comm.account_rma(dst_world, (8 * data.len()) as u64);
+        let mut buf = self.buffers[dst].write();
+        for (b, &d) in buf[offset..offset + data.len()].iter_mut().zip(data) {
+            *b += d;
+        }
+    }
+
+    /// Fence: close the current access epoch (all prior puts/gets by all
+    /// ranks are complete afterwards). A barrier, as in active-target
+    /// `MPI_Win_fence`.
+    pub fn fence(&self) {
+        self.comm.barrier();
+    }
+}
+
+impl Drop for Window<'_> {
+    fn drop(&mut self) {
+        self.comm.registry().detach(self.key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::run;
+
+    #[test]
+    fn put_then_fence_then_read() {
+        let out = run(4, |c| {
+            let win = c.window(1, 4);
+            // Everyone puts its rank into slot `rank` of rank 0's buffer.
+            win.put(0, c.rank(), &[c.rank() as f64]);
+            win.fence();
+            if c.rank() == 0 {
+                win.local_read(0, 4)
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(out.results[0], vec![0.0, 1.0, 2.0, 3.0]);
+        // 3 remote puts of 8 bytes (rank 0's own put is local? no: put to
+        // self still accounted) => at least 3*8 bytes counted.
+        assert!(out.stats.total_bytes_sent() >= 24);
+    }
+
+    #[test]
+    fn get_reads_remote_state() {
+        let out = run(3, |c| {
+            let win = c.window(2, 2);
+            win.local_write(0, &[c.rank() as f64 * 10.0, 1.0]);
+            win.fence();
+            // Everyone reads rank 2's buffer.
+            win.get(2, 0, 2)
+        });
+        for r in &out.results {
+            assert_eq!(r, &vec![20.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn accumulate_sums_contributions() {
+        let out = run(5, |c| {
+            let win = c.window(3, 1);
+            win.accumulate(0, 0, &[(c.rank() + 1) as f64]);
+            win.fence();
+            if c.rank() == 0 {
+                win.local_read(0, 1)[0]
+            } else {
+                -1.0
+            }
+        });
+        assert_eq!(out.results[0], 15.0);
+    }
+
+    #[test]
+    fn pivot_distribution_pattern() {
+        // The paper's use case: a designated rank publishes pivot indices;
+        // everyone fetches them one-sidedly instead of participating in a
+        // collective.
+        let out = run(4, |c| {
+            let win = c.window(4, 8);
+            if c.rank() == 1 {
+                win.local_write(0, &[5.0, 2.0, 7.0, 0.0, 1.0, 3.0, 6.0, 4.0]);
+            }
+            win.fence();
+            let pivots = win.get(1, 0, 8);
+            pivots.iter().map(|&x| x as usize).collect::<Vec<_>>()
+        });
+        for r in &out.results {
+            assert_eq!(r, &vec![5, 2, 7, 0, 1, 3, 6, 4]);
+        }
+    }
+
+    #[test]
+    fn separate_windows_are_isolated() {
+        run(2, |c| {
+            let w1 = c.window(10, 2);
+            let w2 = c.window(11, 2);
+            w1.local_write(0, &[1.0, 1.0]);
+            w2.local_write(0, &[2.0, 2.0]);
+            w1.fence();
+            w2.fence();
+            assert_eq!(w1.get(c.rank(), 0, 2), vec![1.0, 1.0]);
+            assert_eq!(w2.get(c.rank(), 0, 2), vec![2.0, 2.0]);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns window")]
+    fn out_of_range_put_panics() {
+        run(2, |c| {
+            let win = c.window(12, 2);
+            win.put(0, 1, &[1.0, 2.0]);
+        });
+    }
+}

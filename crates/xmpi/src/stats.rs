@@ -1,0 +1,156 @@
+//! Per-rank communication counters — the Score-P substitute.
+//!
+//! Counters live in shared memory and are updated by the transport on every
+//! send and receive, attributed to the *phase* the rank has currently
+//! declared (see [`crate::Comm::set_phase`]). Phases give the per-routine
+//! breakdown used to regenerate Table 1 of the paper.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters for a single rank (shared, updated by the transport).
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub bytes_sent: AtomicU64,
+    pub bytes_recv: AtomicU64,
+    pub msgs_sent: AtomicU64,
+    pub msgs_recv: AtomicU64,
+    /// Phase-name → (bytes sent, bytes received) while that phase was active.
+    pub per_phase: Mutex<HashMap<String, (u64, u64)>>,
+    /// Currently active phase label for this rank.
+    pub phase: Mutex<String>,
+}
+
+impl Counters {
+    pub(crate) fn record_send(&self, bytes: u64) {
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        let phase = self.phase.lock().clone();
+        self.per_phase.lock().entry(phase).or_default().0 += bytes;
+    }
+
+    pub(crate) fn record_recv(&self, bytes: u64) {
+        self.bytes_recv.fetch_add(bytes, Ordering::Relaxed);
+        self.msgs_recv.fetch_add(1, Ordering::Relaxed);
+        let phase = self.phase.lock().clone();
+        self.per_phase.lock().entry(phase).or_default().1 += bytes;
+    }
+
+    pub(crate) fn snapshot(&self) -> RankStats {
+        RankStats {
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            msgs_recv: self.msgs_recv.load(Ordering::Relaxed),
+            per_phase: self.per_phase.lock().clone(),
+        }
+    }
+}
+
+/// Immutable snapshot of one rank's traffic after a world has finished.
+#[derive(Debug, Clone, Default)]
+pub struct RankStats {
+    /// Total bytes this rank sent.
+    pub bytes_sent: u64,
+    /// Total bytes this rank received.
+    pub bytes_recv: u64,
+    /// Number of messages sent.
+    pub msgs_sent: u64,
+    /// Number of messages received.
+    pub msgs_recv: u64,
+    /// Per-phase (sent, received) byte breakdown.
+    pub per_phase: HashMap<String, (u64, u64)>,
+}
+
+impl RankStats {
+    /// Total traffic through this rank (sent + received) — the quantity the
+    /// paper plots as "communication volume per node".
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_recv
+    }
+}
+
+/// Snapshot of all ranks' traffic for a finished world.
+#[derive(Debug, Clone, Default)]
+pub struct WorldStats {
+    /// One entry per rank, indexed by rank id.
+    pub ranks: Vec<RankStats>,
+}
+
+impl WorldStats {
+    /// Sum of bytes sent over all ranks (equals total bytes received: every
+    /// byte sent inside the world is received inside the world).
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_sent).sum()
+    }
+
+    /// Sum of bytes received over all ranks.
+    pub fn total_bytes_recv(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_recv).sum()
+    }
+
+    /// Largest per-rank traffic (sent + received) — the load-bound rank.
+    pub fn max_rank_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.total_bytes()).max().unwrap_or(0)
+    }
+
+    /// Mean per-rank traffic (sent + received).
+    pub fn avg_rank_bytes(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks.iter().map(|r| r.total_bytes()).sum::<u64>() as f64 / self.ranks.len() as f64
+    }
+
+    /// Total messages sent across the world.
+    pub fn total_msgs(&self) -> u64 {
+        self.ranks.iter().map(|r| r.msgs_sent).sum()
+    }
+
+    /// Aggregate (sent, received) bytes per phase across all ranks.
+    pub fn phase_totals(&self) -> HashMap<String, (u64, u64)> {
+        let mut out: HashMap<String, (u64, u64)> = HashMap::new();
+        for r in &self.ranks {
+            for (k, (s, v)) in &r.per_phase {
+                let e = out.entry(k.clone()).or_default();
+                e.0 += s;
+                e.1 += v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = Counters::default();
+        *c.phase.lock() = "a".to_string();
+        c.record_send(100);
+        c.record_recv(40);
+        *c.phase.lock() = "b".to_string();
+        c.record_send(1);
+        let s = c.snapshot();
+        assert_eq!(s.bytes_sent, 101);
+        assert_eq!(s.bytes_recv, 40);
+        assert_eq!(s.msgs_sent, 2);
+        assert_eq!(s.msgs_recv, 1);
+        assert_eq!(s.per_phase["a"], (100, 40));
+        assert_eq!(s.per_phase["b"], (1, 0));
+        assert_eq!(s.total_bytes(), 141);
+    }
+
+    #[test]
+    fn world_stats_aggregates() {
+        let mk = |s, r| RankStats { bytes_sent: s, bytes_recv: r, ..Default::default() };
+        let w = WorldStats { ranks: vec![mk(10, 20), mk(30, 40)] };
+        assert_eq!(w.total_bytes_sent(), 40);
+        assert_eq!(w.total_bytes_recv(), 60);
+        assert_eq!(w.max_rank_bytes(), 70);
+        assert!((w.avg_rank_bytes() - 50.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,104 @@
+//! World launcher: spawns one OS thread per rank and collects results and
+//! traffic statistics.
+
+use crate::comm::{Comm, Shared};
+use crate::stats::WorldStats;
+
+/// Results of a finished world: each rank's return value plus the traffic
+/// snapshot.
+pub struct WorldResult<R> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-rank communication statistics.
+    pub stats: WorldStats,
+}
+
+/// Run an SPMD function on `p` ranks (one thread each) and wait for all of
+/// them.
+///
+/// The closure receives this rank's world [`Comm`]. If any rank panics the
+/// panic is propagated to the caller after the world is torn down.
+///
+/// # Panics
+/// If `p == 0`, or if any rank panics.
+pub fn run<R, F>(p: usize, f: F) -> WorldResult<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    assert!(p > 0, "world must have at least one rank");
+    let shared = Shared::new(p);
+
+    let results: Vec<R> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..p)
+            .map(|rank| {
+                let shared = shared.clone();
+                let f = &f;
+                s.spawn(move || {
+                    let comm = Comm::world(shared, rank);
+                    f(&comm)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    });
+
+    let stats = WorldStats { ranks: shared.counters.iter().map(|c| c.snapshot()).collect() };
+    WorldResult { results, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world() {
+        let out = run(1, |c| {
+            assert_eq!(c.size(), 1);
+            42
+        });
+        assert_eq!(out.results, vec![42]);
+        assert_eq!(out.stats.total_bytes_sent(), 0);
+    }
+
+    #[test]
+    fn ranks_are_distinct_and_ordered() {
+        let out = run(7, |c| c.rank());
+        assert_eq!(out.results, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn rank_panic_propagates() {
+        run(3, |c| {
+            if c.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn stats_account_for_all_traffic() {
+        let out = run(4, |c| {
+            // Everyone sends rank-many elements to rank 0.
+            if c.rank() != 0 {
+                c.send_f64(0, 0, &vec![0.0; c.rank()]);
+            } else {
+                for src in 1..4 {
+                    c.recv_f64(src, 0);
+                }
+            }
+        });
+        // 1+2+3 = 6 elements = 48 bytes.
+        assert_eq!(out.stats.total_bytes_sent(), 48);
+        assert_eq!(out.stats.total_bytes_recv(), 48);
+        assert_eq!(out.stats.ranks[0].bytes_recv, 48);
+        assert_eq!(out.stats.ranks[3].bytes_sent, 24);
+    }
+}

@@ -1,0 +1,48 @@
+//! Iterative refinement on top of a COnfLUX factorization — the pattern the
+//! paper's related work highlights (Haidar et al.: factor fast/rough, then
+//! refine the linear solve back to full accuracy).
+//!
+//! We factor with COnfLUX, deliberately damage the factor (standing in for
+//! a low-precision factorization), and let refinement against the original
+//! matrix recover the solution.
+//!
+//! ```text
+//! cargo run --release --example iterative_refinement
+//! ```
+
+use conflux_rs::dense::gemm::{gemm, Trans};
+use conflux_rs::dense::gen::random_matrix;
+use conflux_rs::dense::refine::lu_refine;
+use conflux_rs::dense::Matrix;
+use conflux_rs::factor::conflux::ConfluxConfig;
+use conflux_rs::factor::conflux_lu;
+
+fn main() {
+    let n = 256;
+    let p = 8;
+    let a = random_matrix(n, n, 3);
+    let xstar = Matrix::from_fn(n, 1, |i, _| ((i % 7) as f64) - 3.0);
+    let mut b = Matrix::zeros(n, 1);
+    gemm(Trans::N, Trans::N, 1.0, a.as_ref(), xstar.as_ref(), 0.0, b.as_mut());
+
+    let out = conflux_lu(&ConfluxConfig::auto(n, p), &a).expect("factorization failed");
+    let mut packed = out.packed.unwrap();
+
+    // Stand-in for a low-precision factor: perturb it at the 1e-6 level.
+    for i in 0..n {
+        for j in 0..n {
+            packed[(i, j)] *= 1.0 + 1e-6 * (((i * 31 + j * 17) % 13) as f64 - 6.0);
+        }
+    }
+
+    let refined = lu_refine(&a, &packed, &out.perm, &b, 20, 1e-12);
+    println!("iterative refinement over a damaged COnfLUX factor (N={n}, P={p}):");
+    for (it, r) in refined.residuals.iter().enumerate() {
+        println!("  sweep {it}: ‖b − A·x‖_max = {r:.3e}");
+    }
+    let err = (0..n)
+        .map(|i| (refined.x[(i, 0)] - xstar[(i, 0)]).abs())
+        .fold(0.0_f64, f64::max);
+    println!("  final max |x − x*| = {err:.3e} after {} sweeps", refined.iterations);
+    assert!(err < 1e-8, "refinement should recover the solution");
+}

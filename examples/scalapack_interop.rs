@@ -1,0 +1,68 @@
+//! ScaLAPACK layout interoperability: start from a matrix distributed in a
+//! user's arbitrary block-cyclic layout (as a ScaLAPACK caller would hand
+//! it over, described by a `DESC` array), redistribute it on the simulated
+//! machine with the COSTA-style transform, factor, and validate — the
+//! "fully ScaLAPACK-compatible" path the paper ships.
+//!
+//! ```text
+//! cargo run --release --example scalapack_interop
+//! ```
+
+use conflux_rs::dense::gen::random_matrix;
+use conflux_rs::dense::norms::lu_residual_perm;
+use conflux_rs::factor::conflux::ConfluxConfig;
+use conflux_rs::factor::conflux_lu;
+use conflux_rs::layout::dist::assemble;
+use conflux_rs::layout::{redistribute, BlockCyclic, DistMatrix};
+use conflux_rs::xmpi::{run, Grid2};
+
+fn main() {
+    let n = 192;
+    let p = 4;
+
+    // The user's layout: 2×4 grid, skinny 6×10 blocks (nothing like ours),
+    // described by its ScaLAPACK DESC array.
+    let user_desc = BlockCyclic::new(n, n, 6, 10, Grid2::new(4, 1));
+    let sd = user_desc.to_scalapack();
+    println!(
+        "user DESC: M={} N={} MB={} NB={} LLD={}",
+        sd.m, sd.n, sd.mb, sd.nb, sd.lld
+    );
+
+    // The layout COnfLUX wants: square v×v blocks on its layer-0 grid.
+    let cfg = ConfluxConfig::auto(n, p);
+    let ours = BlockCyclic::new(
+        n,
+        n,
+        cfg.v,
+        cfg.v,
+        Grid2::new(cfg.grid.px, cfg.grid.py),
+    );
+
+    let a = random_matrix(n, n, 5);
+
+    // Redistribute on the simulated machine (measured traffic), gather, and
+    // factor. A production integration would keep the shards in place; here
+    // we validate the transform end-to-end.
+    let a_for_world = a.clone();
+    let world = run(user_desc.nprocs(), |comm| {
+        let mine = DistMatrix::from_global(
+            user_desc,
+            user_desc.grid.coords(comm.rank()),
+            &a_for_world,
+        );
+        redistribute(comm, &mine, ours)
+    });
+    println!(
+        "redistribution moved {} bytes ({} per rank avg) — O(N²/P) staging, as the paper assumes",
+        world.stats.total_bytes_sent(),
+        world.stats.avg_rank_bytes() as u64
+    );
+    let staged = assemble(&ours, &world.results);
+    assert_eq!(staged, a, "layout transform must be lossless");
+
+    let out = conflux_lu(&cfg, &staged).expect("factorization failed");
+    let res = lu_residual_perm(&a, out.packed.as_ref().unwrap(), &out.perm);
+    println!("factored after redistribution: ‖PA − LU‖/‖A‖ = {res:.3e}");
+    assert!(res < 1e-10);
+}

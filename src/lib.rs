@@ -1,0 +1,40 @@
+//! `conflux-rs` — a Rust reproduction of *"On the Parallel I/O Optimality
+//! of Linear Algebra Kernels: Near-Optimal Matrix Factorizations"*
+//! (Kwasniewski et al., SC 2021).
+//!
+//! This facade crate re-exports the workspace's layers so downstream users
+//! can depend on one crate:
+//!
+//! * [`pebbles`] — the I/O lower-bound framework: DAAP programs, cDAGs,
+//!   red-blue pebble games, X-partitioning, and the paper's LU/Cholesky/MMM
+//!   parallel lower bounds.
+//! * [`dense`] — sequential/shared-memory dense kernels (gemm, gemmt, trsm,
+//!   getrf, potrf) used as local computation and as the validation
+//!   reference.
+//! * [`xmpi`] — the thread-backed message-passing runtime with per-rank
+//!   byte accounting (the MPI + Score-P substitute).
+//! * [`layout`] — ScaLAPACK-style block-cyclic descriptors and COSTA-style
+//!   redistribution.
+//! * [`factor`] — COnfLUX and COnfCHOX, the 2D baselines, the row-swapping
+//!   ablation, and the Table 2 cost models.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use conflux_rs::factor::{conflux_lu, ConfluxConfig};
+//! use conflux_rs::dense::{gen::random_matrix, norms::lu_residual_perm};
+//!
+//! let n = 32;
+//! let a = random_matrix(n, n, 42);
+//! // 8 simulated ranks, automatic 2.5D grid and block size.
+//! let out = conflux_lu(&ConfluxConfig::auto(n, 8), &a).unwrap();
+//! let residual = lu_residual_perm(&a, out.packed.as_ref().unwrap(), &out.perm);
+//! assert!(residual < 1e-10);
+//! println!("communicated {} bytes total", out.stats.total_bytes_sent());
+//! ```
+
+pub use dense;
+pub use factor;
+pub use layout;
+pub use pebbles;
+pub use xmpi;

@@ -1,0 +1,100 @@
+//! Property-based tests over the cross-crate pipelines: random problem
+//! shapes, random grids, random layouts — the invariants must hold for all
+//! of them, not just the hand-picked unit-test configurations.
+
+use conflux_rs::dense::gen::random_matrix;
+use conflux_rs::dense::norms::{lu_residual_perm, po_residual};
+use conflux_rs::dense::{gemm, Matrix, Trans};
+use conflux_rs::factor::confchox::ConfchoxConfig;
+use conflux_rs::factor::conflux::ConfluxConfig;
+use conflux_rs::factor::{confchox_cholesky, conflux_lu};
+use conflux_rs::layout::dist::assemble;
+use conflux_rs::layout::{redistribute, BlockCyclic, DistMatrix};
+use conflux_rs::xmpi::{run, Grid2, Grid3};
+use proptest::prelude::*;
+
+/// Strategy: a small but non-trivial 2.5D configuration `(nt, v, grid)`
+/// with all divisibility constraints satisfied by construction.
+fn grid_strategy() -> impl Strategy<Value = (usize, usize, Grid3)> {
+    (1usize..=4, 1usize..=3, 1usize..=3, 1usize..=2, 2usize..=6).prop_map(
+        |(pxm, py, pz, vmul, nt)| {
+            // px chosen ≥ … anything ≥1; v must be a multiple of pz.
+            let px = pxm;
+            let v = vmul * pz * 2; // even multiples keep sizes moderate
+            (nt, v, Grid3::new(px, py, pz))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn conflux_factors_any_valid_configuration((nt, v, grid) in grid_strategy(), seed in 0u64..1000) {
+        let n = nt * v;
+        let a = random_matrix(n, n, seed);
+        let out = conflux_lu(&ConfluxConfig::new(n, v, grid), &a).unwrap();
+        // perm is a permutation.
+        let mut sorted = out.perm.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        let res = lu_residual_perm(&a, out.packed.as_ref().unwrap(), &out.perm);
+        prop_assert!(res < 1e-8, "residual {} for n={} v={} grid={:?}", res, n, v, grid);
+    }
+
+    #[test]
+    fn confchox_factors_any_valid_configuration((nt, v, grid) in grid_strategy(), seed in 0u64..1000) {
+        let n = nt * v;
+        // SPD with margin: BBᵀ + n·I.
+        let b = random_matrix(n, n, seed);
+        let mut a = Matrix::zeros(n, n);
+        gemm(Trans::N, Trans::T, 1.0, b.as_ref(), b.as_ref(), 0.0, a.as_mut());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        let out = confchox_cholesky(&ConfchoxConfig::new(n, v, grid), &a).unwrap();
+        let res = po_residual(&a, out.l.as_ref().unwrap());
+        prop_assert!(res < 1e-8, "residual {} for n={} v={} grid={:?}", res, n, v, grid);
+    }
+
+    #[test]
+    fn redistribution_is_lossless_between_random_layouts(
+        m in 1usize..40,
+        nn in 1usize..40,
+        rb1 in 1usize..8, cb1 in 1usize..8,
+        rb2 in 1usize..8, cb2 in 1usize..8,
+        grid_pick in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let grids = [Grid2::new(1, 4), Grid2::new(2, 2), Grid2::new(4, 1), Grid2::new(1, 1)];
+        let g1 = grids[grid_pick];
+        let g2 = grids[(grid_pick + 1) % 4];
+        // Both layouts must span the same communicator size.
+        let p = g1.size().max(g2.size());
+        let g1 = if g1.size() == p { g1 } else { Grid2::new(1, p) };
+        let g2 = if g2.size() == p { g2 } else { Grid2::new(p, 1) };
+        let src = BlockCyclic::new(m, nn, rb1, cb1, g1);
+        let dst = BlockCyclic::new(m, nn, rb2, cb2, g2);
+        let a = random_matrix(m, nn, seed);
+        let aref = &a;
+        let world = run(p, move |comm| {
+            let mine = DistMatrix::from_global(src, src.grid.coords(comm.rank()), aref);
+            redistribute(comm, &mine, dst)
+        });
+        let back = assemble(&dst, &world.results);
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn measured_volume_is_deterministic(seed in 0u64..200) {
+        // Same configuration, same matrix → byte-identical traffic. The
+        // schedules are deterministic, so volume measurements are exactly
+        // reproducible (this is what makes the experiment suite meaningful).
+        let n = 32;
+        let a = random_matrix(n, n, seed);
+        let cfg = ConfluxConfig::new(n, 4, Grid3::new(2, 2, 2)).volume_only();
+        let v1 = conflux_lu(&cfg, &a).unwrap().stats.total_bytes_sent();
+        let v2 = conflux_lu(&cfg, &a).unwrap().stats.total_bytes_sent();
+        prop_assert_eq!(v1, v2);
+    }
+}

@@ -1,0 +1,112 @@
+//! End-to-end theory pipeline: DAAP program → automatic cDAG translation →
+//! X-partition → schedule → pebble-game verification → lower-bound
+//! derivation → exact optimum — every layer of `pebbles` chained on the
+//! same kernels, so a regression anywhere in the chain breaks here.
+
+use conflux_rs::pebbles::bounds::{cholesky_io_lower_bound, lu_io_lower_bound};
+use conflux_rs::pebbles::cdag::{cholesky_cdag, lu_cdag, Cdag};
+use conflux_rs::pebbles::daap::{cholesky_program, lu_program};
+use conflux_rs::pebbles::derive::{cholesky_counts, derive_program_bound, lu_counts};
+use conflux_rs::pebbles::game::{greedy_schedule, verify};
+use conflux_rs::pebbles::interpret::{build_cdag_interleaved, Bound, LoopNest};
+use conflux_rs::pebbles::opt_game::optimal_q;
+use conflux_rs::pebbles::schedule::{required_memory, schedule_from_partition};
+use conflux_rs::pebbles::xpart::check_x_partition;
+
+/// Build the LU cDAG through the *generic* interpreter.
+fn lu_generic(n: usize) -> Cdag {
+    let s1 = LoopNest::new(vec![(Bound::VarPlus(0, 1), Bound::Const(n as i64))]);
+    let s2 = LoopNest::new(vec![
+        (Bound::VarPlus(0, 1), Bound::Const(n as i64)),
+        (Bound::VarPlus(0, 1), Bound::Const(n as i64)),
+    ]);
+    build_cdag_interleaved(&lu_program(), n, &[s1, s2])
+}
+
+#[test]
+fn full_chain_on_lu() {
+    let n = 6;
+    let m = 12;
+    // 1. Generic translation agrees with the hand builder on vertex counts.
+    let g = lu_generic(n);
+    let hand = lu_cdag(n);
+    assert_eq!(g.len(), hand.len());
+    assert_eq!(g.inputs().len(), hand.inputs().len());
+
+    // 2. A topological chunking is a valid X-partition.
+    let parts: Vec<Vec<_>> = g.topo_order().chunks(10).map(|c| c.to_vec()).collect();
+    assert!(check_x_partition(&g, &parts, g.len()).is_ok());
+
+    // 3. The partition's schedule verifies and its cost sandwiches between
+    //    the derived bound and … itself (it is an upper bound).
+    let moves = schedule_from_partition(&g, &parts);
+    let mem = required_memory(&g, &parts);
+    let q_part = verify(&g, &moves, mem).expect("partition schedule must be legal").q;
+
+    // 4. Greedy at the same memory also verifies.
+    let q_greedy = verify(&g, &greedy_schedule(&g, mem), mem).expect("greedy legal").q;
+
+    // 5. The program-level derived bound lower-bounds both.
+    let derived = derive_program_bound(&lu_program(), &lu_counts(n), m as f64, 1);
+    assert!(derived.q_parallel <= q_part as f64, "{} vs {q_part}", derived.q_parallel);
+    assert!(derived.q_parallel <= q_greedy as f64);
+
+    // 6. And the derived bound matches the closed form.
+    let closed = lu_io_lower_bound(n, 1, m as f64);
+    let rel = (derived.q_parallel - closed).abs() / closed;
+    assert!(rel < 0.25, "derived {} vs closed {closed}", derived.q_parallel);
+}
+
+#[test]
+fn full_chain_on_cholesky_with_exact_optimum() {
+    let n = 3;
+    let g = cholesky_cdag(n);
+    for m in [4usize, 6] {
+        let opt = optimal_q(&g, m, 1 << 23).expect("tiny graph");
+        let lb = cholesky_io_lower_bound(n, 1, m as f64);
+        let greedy = verify(&g, &greedy_schedule(&g, m), m).unwrap().q;
+        assert!(
+            lb <= opt as f64 && opt <= greedy,
+            "M={m}: {lb} ≤ {opt} ≤ {greedy} violated"
+        );
+        // The derived program bound agrees with the closed form here too.
+        let derived = derive_program_bound(&cholesky_program(), &cholesky_counts(n), m as f64, 1);
+        assert!(derived.q_parallel <= opt as f64 + 1e-9);
+    }
+}
+
+#[test]
+fn partition_granularity_interpolates_between_extremes() {
+    // One part = compulsory traffic; singleton parts = maximal traffic; the
+    // sequence in between is bracketed by those extremes.
+    let g = lu_cdag(6);
+    let q_at = |k: usize| {
+        let parts: Vec<Vec<_>> = g.topo_order().chunks(k).map(|c| c.to_vec()).collect();
+        let mem = required_memory(&g, &parts);
+        verify(&g, &schedule_from_partition(&g, &parts), mem).unwrap().q
+    };
+    let coarse = q_at(g.len());
+    let mid = q_at(8);
+    let fine = q_at(1);
+    assert!(coarse <= mid && mid <= fine, "{coarse} ≤ {mid} ≤ {fine} violated");
+}
+
+#[test]
+fn derived_statement_classification_is_stable_across_sizes() {
+    // Whatever the problem size, LU's S1 must take the Lemma 6 path and S2
+    // the KKT path, with ρ growing like √M.
+    use conflux_rs::pebbles::derive::{analyze_statement, RhoBound};
+    let prog = lu_program();
+    for m in [64.0, 256.0] {
+        let s1 = analyze_statement(&prog.statements[0], 1.0, m);
+        assert!(matches!(s1.rho, RhoBound::SingleUse { u: 1 }));
+        let s2 = analyze_statement(&prog.statements[1], 1.0, m);
+        match s2.rho {
+            RhoBound::Kkt { rho, .. } => {
+                let expect = m.sqrt() / 2.0;
+                assert!((rho - expect).abs() / expect < 0.1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
