@@ -43,7 +43,14 @@ fn bench_cholesky_schedules(c: &mut Criterion) {
         let a = random_spd(n, 2);
         g.bench_with_input(BenchmarkId::new("confchox", n), &n, |bench, _| {
             let cfg = ConfchoxConfig::new(n, 8, Grid3::new(2, 2, 2)).volume_only();
-            bench.iter(|| black_box(confchox_cholesky(&cfg, &a).unwrap().stats.total_bytes_sent()));
+            bench.iter(|| {
+                black_box(
+                    confchox_cholesky(&cfg, &a)
+                        .unwrap()
+                        .stats
+                        .total_bytes_sent(),
+                )
+            });
         });
         g.bench_with_input(BenchmarkId::new("twod", n), &n, |bench, _| {
             let cfg = TwodConfig::new(n, 8, Grid2::new(2, 4)).volume_only();

@@ -20,7 +20,15 @@ fn bench_gemm(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("seq", n), &n, |bench, _| {
             let mut out = Matrix::zeros(n, n);
             bench.iter(|| {
-                gemm(Trans::N, Trans::N, 1.0, a.as_ref(), b.as_ref(), 0.0, out.as_mut());
+                gemm(
+                    Trans::N,
+                    Trans::N,
+                    1.0,
+                    a.as_ref(),
+                    b.as_ref(),
+                    0.0,
+                    out.as_mut(),
+                );
                 black_box(out.data()[0])
             });
         });
@@ -44,14 +52,31 @@ fn bench_gemmt_vs_gemm(c: &mut Criterion) {
     g.bench_function("gemm_full", |bench| {
         let mut out = Matrix::zeros(n, n);
         bench.iter(|| {
-            gemm(Trans::N, Trans::T, -1.0, a.as_ref(), a.as_ref(), 1.0, out.as_mut());
+            gemm(
+                Trans::N,
+                Trans::T,
+                -1.0,
+                a.as_ref(),
+                a.as_ref(),
+                1.0,
+                out.as_mut(),
+            );
             black_box(out.data()[0])
         });
     });
     g.bench_function("gemmt_lower", |bench| {
         let mut out = Matrix::zeros(n, n);
         bench.iter(|| {
-            gemmt(CUplo::Lower, Trans::N, Trans::T, -1.0, a.as_ref(), a.as_ref(), 1.0, out.as_mut());
+            gemmt(
+                CUplo::Lower,
+                Trans::N,
+                Trans::T,
+                -1.0,
+                a.as_ref(),
+                a.as_ref(),
+                1.0,
+                out.as_mut(),
+            );
             black_box(out.data()[0])
         });
     });
@@ -72,7 +97,15 @@ fn bench_trsm(c: &mut Criterion) {
     c.bench_function("trsm_left_lower_64x256", |bench| {
         bench.iter(|| {
             let mut x = b.clone();
-            trsm(Side::Left, Uplo::Lower, Trans::N, Diag::NonUnit, 1.0, a.as_ref(), x.as_mut());
+            trsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::N,
+                Diag::NonUnit,
+                1.0,
+                a.as_ref(),
+                x.as_mut(),
+            );
             black_box(x.data()[0])
         });
     });

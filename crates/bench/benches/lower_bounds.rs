@@ -25,12 +25,16 @@ fn bench_greedy_pebbling(c: &mut Criterion) {
     g.sample_size(10);
     for (n, m) in [(8usize, 16usize), (10, 16), (12, 32)] {
         let dag = lu_cdag(n);
-        g.bench_with_input(BenchmarkId::new("lu", format!("n{n}_m{m}")), &m, |bench, &m| {
-            bench.iter(|| {
-                let moves = greedy_schedule(&dag, m);
-                black_box(verify(&dag, &moves, m).unwrap().q)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("lu", format!("n{n}_m{m}")),
+            &m,
+            |bench, &m| {
+                bench.iter(|| {
+                    let moves = greedy_schedule(&dag, m);
+                    black_box(verify(&dag, &moves, m).unwrap().q)
+                });
+            },
+        );
     }
     g.finish();
 }

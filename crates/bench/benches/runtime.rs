@@ -52,7 +52,11 @@ fn bench_collectives(c: &mut Criterion) {
     g.bench_function("bcast", |bench| {
         bench.iter(|| {
             let out = run(8, |comm| {
-                let mut buf = if comm.rank() == 0 { vec![1.0; len] } else { vec![] };
+                let mut buf = if comm.rank() == 0 {
+                    vec![1.0; len]
+                } else {
+                    vec![]
+                };
                 comm.bcast_f64(0, &mut buf);
                 buf.len()
             });

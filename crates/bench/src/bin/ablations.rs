@@ -8,9 +8,20 @@ fn main() {
     ablations::replication(
         512,
         16,
-        &[Grid3::new(4, 4, 1), Grid3::new(2, 4, 2), Grid3::new(2, 2, 4)],
+        &[
+            Grid3::new(4, 4, 1),
+            Grid3::new(2, 4, 2),
+            Grid3::new(2, 2, 4),
+        ],
     )
     .emit();
-    ablations::pivoting(256, &[Grid3::new(2, 2, 1), Grid3::new(2, 2, 2), Grid3::new(2, 2, 4)])
-        .emit();
+    ablations::pivoting(
+        256,
+        &[
+            Grid3::new(2, 2, 1),
+            Grid3::new(2, 2, 2),
+            Grid3::new(2, 2, 4),
+        ],
+    )
+    .emit();
 }

@@ -6,7 +6,15 @@ fn main() {
     let t0 = std::time::Instant::now();
     ex::bounds_report::run().emit();
     ex::table1::run(512, 8).emit();
-    ex::table2::run(&[(256, 4), (256, 16), (512, 16), (512, 32), (512, 27), (1024, 64)]).emit();
+    ex::table2::run(&[
+        (256, 4),
+        (256, 16),
+        (512, 16),
+        (512, 32),
+        (512, 27),
+        (1024, 64),
+    ])
+    .emit();
     ex::fig1::fig1(&[256, 512, 1024, 2048], &[4, 16, 64]).emit();
     ex::fig8::fig8a(1024, &[4, 8, 16, 32, 64]).emit();
     ex::fig8::fig8b(256, &[4, 8, 16, 32, 64]).emit();
@@ -18,14 +26,25 @@ fn main() {
     ex::ablations::replication(
         512,
         16,
-        &[xmpi::Grid3::new(4, 4, 1), xmpi::Grid3::new(2, 4, 2), xmpi::Grid3::new(2, 2, 4)],
+        &[
+            xmpi::Grid3::new(4, 4, 1),
+            xmpi::Grid3::new(2, 4, 2),
+            xmpi::Grid3::new(2, 2, 4),
+        ],
     )
     .emit();
     ex::ablations::pivoting(
         256,
-        &[xmpi::Grid3::new(2, 2, 1), xmpi::Grid3::new(2, 2, 2), xmpi::Grid3::new(2, 2, 4)],
+        &[
+            xmpi::Grid3::new(2, 2, 1),
+            xmpi::Grid3::new(2, 2, 2),
+            xmpi::Grid3::new(2, 2, 4),
+        ],
     )
     .emit();
     ex::generality::run().emit();
-    println!("\nall experiments done in {:.1}s; raw data in results/", t0.elapsed().as_secs_f64());
+    println!(
+        "\nall experiments done in {:.1}s; raw data in results/",
+        t0.elapsed().as_secs_f64()
+    );
 }

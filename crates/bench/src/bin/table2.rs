@@ -1,5 +1,12 @@
 //! Regenerate Table 2 (cost models vs measured volume per implementation).
 fn main() {
-    bench::experiments::table2::run(&[(256, 4), (256, 16), (512, 16), (512, 32), (512, 27), (1024, 64)])
-        .emit();
+    bench::experiments::table2::run(&[
+        (256, 4),
+        (256, 16),
+        (512, 16),
+        (512, 32),
+        (512, 27),
+        (1024, 64),
+    ])
+    .emit();
 }

@@ -1,0 +1,233 @@
+//! Trace one factorization run and report its profile.
+//!
+//! Runs the chosen algorithm under the event recorder, then:
+//!
+//! * writes `chrome.json` (open in Perfetto / `chrome://tracing`) and
+//!   `profile.json` (provenance-stamped profile report) to `--out`;
+//! * prints the per-phase and per-collective traffic tables — the same
+//!   decomposition Table 1 of the paper reports per routine — plus idle-time
+//!   attribution and the α-β-γ replay's predicted time-to-solution.
+//!
+//! Usage:
+//!   trace_report [--algo conflux|confchox|twod-lu|lu25d] [--n N] [--p P]
+//!                [--seed S] [--out DIR] [--pretty]
+
+use std::collections::BTreeMap;
+
+use bench::table::{human_bytes, render};
+use factor::{lu25d_swap::SwapLuConfig, ConfchoxConfig, ConfluxConfig, TwodConfig};
+use serde_json::json;
+use xmpi::trace::{capture, TraceConfig};
+use xmpi::{WorldStats, WorldTrace};
+use xtrace::profile::{coll_bytes_from_trace, phase_bytes_from_trace};
+use xtrace::{
+    chrome_trace, critical_path, path_length, profile_report, replay, Machine, Provenance, Timeline,
+};
+
+struct Args {
+    algo: String,
+    n: usize,
+    p: usize,
+    seed: u64,
+    out: Option<String>,
+    pretty: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        algo: "conflux".to_string(),
+        n: 256,
+        p: 8,
+        seed: 0,
+        out: None,
+        pretty: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--algo" => args.algo = val("--algo"),
+            "--n" => args.n = val("--n").parse().expect("--n: integer"),
+            "--p" => args.p = val("--p").parse().expect("--p: integer"),
+            "--seed" => args.seed = val("--seed").parse().expect("--seed: integer"),
+            "--out" => args.out = Some(val("--out")),
+            "--pretty" => args.pretty = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: trace_report [--algo conflux|confchox|twod-lu|lu25d] \
+                     [--n N] [--p P] [--seed S] [--out DIR] [--pretty]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn run_traced(args: &Args) -> (WorldTrace, WorldStats) {
+    let (stats, mut traces) = match args.algo.as_str() {
+        "conflux" => {
+            let a = dense::gen::random_matrix(args.n, args.n, args.seed);
+            let cfg = ConfluxConfig::auto(args.n, args.p).volume_only();
+            capture(TraceConfig::default(), || {
+                conflux_stats(factor::conflux_lu(&cfg, &a))
+            })
+        }
+        "confchox" => {
+            let a = dense::gen::random_spd(args.n, args.seed);
+            let cfg = ConfchoxConfig::auto(args.n, args.p).volume_only();
+            capture(TraceConfig::default(), || {
+                factor::confchox_cholesky(&cfg, &a)
+                    .expect("confchox failed")
+                    .stats
+            })
+        }
+        "twod-lu" => {
+            let a = dense::gen::random_matrix(args.n, args.n, args.seed);
+            let cfg = TwodConfig::auto(args.n, args.p).volume_only();
+            capture(TraceConfig::default(), || {
+                factor::twod_lu(&cfg, &a).expect("2D LU failed").stats
+            })
+        }
+        "lu25d" => {
+            let a = dense::gen::random_matrix(args.n, args.n, args.seed);
+            // Same grid/block selection COnfLUX would use, so the two are
+            // directly comparable.
+            let like = ConfluxConfig::auto(args.n, args.p);
+            let cfg = SwapLuConfig::new(like.n, like.v, like.grid).volume_only();
+            capture(TraceConfig::default(), || {
+                factor::lu25d_swap::lu25d_swap(&cfg, &a)
+                    .expect("2.5D LU failed")
+                    .stats
+            })
+        }
+        other => panic!("unknown --algo {other} (conflux|confchox|twod-lu|lu25d)"),
+    };
+    assert_eq!(traces.len(), 1, "expected exactly one traced world run");
+    (traces.pop().unwrap(), stats)
+}
+
+fn conflux_stats(out: Result<factor::LuOutput, dense::Error>) -> WorldStats {
+    out.expect("conflux failed").stats
+}
+
+fn main() {
+    let args = parse_args();
+    let (trace, stats) = run_traced(&args);
+
+    let prov = Provenance::here(
+        json!({ "algo": args.algo, "n": args.n, "p": args.p }),
+        Some(args.seed),
+    );
+    let report = profile_report(&trace, &stats, &prov);
+    let chrome = chrome_trace(&trace);
+
+    if let Some(dir) = &args.out {
+        std::fs::create_dir_all(dir).expect("create --out dir");
+        let dump = |v: &serde_json::Value| {
+            if args.pretty {
+                serde_json::to_string_pretty(v).unwrap()
+            } else {
+                serde_json::to_string(v).unwrap()
+            }
+        };
+        std::fs::write(format!("{dir}/profile.json"), dump(&report)).expect("write profile.json");
+        std::fs::write(format!("{dir}/chrome.json"), dump(&chrome)).expect("write chrome.json");
+        println!("wrote {dir}/profile.json and {dir}/chrome.json\n");
+    }
+
+    println!(
+        "{} n={} p={} seed={}  ({} events, {} bytes moved)\n",
+        args.algo,
+        args.n,
+        args.p,
+        args.seed,
+        trace.num_events(),
+        stats.total_bytes_sent(),
+    );
+
+    // Per-phase traffic: the per-routine decomposition of Table 1.
+    let total = stats.total_bytes_sent().max(1);
+    let phases: BTreeMap<String, (u64, u64)> = phase_bytes_from_trace(&trace);
+    let rows: Vec<Vec<String>> = phases
+        .iter()
+        .map(|(label, &(sent, recv))| {
+            vec![
+                label.clone(),
+                human_bytes(sent as f64),
+                human_bytes(recv as f64),
+                format!("{:.1}%", 100.0 * sent as f64 / total as f64),
+            ]
+        })
+        .collect();
+    println!("per-phase traffic");
+    println!("{}", render(&["phase", "sent", "recv", "% of sent"], &rows));
+
+    // Per-collective-kind traffic: must partition total_bytes_sent.
+    let colls = coll_bytes_from_trace(&trace);
+    let rows: Vec<Vec<String>> = colls
+        .iter()
+        .map(|(kind, &(bs, _br, ms, _mr))| {
+            vec![
+                kind.name().to_string(),
+                human_bytes(bs as f64),
+                ms.to_string(),
+                format!("{:.1}%", 100.0 * bs as f64 / total as f64),
+            ]
+        })
+        .collect();
+    println!("per-collective traffic");
+    println!(
+        "{}",
+        render(&["collective", "sent", "msgs", "% of sent"], &rows)
+    );
+
+    // Idle time per rank (measured, host clock).
+    let tl = Timeline::build(&trace);
+    let rows: Vec<Vec<String>> = tl
+        .ranks
+        .iter()
+        .map(|r| {
+            vec![
+                r.rank.to_string(),
+                format!("{:.3}", r.end as f64 / 1e6),
+                format!("{:.3}", r.wait_time() as f64 / 1e6),
+                r.total_flops().to_string(),
+            ]
+        })
+        .collect();
+    println!("per-rank timeline (host clock)");
+    println!("{}", render(&["rank", "end ms", "wait ms", "flops"], &rows));
+
+    let path = critical_path(&trace);
+    println!(
+        "critical path: {} segment(s), {:.3} ms on-path of {:.3} ms makespan\n",
+        path.len(),
+        path_length(&path) as f64 / 1e6,
+        tl.makespan as f64 / 1e6,
+    );
+
+    // Predicted time-to-solution under the paper's machine model.
+    let m = Machine::piz_daint();
+    let rp = replay(&trace, &m);
+    println!(
+        "α-β-γ replay (α={:.1e}s, β={:.1e}B/s, γε={:.2e}flop/s): \
+         predicted makespan {:.6}s{}",
+        m.alpha,
+        m.beta,
+        m.gamma * m.epsilon,
+        rp.makespan,
+        if rp.complete {
+            ""
+        } else {
+            "  [truncated trace: lower bound]"
+        },
+    );
+    let comp: f64 = rp.comp.iter().sum::<f64>() / rp.comp.len().max(1) as f64;
+    let wait: f64 = rp.wait.iter().sum::<f64>() / rp.wait.len().max(1) as f64;
+    println!("  mean per-rank: compute {comp:.6}s, blocked {wait:.6}s");
+}

@@ -26,7 +26,7 @@ pub fn block_size(n: usize, grid: Grid3, vs: &[usize]) -> Report {
     let mut rows = Vec::new();
     let mut data = Vec::new();
     for &v in vs {
-        if n % v != 0 || v % grid.pz != 0 {
+        if !n.is_multiple_of(v) || !v.is_multiple_of(grid.pz) {
             continue;
         }
         let out = conflux_lu(&ConfluxConfig::new(n, v, grid).volume_only(), &w.general)
@@ -41,7 +41,9 @@ pub fn block_size(n: usize, grid: Grid3, vs: &[usize]) -> Report {
             format!("{msgs:.0}"),
             format!("{:.2}", t * 1e3),
         ]);
-        data.push(json!({ "v": v, "bytes_per_rank": bytes, "msgs_per_rank": msgs, "sim_ms": t * 1e3 }));
+        data.push(
+            json!({ "v": v, "bytes_per_rank": bytes, "msgs_per_rank": msgs, "sim_ms": t * 1e3 }),
+        );
     }
     Report {
         id: "ablation_block_size".into(),
@@ -93,7 +95,14 @@ pub fn replication(n: usize, p: usize, grids: &[Grid3]) -> Report {
         title: format!("COnfLUX replication sweep, N={n}, P={p}"),
         json: json!({ "sweep": data }),
         text: render(
-            &["grid", "v", "bytes/rank", "scatter total", "reduces total", "sim ms"],
+            &[
+                "grid",
+                "v",
+                "bytes/rank",
+                "scatter total",
+                "reduces total",
+                "sim ms",
+            ],
             &rows,
         ),
     }
@@ -113,14 +122,16 @@ pub fn pivoting(n: usize, grids: &[Grid3]) -> Report {
         let swap = lu25d_swap(&SwapLuConfig::new(n, v, grid).volume_only(), &w.general)
             .expect("swap run failed")
             .stats;
-        let swap_phase =
-            swap.phase_totals().get("row_swaps").map_or(0, |&(s, _)| s);
+        let swap_phase = swap.phase_totals().get("row_swaps").map_or(0, |&(s, _)| s);
         rows.push(vec![
             format!("[{},{},{}]", grid.px, grid.py, grid.pz),
             format!("{}", mask.total_bytes_sent()),
             format!("{}", swap.total_bytes_sent()),
             format!("{swap_phase}"),
-            format!("{:.2}x", swap.total_bytes_sent() as f64 / mask.total_bytes_sent() as f64),
+            format!(
+                "{:.2}x",
+                swap.total_bytes_sent() as f64 / mask.total_bytes_sent() as f64
+            ),
         ]);
         data.push(json!({
             "grid": [grid.px, grid.py, grid.pz],
@@ -134,7 +145,13 @@ pub fn pivoting(n: usize, grids: &[Grid3]) -> Report {
         title: format!("row masking vs row swapping, N={n}"),
         json: json!({ "sweep": data }),
         text: render(
-            &["grid", "masking total B", "swapping total B", "swap-phase B", "swap/mask"],
+            &[
+                "grid",
+                "masking total B",
+                "swapping total B",
+                "swap-phase B",
+                "swap/mask",
+            ],
             &rows,
         ),
     }
@@ -149,8 +166,14 @@ mod tests {
         let r = block_size(256, Grid3::new(2, 2, 2), &[8, 32]);
         let s = r.json["sweep"].as_array().unwrap();
         assert_eq!(s.len(), 2);
-        let (b8, m8) = (s[0]["bytes_per_rank"].as_f64().unwrap(), s[0]["msgs_per_rank"].as_f64().unwrap());
-        let (b32, m32) = (s[1]["bytes_per_rank"].as_f64().unwrap(), s[1]["msgs_per_rank"].as_f64().unwrap());
+        let (b8, m8) = (
+            s[0]["bytes_per_rank"].as_f64().unwrap(),
+            s[0]["msgs_per_rank"].as_f64().unwrap(),
+        );
+        let (b32, m32) = (
+            s[1]["bytes_per_rank"].as_f64().unwrap(),
+            s[1]["msgs_per_rank"].as_f64().unwrap(),
+        );
         assert!(b8 < b32, "smaller v must move fewer bytes");
         assert!(m8 > m32, "smaller v must send more messages");
     }

@@ -41,7 +41,9 @@ pub fn run() -> Report {
                 "Cholesky" => cholesky_io_lower_bound(n, 1, m as f64),
                 _ => mmm_io_lower_bound(n, 1, m as f64),
             };
-            let q = verify(&g, &greedy_schedule(&g, m), m).expect("valid schedule").q;
+            let q = verify(&g, &greedy_schedule(&g, m), m)
+                .expect("valid schedule")
+                .q;
             sand_rows.push(vec![
                 name.into(),
                 format!("{n}"),
@@ -74,7 +76,10 @@ pub fn run() -> Report {
          sandwich — lower bound ≤ Q_opt ≤ greedy pebbling:\n{}\n\
          parallel bounds at N=16384, M=c·N²/P, c=P^(1/3) (words/rank):\n{}",
         render(&["M", "X₀", "3M", "ρ(X₀)", "√M/2"], &rho_rows),
-        render(&["kernel", "n", "M", "lower bound", "greedy Q", "ratio"], &sand_rows),
+        render(
+            &["kernel", "n", "M", "lower bound", "greedy Q", "ratio"],
+            &sand_rows
+        ),
         render(&["P", "LU bound", "Cholesky bound"], &par_rows)
     );
     Report {

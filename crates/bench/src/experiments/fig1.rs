@@ -14,7 +14,14 @@ use crate::table::render;
 use serde_json::json;
 
 /// Shared implementation for Fig. 1 (LU) and Fig. 11 (Cholesky).
-fn speedup_grid(id: &str, title: &str, ours: Algo, baselines: &[(Algo, &str)], ns: &[usize], ps: &[usize]) -> Report {
+fn speedup_grid(
+    id: &str,
+    title: &str,
+    ours: Algo,
+    baselines: &[(Algo, &str)],
+    ns: &[usize],
+    ps: &[usize],
+) -> Report {
     let mach = Machine::piz_daint();
     let mut rows = Vec::new();
     let mut data = Vec::new();
@@ -48,7 +55,12 @@ fn speedup_grid(id: &str, title: &str, ours: Algo, baselines: &[(Algo, &str)], n
         }
     }
     let text = render(&["P", "N", "speedup vs best baseline", "% of peak"], &rows);
-    Report { id: id.into(), title: title.into(), json: json!({ "grid": data }), text }
+    Report {
+        id: id.into(),
+        title: title.into(),
+        json: json!({ "grid": data }),
+        text,
+    }
 }
 
 /// Fig. 1: COnfLUX speedup + % of peak.

@@ -53,8 +53,20 @@ pub fn fig8a(n: usize, ps: &[usize]) -> Report {
     }
     let text = format!(
         "measured (N={n}):\n{}\nmodel lines at paper scale (N=16384, c=P^(1/3), bytes/rank):\n{}",
-        render(&["P", "COnfLUX B/rank", "2D (MKL/SLATE)", "2.5D swap (CANDMC-like)", "2D/COnfLUX"], &rows),
-        render(&["P", "COnfLUX model", "MKL/SLATE model", "CANDMC model"], &model_rows)
+        render(
+            &[
+                "P",
+                "COnfLUX B/rank",
+                "2D (MKL/SLATE)",
+                "2.5D swap (CANDMC-like)",
+                "2D/COnfLUX"
+            ],
+            &rows
+        ),
+        render(
+            &["P", "COnfLUX model", "MKL/SLATE model", "CANDMC model"],
+            &model_rows
+        )
     );
     Report {
         id: "fig8a".into(),
@@ -113,7 +125,11 @@ pub fn fig8c(ns: &[usize], ps: &[usize]) -> Report {
             let sw = run_algo(Algo::SwapLu, n, p, &w, &mach);
             let second_best = td.bytes_per_rank.min(sw.bytes_per_rank);
             let red = second_best / cf.bytes_per_rank;
-            let who = if td.bytes_per_rank <= sw.bytes_per_rank { "M/S" } else { "C" };
+            let who = if td.bytes_per_rank <= sw.bytes_per_rank {
+                "M/S"
+            } else {
+                "C"
+            };
             rows.push(vec![
                 format!("{n}"),
                 format!("{p}"),

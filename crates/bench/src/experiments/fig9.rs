@@ -40,7 +40,10 @@ fn perf_series(
         }
         let mut headers = vec!["P"];
         headers.extend(algos.iter().map(|&(_, l)| l));
-        sections.push_str(&format!("strong scaling, N={n}:\n{}\n", render(&headers, &rows)));
+        sections.push_str(&format!(
+            "strong scaling, N={n}:\n{}\n",
+            render(&headers, &rows)
+        ));
     }
 
     // Weak scaling panel (c): N = √(elems_per_rank · P).
@@ -66,7 +69,12 @@ fn perf_series(
         render(&headers, &rows)
     ));
 
-    Report { id: id.into(), title: title.into(), json: json!({ "series": data }), text: sections }
+    Report {
+        id: id.into(),
+        title: title.into(),
+        json: json!({ "series": data }),
+        text: sections,
+    }
 }
 
 /// Fig. 9: % of peak for LU.
@@ -74,7 +82,11 @@ pub fn fig9(ps: &[usize]) -> Report {
     perf_series(
         "fig9",
         "% of machine peak, LU factorization (strong + weak scaling)",
-        &[(Algo::Conflux, "COnfLUX"), (Algo::TwodLu, "MKL/SLATE 2D"), (Algo::SwapLu, "CANDMC-like")],
+        &[
+            (Algo::Conflux, "COnfLUX"),
+            (Algo::TwodLu, "MKL/SLATE 2D"),
+            (Algo::SwapLu, "CANDMC-like"),
+        ],
         &[512, 1024],
         ps,
         16384,
@@ -86,7 +98,10 @@ pub fn fig10(ps: &[usize]) -> Report {
     perf_series(
         "fig10",
         "% of machine peak, Cholesky factorization (strong + weak scaling)",
-        &[(Algo::Confchox, "COnfCHOX"), (Algo::TwodChol, "MKL/SLATE 2D")],
+        &[
+            (Algo::Confchox, "COnfCHOX"),
+            (Algo::TwodChol, "MKL/SLATE 2D"),
+        ],
         &[512, 1024],
         ps,
         16384,

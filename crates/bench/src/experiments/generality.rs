@@ -21,7 +21,11 @@ pub fn run() -> Report {
     let b = random_matrix(n, n, 52);
     let mut mmm_rows = Vec::new();
     let mut mmm_data = Vec::new();
-    for grid in [Grid3::new(4, 4, 1), Grid3::new(2, 4, 2), Grid3::new(2, 2, 4)] {
+    for grid in [
+        Grid3::new(4, 4, 1),
+        Grid3::new(2, 4, 2),
+        Grid3::new(2, 2, 4),
+    ] {
         let p = grid.size();
         let out = mmm25d(&Mmm25dConfig::new(n, 8, grid).volume_only(), &a, &b);
         let words = out.stats.avg_rank_bytes() / 16.0;

@@ -5,9 +5,9 @@
 pub mod ablations;
 pub mod bounds_report;
 pub mod fig1;
-pub mod generality;
 pub mod fig8;
 pub mod fig9;
+pub mod generality;
 pub mod table1;
 pub mod table2;
 

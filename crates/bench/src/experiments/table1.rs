@@ -35,8 +35,8 @@ pub fn run(n: usize, p: usize) -> Report {
     let spd = random_spd(n, 22);
 
     let lu = conflux_lu(&ConfluxConfig::new(n, v, grid).volume_only(), &a).expect("lu");
-    let ch = confchox_cholesky(&ConfchoxConfig::new(n, v, grid).volume_only(), &spd)
-        .expect("cholesky");
+    let ch =
+        confchox_cholesky(&ConfchoxConfig::new(n, v, grid).volume_only(), &spd).expect("cholesky");
 
     let mut rows_map: std::collections::BTreeMap<&'static str, (u64, u64)> = Default::default();
     for (phase, (sent, _)) in lu.stats.phase_totals() {
@@ -48,10 +48,22 @@ pub fn run(n: usize, p: usize) -> Report {
 
     // The symbolic per-step costs from the paper's Table 1.
     let symbolic: &[(&str, &str, &str)] = &[
-        ("TournPivot / (no pivoting)", "v²·⌈log₂√P1⌉", "— (Cholesky has no pivoting)"),
+        (
+            "TournPivot / (no pivoting)",
+            "v²·⌈log₂√P1⌉",
+            "— (Cholesky has no pivoting)",
+        ),
         ("A00", "v² + v broadcast", "v² broadcast (potrf)"),
-        ("A10 and A01 (reduce + trsm)", "2(N−tv)vM/N²", "2(N−tv)vM/N² (same)"),
-        ("A11 (scatter + local gemm)", "2(N−tv)v/P · gemm", "2(N−tv)v/P · gemmt (half flops)"),
+        (
+            "A10 and A01 (reduce + trsm)",
+            "2(N−tv)vM/N²",
+            "2(N−tv)vM/N² (same)",
+        ),
+        (
+            "A11 (scatter + local gemm)",
+            "2(N−tv)v/P · gemm",
+            "2(N−tv)v/P · gemmt (half flops)",
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -72,7 +84,13 @@ pub fn run(n: usize, p: usize) -> Report {
          total flops LU/Chol = {flops_ratio:.2}x (paper: 2x)\n\
          total volume LU/Chol = {vol_ratio:.2}x (paper: ~1x — same communication class)\n",
         render(
-            &["routine", "COnfLUX cost/step", "COnfLUX bytes", "COnfCHOX cost/step", "COnfCHOX bytes"],
+            &[
+                "routine",
+                "COnfLUX cost/step",
+                "COnfLUX bytes",
+                "COnfCHOX cost/step",
+                "COnfCHOX bytes"
+            ],
             &rows
         ),
         grid.px,
@@ -104,6 +122,9 @@ mod tests {
         let ratio = r.json["flops_ratio"].as_f64().unwrap();
         assert!((ratio - 2.0).abs() < 0.1, "LU must do 2x the flops");
         let vol = r.json["volume_ratio"].as_f64().unwrap();
-        assert!(vol > 0.5 && vol < 3.0, "volumes must be the same class, got {vol}");
+        assert!(
+            vol > 0.5 && vol < 3.0,
+            "volumes must be the same class, got {vol}"
+        );
     }
 }

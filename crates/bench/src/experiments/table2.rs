@@ -18,7 +18,13 @@ use serde_json::json;
 /// Regenerate Table 2 over a sweep of `(n, p)` points.
 pub fn run(points: &[(usize, usize)]) -> Report {
     let mach = Machine::piz_daint();
-    let algos = [Algo::Conflux, Algo::Confchox, Algo::TwodLu, Algo::TwodChol, Algo::SwapLu];
+    let algos = [
+        Algo::Conflux,
+        Algo::Confchox,
+        Algo::TwodLu,
+        Algo::TwodChol,
+        Algo::SwapLu,
+    ];
     let mut rows = Vec::new();
     let mut data = Vec::new();
     for &(n, p) in points {

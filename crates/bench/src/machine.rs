@@ -35,7 +35,12 @@ impl Machine {
     /// ~10 GB/s Aries injection per node over 2 ranks, 1.5 µs latency,
     /// 70% local-kernel efficiency.
     pub fn piz_daint() -> Self {
-        Machine { gamma: 0.605e12, epsilon: 0.7, beta: 5.0e9, alpha: 1.5e-6 }
+        Machine {
+            gamma: 0.605e12,
+            epsilon: 0.7,
+            beta: 5.0e9,
+            alpha: 1.5e-6,
+        }
     }
 
     /// Simulated per-rank execution time for one rank's workload.
@@ -66,14 +71,24 @@ mod tests {
 
     #[test]
     fn rank_time_sums_terms() {
-        let m = Machine { gamma: 1e9, epsilon: 0.5, beta: 1e9, alpha: 1e-6 };
+        let m = Machine {
+            gamma: 1e9,
+            epsilon: 0.5,
+            beta: 1e9,
+            alpha: 1e-6,
+        };
         let t = m.rank_time(5e8, 1e9, 1000.0);
         assert!((t - (1.0 + 1.0 + 1e-3)).abs() < 1e-9);
     }
 
     #[test]
     fn pct_peak_is_100_at_perfect_execution() {
-        let m = Machine { gamma: 1e9, epsilon: 1.0, beta: f64::INFINITY, alpha: 0.0 };
+        let m = Machine {
+            gamma: 1e9,
+            epsilon: 1.0,
+            beta: f64::INFINITY,
+            alpha: 0.0,
+        };
         let t = m.rank_time(1e9, 0.0, 0.0);
         assert!((m.pct_peak(4e9, 4, t) - 100.0).abs() < 1e-9);
     }

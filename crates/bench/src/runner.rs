@@ -87,7 +87,15 @@ pub struct Measurement {
     pub pct_peak: f64,
 }
 
-fn measurement(algo: Algo, n: usize, p: usize, block: usize, c: usize, stats: &WorldStats, mach: &Machine) -> Measurement {
+fn measurement(
+    algo: Algo,
+    n: usize,
+    p: usize,
+    block: usize,
+    c: usize,
+    stats: &WorldStats,
+    mach: &Machine,
+) -> Measurement {
     let bytes_max = stats.max_rank_bytes() as f64;
     let msgs = stats.total_msgs() as f64 / p as f64;
     let flops_rank = algo.total_flops(n) / p as f64;
@@ -117,7 +125,10 @@ pub struct Workload {
 impl Workload {
     /// Deterministic workload for dimension `n`.
     pub fn new(n: usize, seed: u64) -> Self {
-        Workload { general: random_matrix(n, n, seed), spd: random_spd(n, seed + 1) }
+        Workload {
+            general: random_matrix(n, n, seed),
+            spd: random_spd(n, seed + 1),
+        }
     }
 }
 
@@ -157,14 +168,26 @@ pub fn run_algo(algo: Algo, n: usize, p: usize, w: &Workload, mach: &Machine) ->
 }
 
 /// Explicit-grid variants used by experiments that sweep decompositions.
-pub fn run_conflux_grid(n: usize, v: usize, grid: Grid3, w: &Workload, mach: &Machine) -> Measurement {
+pub fn run_conflux_grid(
+    n: usize,
+    v: usize,
+    grid: Grid3,
+    w: &Workload,
+    mach: &Machine,
+) -> Measurement {
     let cfg = ConfluxConfig::new(n, v, grid).volume_only();
     let out = conflux_lu(&cfg, &w.general).expect("conflux failed");
     measurement(Algo::Conflux, n, grid.size(), v, grid.pz, &out.stats, mach)
 }
 
 /// 2D LU at an explicit grid and block size.
-pub fn run_twod_lu_grid(n: usize, nb: usize, grid: Grid2, w: &Workload, mach: &Machine) -> Measurement {
+pub fn run_twod_lu_grid(
+    n: usize,
+    nb: usize,
+    grid: Grid2,
+    w: &Workload,
+    mach: &Machine,
+) -> Measurement {
     let cfg = TwodConfig::new(n, nb, grid).volume_only();
     let out = twod_lu(&cfg, &w.general).expect("2d lu failed");
     measurement(Algo::TwodLu, n, grid.size(), nb, 1, &out.stats, mach)
@@ -184,10 +207,20 @@ mod tests {
     fn run_each_algo_smoke() {
         let mach = Machine::piz_daint();
         let w = Workload::new(32, 7);
-        for algo in [Algo::Conflux, Algo::Confchox, Algo::TwodLu, Algo::TwodChol, Algo::SwapLu] {
+        for algo in [
+            Algo::Conflux,
+            Algo::Confchox,
+            Algo::TwodLu,
+            Algo::TwodChol,
+            Algo::SwapLu,
+        ] {
             let m = run_algo(algo, 32, 4, &w, &mach);
             assert!(m.sim_time > 0.0, "{algo:?}");
-            assert!(m.pct_peak > 0.0 && m.pct_peak <= 100.0, "{algo:?}: {}", m.pct_peak);
+            assert!(
+                m.pct_peak > 0.0 && m.pct_peak <= 100.0,
+                "{algo:?}: {}",
+                m.pct_peak
+            );
             if m.p > 1 {
                 assert!(m.bytes_per_rank > 0.0, "{algo:?}");
             }

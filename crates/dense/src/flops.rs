@@ -1,9 +1,44 @@
-//! Analytic flop counts for the kernels in this crate.
+//! Analytic flop counts for the kernels in this crate, plus a per-thread
+//! running tally.
 //!
 //! The simulated time-to-solution model in the benchmark harness combines
 //! the runtime's *measured* byte counts with per-rank flop counts; these
 //! helpers give the standard operation counts so call sites can account for
 //! their local computation without instrumenting inner loops.
+//!
+//! Every kernel in this crate also *credits* its analytic count to a
+//! thread-local tally at entry ([`tally`]). Because `xmpi` runs each
+//! simulated rank on its own OS thread, [`thread_flops`] read on a rank
+//! thread is that rank's cumulative local computation — the number
+//! `Comm::set_phase_with_flops` embeds in event traces so the `xtrace`
+//! analyses can attribute computation to phases. Counting happens at kernel
+//! *entry* on the calling thread (not inside parallel workers) so flops done
+//! by `par_gemm`'s Rayon helpers are still credited to the rank that issued
+//! the call.
+
+use std::cell::Cell;
+
+thread_local! {
+    static TALLY: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Credit `n` flops to the calling thread's tally (kernels call this at
+/// entry; call sites normally never need to).
+#[inline]
+pub fn tally(n: u64) {
+    TALLY.with(|t| t.set(t.get().wrapping_add(n)));
+}
+
+/// The calling thread's cumulative flop count since thread start (or the
+/// last [`reset_thread_flops`]).
+pub fn thread_flops() -> u64 {
+    TALLY.with(Cell::get)
+}
+
+/// Zero the calling thread's tally.
+pub fn reset_thread_flops() {
+    TALLY.with(|t| t.set(0));
+}
 
 /// Flops for `C ← α·A·B + β·C` with `A: m×k`, `B: k×n` (one multiply and one
 /// add per inner-product step).
@@ -54,6 +89,41 @@ pub fn cholesky_total_flops(n: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tally_accumulates_per_thread() {
+        reset_thread_flops();
+        tally(10);
+        tally(5);
+        assert_eq!(thread_flops(), 15);
+        // Another thread starts from zero.
+        let other = std::thread::spawn(thread_flops).join().unwrap();
+        assert_eq!(other, 0);
+        reset_thread_flops();
+        assert_eq!(thread_flops(), 0);
+    }
+
+    #[test]
+    fn kernels_credit_the_tally() {
+        use crate::gemm::{gemm, Trans};
+        use crate::gen::random_matrix;
+        use crate::matrix::Matrix;
+        reset_thread_flops();
+        let a = random_matrix(8, 4, 1);
+        let b = random_matrix(4, 6, 2);
+        let mut c = Matrix::zeros(8, 6);
+        gemm(
+            Trans::N,
+            Trans::N,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        assert_eq!(thread_flops(), gemm_flops(8, 6, 4));
+        reset_thread_flops();
+    }
 
     #[test]
     fn gemm_count_is_symmetric_in_m_n() {

@@ -46,7 +46,15 @@ const NB: usize = 64;
 ///
 /// # Panics
 /// On shape mismatch.
-pub fn gemm(ta: Trans, tb: Trans, alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, mut c: MatMut<'_>) {
+pub fn gemm(
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+) {
     let (m, ka) = ta.dims(a);
     let (kb, n) = tb.dims(b);
     assert_eq!(ka, kb, "gemm: inner dimensions must match");
@@ -58,6 +66,7 @@ pub fn gemm(ta: Trans, tb: Trans, alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta
     if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
         return;
     }
+    crate::flops::tally(crate::flops::gemm_flops(m, n, k));
 
     // Fast path: no transposes — walk A and C rows contiguously and stream B
     // rows, the classic ikj order on row-major data.
@@ -162,6 +171,7 @@ pub fn gemmt(
     assert_eq!(ka, kb, "gemmt: inner dimensions must match");
     assert_eq!(c.rows(), m);
     assert_eq!(c.cols(), n);
+    crate::flops::tally(crate::flops::gemmt_flops(n, ka));
 
     for i in 0..m {
         let (lo, hi) = match uplo {
@@ -198,6 +208,9 @@ pub fn par_gemm(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, c: &mut Mat
     }
 
     let k = a.cols();
+    // Credit the whole product to the calling (rank) thread: the Rayon
+    // workers below have their own tallies, which nobody reads.
+    crate::flops::tally(crate::flops::gemm_flops(m, n, k));
     let stride = n;
     c.data_mut()
         .par_chunks_mut(NB * stride)
@@ -222,7 +235,15 @@ mod tests {
     use crate::norms::max_abs_diff;
 
     /// Straightforward triple-loop reference.
-    fn naive(ta: Trans, tb: Trans, alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &Matrix) -> Matrix {
+    fn naive(
+        ta: Trans,
+        tb: Trans,
+        alpha: f64,
+        a: &Matrix,
+        b: &Matrix,
+        beta: f64,
+        c: &Matrix,
+    ) -> Matrix {
         let (m, k) = ta.dims(a.as_ref());
         let (_, n) = tb.dims(b.as_ref());
         Matrix::from_fn(m, n, |i, j| {
@@ -251,7 +272,10 @@ mod tests {
             let expect = naive(ta, tb, 1.5, &a, &b, -0.5, &c0);
             let mut c = c0.clone();
             gemm(ta, tb, 1.5, a.as_ref(), b.as_ref(), -0.5, c.as_mut());
-            assert!(max_abs_diff(&c, &expect) < 1e-10, "mismatch for {ta:?},{tb:?}");
+            assert!(
+                max_abs_diff(&c, &expect) < 1e-10,
+                "mismatch for {ta:?},{tb:?}"
+            );
         }
     }
 
@@ -260,7 +284,15 @@ mod tests {
         let a = random_matrix(8, 8, 10);
         let b = random_matrix(8, 8, 11);
         let mut c = Matrix::from_fn(8, 8, |_, _| f64::MAX / 4.0);
-        gemm(Trans::N, Trans::N, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        gemm(
+            Trans::N,
+            Trans::N,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
         let expect = naive(Trans::N, Trans::N, 1.0, &a, &b, 0.0, &Matrix::zeros(8, 8));
         assert!(max_abs_diff(&c, &expect) < 1e-10);
     }
@@ -282,7 +314,16 @@ mod tests {
     fn gemmt_only_touches_requested_triangle() {
         let a = random_matrix(9, 4, 20);
         let mut c = Matrix::from_fn(9, 9, |_, _| 99.0);
-        gemmt(CUplo::Lower, Trans::N, Trans::T, 1.0, a.as_ref(), a.as_ref(), 0.0, c.as_mut());
+        gemmt(
+            CUplo::Lower,
+            Trans::N,
+            Trans::T,
+            1.0,
+            a.as_ref(),
+            a.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
         for i in 0..9 {
             for j in 0..9 {
                 if j > i {
@@ -292,7 +333,15 @@ mod tests {
         }
         // Lower triangle agrees with full gemm.
         let mut full = Matrix::zeros(9, 9);
-        gemm(Trans::N, Trans::T, 1.0, a.as_ref(), a.as_ref(), 0.0, full.as_mut());
+        gemm(
+            Trans::N,
+            Trans::T,
+            1.0,
+            a.as_ref(),
+            a.as_ref(),
+            0.0,
+            full.as_mut(),
+        );
         for i in 0..9 {
             for j in 0..=i {
                 assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-12);
@@ -304,7 +353,16 @@ mod tests {
     fn gemmt_upper_variant() {
         let a = random_matrix(7, 3, 21);
         let mut c = Matrix::zeros(7, 7);
-        gemmt(CUplo::Upper, Trans::N, Trans::T, -1.0, a.as_ref(), a.as_ref(), 1.0, c.as_mut());
+        gemmt(
+            CUplo::Upper,
+            Trans::N,
+            Trans::T,
+            -1.0,
+            a.as_ref(),
+            a.as_ref(),
+            1.0,
+            c.as_mut(),
+        );
         for i in 0..7 {
             for j in 0..7 {
                 if j < i {
@@ -322,7 +380,15 @@ mod tests {
         let mut c_par = c0.clone();
         par_gemm(2.0, a.as_ref(), b.as_ref(), 0.25, &mut c_par);
         let mut c_seq = c0.clone();
-        gemm(Trans::N, Trans::N, 2.0, a.as_ref(), b.as_ref(), 0.25, c_seq.as_mut());
+        gemm(
+            Trans::N,
+            Trans::N,
+            2.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.25,
+            c_seq.as_mut(),
+        );
         assert!(max_abs_diff(&c_par, &c_seq) < 1e-9);
     }
 
@@ -333,7 +399,15 @@ mod tests {
         let b = random_matrix(160, 160, 41);
         let mut c = Matrix::zeros(160, 160);
         par_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, &mut c);
-        let expect = naive(Trans::N, Trans::N, 1.0, &a, &b, 0.0, &Matrix::zeros(160, 160));
+        let expect = naive(
+            Trans::N,
+            Trans::N,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &Matrix::zeros(160, 160),
+        );
         assert!(max_abs_diff(&c, &expect) < 1e-8);
     }
 
@@ -342,11 +416,27 @@ mod tests {
         let a = Matrix::zeros(0, 5);
         let b = Matrix::zeros(5, 3);
         let mut c = Matrix::zeros(0, 3);
-        gemm(Trans::N, Trans::N, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        gemm(
+            Trans::N,
+            Trans::N,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
         let a = Matrix::zeros(4, 0);
         let b = Matrix::zeros(0, 3);
         let mut c = Matrix::from_fn(4, 3, |_, _| 2.0);
-        gemm(Trans::N, Trans::N, 1.0, a.as_ref(), b.as_ref(), 1.0, c.as_mut());
+        gemm(
+            Trans::N,
+            Trans::N,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            1.0,
+            c.as_mut(),
+        );
         assert_eq!(c[(0, 0)], 2.0, "k=0 with beta=1 leaves C unchanged");
     }
 }

@@ -21,7 +21,15 @@ pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
 pub fn random_spd(n: usize, seed: u64) -> Matrix {
     let b = random_matrix(n, n, seed);
     let mut a = Matrix::zeros(n, n);
-    gemm(Trans::N, Trans::T, 1.0, b.as_ref(), b.as_ref(), 0.0, a.as_mut());
+    gemm(
+        Trans::N,
+        Trans::T,
+        1.0,
+        b.as_ref(),
+        b.as_ref(),
+        0.0,
+        a.as_mut(),
+    );
     for i in 0..n {
         a[(i, i)] += n as f64;
     }
@@ -63,7 +71,10 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(max_abs_diff(&random_matrix(10, 10, 5), &random_matrix(10, 10, 5)), 0.0);
+        assert_eq!(
+            max_abs_diff(&random_matrix(10, 10, 5), &random_matrix(10, 10, 5)),
+            0.0
+        );
         assert_eq!(max_abs_diff(&random_spd(8, 2), &random_spd(8, 2)), 0.0);
     }
 

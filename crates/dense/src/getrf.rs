@@ -18,6 +18,7 @@ pub fn getrf_unblocked(mut a: MatMut<'_>, ipiv: &mut Vec<usize>) -> Result<()> {
     let m = a.rows();
     let n = a.cols();
     let steps = m.min(n);
+    crate::flops::tally(crate::flops::getrf_flops(m, n));
     ipiv.clear();
     ipiv.reserve(steps);
     for k in 0..steps {
@@ -216,7 +217,12 @@ mod tests {
                 for k in 0..=j.min(i) {
                     let lik = if k == i { 1.0 } else { a[(i, k)] };
                     if k <= j {
-                        acc += lik * if k == j && k == i { a[(i, j)] } else { a[(k, j)] };
+                        acc += lik
+                            * if k == j && k == i {
+                                a[(i, j)]
+                            } else {
+                                a[(k, j)]
+                            };
                     }
                 }
                 // Careful reconstruction: L[i][k] (k<min(i,6)), U[k][j] (k<=j).

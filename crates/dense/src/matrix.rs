@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// Create a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { data: vec![0.0; rows * cols], rows, cols }
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Create the `n × n` identity matrix.
@@ -83,13 +87,23 @@ impl Matrix {
     /// Immutable view of the whole matrix.
     #[inline]
     pub fn as_ref(&self) -> MatRef<'_> {
-        MatRef { data: &self.data, rows: self.rows, cols: self.cols, stride: self.cols }
+        MatRef {
+            data: &self.data,
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.cols,
+        }
     }
 
     /// Mutable view of the whole matrix.
     #[inline]
     pub fn as_mut(&mut self) -> MatMut<'_> {
-        MatMut { rows: self.rows, cols: self.cols, stride: self.cols, data: &mut self.data }
+        MatMut {
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.cols,
+            data: &mut self.data,
+        }
     }
 
     /// Immutable view of the `nr × nc` window starting at `(r0, c0)`.
@@ -171,7 +185,12 @@ impl<'a> MatRef<'a> {
     pub fn from_slice(data: &'a [f64], rows: usize, cols: usize, stride: usize) -> Self {
         assert!(cols <= stride || rows == 0);
         assert!(rows == 0 || (rows - 1) * stride + cols <= data.len());
-        MatRef { data, rows, cols, stride }
+        MatRef {
+            data,
+            rows,
+            cols,
+            stride,
+        }
     }
 
     /// Number of rows.
@@ -208,10 +227,22 @@ impl<'a> MatRef<'a> {
 
     /// Sub-window view.
     pub fn block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatRef<'a> {
-        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "block out of range");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "block out of range"
+        );
         let start = r0 * self.stride + c0;
-        let end = if nr == 0 { start } else { start + (nr - 1) * self.stride + nc };
-        MatRef { data: &self.data[start..end], rows: nr, cols: nc, stride: self.stride }
+        let end = if nr == 0 {
+            start
+        } else {
+            start + (nr - 1) * self.stride + nc
+        };
+        MatRef {
+            data: &self.data[start..end],
+            rows: nr,
+            cols: nc,
+            stride: self.stride,
+        }
     }
 
     /// Copy this window into an owned matrix.
@@ -240,7 +271,12 @@ impl<'a> MatMut<'a> {
     pub fn from_slice(data: &'a mut [f64], rows: usize, cols: usize, stride: usize) -> Self {
         assert!(cols <= stride || rows == 0);
         assert!(rows == 0 || (rows - 1) * stride + cols <= data.len());
-        MatMut { data, rows, cols, stride }
+        MatMut {
+            data,
+            rows,
+            cols,
+            stride,
+        }
     }
 
     /// Number of rows.
@@ -299,21 +335,43 @@ impl<'a> MatMut<'a> {
     /// Reborrow as an immutable view.
     #[inline]
     pub fn rb(&self) -> MatRef<'_> {
-        MatRef { data: self.data, rows: self.rows, cols: self.cols, stride: self.stride }
+        MatRef {
+            data: self.data,
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.stride,
+        }
     }
 
     /// Reborrow as a shorter-lived mutable view.
     #[inline]
     pub fn rb_mut(&mut self) -> MatMut<'_> {
-        MatMut { data: self.data, rows: self.rows, cols: self.cols, stride: self.stride }
+        MatMut {
+            data: self.data,
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.stride,
+        }
     }
 
     /// Mutable sub-window view (consumes the borrow).
     pub fn block(self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatMut<'a> {
-        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "block out of range");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "block out of range"
+        );
         let start = r0 * self.stride + c0;
-        let end = if nr == 0 { start } else { start + (nr - 1) * self.stride + nc };
-        MatMut { data: &mut self.data[start..end], rows: nr, cols: nc, stride: self.stride }
+        let end = if nr == 0 {
+            start
+        } else {
+            start + (nr - 1) * self.stride + nc
+        };
+        MatMut {
+            data: &mut self.data[start..end],
+            rows: nr,
+            cols: nc,
+            stride: self.stride,
+        }
     }
 
     /// Split into two disjoint mutable views at row `r` (top gets rows `0..r`).
@@ -324,8 +382,18 @@ impl<'a> MatMut<'a> {
         let split = r * self.stride;
         let (lo, hi) = self.data.split_at_mut(split.min(self.data.len()));
         (
-            MatMut { data: lo, rows: r, cols: self.cols, stride: self.stride },
-            MatMut { data: hi, rows: self.rows - r, cols: self.cols, stride: self.stride },
+            MatMut {
+                data: lo,
+                rows: r,
+                cols: self.cols,
+                stride: self.stride,
+            },
+            MatMut {
+                data: hi,
+                rows: self.rows - r,
+                cols: self.cols,
+                stride: self.stride,
+            },
         )
     }
 

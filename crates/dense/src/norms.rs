@@ -48,7 +48,15 @@ pub fn lu_residual(a: &Matrix, lu: &Matrix, ipiv: &[usize]) -> f64 {
     let mut pa = a.clone();
     apply_row_pivots(&mut pa, ipiv);
     let mut prod = Matrix::zeros(n, n);
-    gemm(Trans::N, Trans::N, 1.0, l.as_ref(), u.as_ref(), 0.0, prod.as_mut());
+    gemm(
+        Trans::N,
+        Trans::N,
+        1.0,
+        l.as_ref(),
+        u.as_ref(),
+        0.0,
+        prod.as_mut(),
+    );
     let diff = Matrix::from_fn(n, n, |i, j| pa[(i, j)] - prod[(i, j)]);
     frobenius(&diff) / frobenius(a).max(f64::MIN_POSITIVE)
 }
@@ -60,7 +68,15 @@ pub fn lu_residual_perm(a: &Matrix, lu: &Matrix, perm: &[usize]) -> f64 {
     let (l, u) = unpack_lu(lu);
     let pa = Matrix::from_fn(n, n, |i, j| a[(perm[i], j)]);
     let mut prod = Matrix::zeros(n, n);
-    gemm(Trans::N, Trans::N, 1.0, l.as_ref(), u.as_ref(), 0.0, prod.as_mut());
+    gemm(
+        Trans::N,
+        Trans::N,
+        1.0,
+        l.as_ref(),
+        u.as_ref(),
+        0.0,
+        prod.as_mut(),
+    );
     let diff = Matrix::from_fn(n, n, |i, j| pa[(i, j)] - prod[(i, j)]);
     frobenius(&diff) / frobenius(a).max(f64::MIN_POSITIVE)
 }
@@ -71,7 +87,15 @@ pub fn po_residual(a: &Matrix, chol: &Matrix) -> f64 {
     let n = a.rows();
     let l = Matrix::from_fn(n, n, |i, j| if j <= i { chol[(i, j)] } else { 0.0 });
     let mut prod = Matrix::zeros(n, n);
-    gemm(Trans::N, Trans::T, 1.0, l.as_ref(), l.as_ref(), 0.0, prod.as_mut());
+    gemm(
+        Trans::N,
+        Trans::T,
+        1.0,
+        l.as_ref(),
+        l.as_ref(),
+        0.0,
+        prod.as_mut(),
+    );
     let diff = Matrix::from_fn(n, n, |i, j| a[(i, j)] - prod[(i, j)]);
     frobenius(&diff) / frobenius(a).max(f64::MIN_POSITIVE)
 }
@@ -115,7 +139,15 @@ mod tests {
         });
         let u = Matrix::from_fn(3, 3, |i, j| if j >= i { (1 + i + j) as f64 } else { 0.0 });
         let mut a = Matrix::zeros(3, 3);
-        gemm(Trans::N, Trans::N, 1.0, l.as_ref(), u.as_ref(), 0.0, a.as_mut());
+        gemm(
+            Trans::N,
+            Trans::N,
+            1.0,
+            l.as_ref(),
+            u.as_ref(),
+            0.0,
+            a.as_mut(),
+        );
         let packed = Matrix::from_fn(3, 3, |i, j| if j < i { 0.5 } else { u[(i, j)] });
         assert!(lu_residual(&a, &packed, &[0, 1, 2]) < 1e-15);
     }

@@ -13,6 +13,7 @@ use crate::{Error, Result};
 pub fn potrf_unblocked(mut a: MatMut<'_>) -> Result<()> {
     let n = a.rows();
     assert_eq!(n, a.cols(), "potrf: matrix must be square");
+    crate::flops::tally(crate::flops::potrf_flops(n));
     for k in 0..n {
         let mut d = a.get(k, k);
         for j in 0..k {

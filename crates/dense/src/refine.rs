@@ -47,7 +47,15 @@ pub fn lu_refine(
     for _ in 0..=max_iter {
         // r = b − A·x.
         let mut r = b.clone();
-        gemm(Trans::N, Trans::N, -1.0, a.as_ref(), x.as_ref(), 1.0, r.as_mut());
+        gemm(
+            Trans::N,
+            Trans::N,
+            -1.0,
+            a.as_ref(),
+            x.as_ref(),
+            1.0,
+            r.as_mut(),
+        );
         let rnorm = r.data().iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
         let improved = residuals.last().is_none_or(|&last| rnorm < 0.5 * last);
         residuals.push(rnorm);
@@ -63,7 +71,11 @@ pub fn lu_refine(
         }
         iterations += 1;
     }
-    Refinement { x, residuals, iterations }
+    Refinement {
+        x,
+        residuals,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -102,7 +114,15 @@ mod tests {
         }
         let naive = crate::solve::lu_solve_perm(&packed, &perm, &b);
         let mut r0 = b.clone();
-        gemm(Trans::N, Trans::N, -1.0, a.as_ref(), naive.as_ref(), 1.0, r0.as_mut());
+        gemm(
+            Trans::N,
+            Trans::N,
+            -1.0,
+            a.as_ref(),
+            naive.as_ref(),
+            1.0,
+            r0.as_mut(),
+        );
         let naive_res = r0.data().iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
         let refined = lu_refine(&a, &packed, &perm, &b, 10, 1e-13);
         let final_res = *refined.residuals.last().unwrap();

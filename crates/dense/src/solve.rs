@@ -11,8 +11,24 @@ pub fn lu_solve(packed: &Matrix, ipiv: &[usize], b: &mut Matrix) {
     assert_eq!(packed.rows(), packed.cols(), "factor must be square");
     assert_eq!(b.rows(), packed.rows(), "rhs height mismatch");
     crate::getrf::apply_row_pivots(b, ipiv);
-    trsm(Side::Left, Uplo::Lower, Trans::N, Diag::Unit, 1.0, packed.as_ref(), b.as_mut());
-    trsm(Side::Left, Uplo::Upper, Trans::N, Diag::NonUnit, 1.0, packed.as_ref(), b.as_mut());
+    trsm(
+        Side::Left,
+        Uplo::Lower,
+        Trans::N,
+        Diag::Unit,
+        1.0,
+        packed.as_ref(),
+        b.as_mut(),
+    );
+    trsm(
+        Side::Left,
+        Uplo::Upper,
+        Trans::N,
+        Diag::NonUnit,
+        1.0,
+        packed.as_ref(),
+        b.as_mut(),
+    );
 }
 
 /// Solve `A·X = B` given a packed LU factor in *pivoted row coordinates*
@@ -24,8 +40,24 @@ pub fn lu_solve_perm(packed: &Matrix, perm: &[usize], b: &Matrix) -> Matrix {
     assert_eq!(b.rows(), n);
     assert_eq!(perm.len(), n);
     let mut x = Matrix::from_fn(n, b.cols(), |i, j| b[(perm[i], j)]);
-    trsm(Side::Left, Uplo::Lower, Trans::N, Diag::Unit, 1.0, packed.as_ref(), x.as_mut());
-    trsm(Side::Left, Uplo::Upper, Trans::N, Diag::NonUnit, 1.0, packed.as_ref(), x.as_mut());
+    trsm(
+        Side::Left,
+        Uplo::Lower,
+        Trans::N,
+        Diag::Unit,
+        1.0,
+        packed.as_ref(),
+        x.as_mut(),
+    );
+    trsm(
+        Side::Left,
+        Uplo::Upper,
+        Trans::N,
+        Diag::NonUnit,
+        1.0,
+        packed.as_ref(),
+        x.as_mut(),
+    );
     x
 }
 
@@ -34,8 +66,24 @@ pub fn lu_solve_perm(packed: &Matrix, perm: &[usize], b: &Matrix) -> Matrix {
 pub fn cholesky_solve(l: &Matrix, b: &mut Matrix) {
     assert_eq!(l.rows(), l.cols(), "factor must be square");
     assert_eq!(b.rows(), l.rows(), "rhs height mismatch");
-    trsm(Side::Left, Uplo::Lower, Trans::N, Diag::NonUnit, 1.0, l.as_ref(), b.as_mut());
-    trsm(Side::Left, Uplo::Lower, Trans::T, Diag::NonUnit, 1.0, l.as_ref(), b.as_mut());
+    trsm(
+        Side::Left,
+        Uplo::Lower,
+        Trans::N,
+        Diag::NonUnit,
+        1.0,
+        l.as_ref(),
+        b.as_mut(),
+    );
+    trsm(
+        Side::Left,
+        Uplo::Lower,
+        Trans::T,
+        Diag::NonUnit,
+        1.0,
+        l.as_ref(),
+        b.as_mut(),
+    );
 }
 
 #[cfg(test)]
@@ -49,7 +97,15 @@ mod tests {
 
     fn residual(a: &Matrix, x: &Matrix, b: &Matrix) -> f64 {
         let mut ax = Matrix::zeros(b.rows(), b.cols());
-        gemm(Trans::N, Trans::N, 1.0, a.as_ref(), x.as_ref(), 0.0, ax.as_mut());
+        gemm(
+            Trans::N,
+            Trans::N,
+            1.0,
+            a.as_ref(),
+            x.as_ref(),
+            0.0,
+            ax.as_mut(),
+        );
         max_abs_diff(&ax, b)
     }
 

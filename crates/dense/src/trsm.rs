@@ -67,6 +67,11 @@ pub fn trsm(
     if n == 0 || b.rows() == 0 || b.cols() == 0 {
         return;
     }
+    let nrhs = match side {
+        Side::Left => b.cols(),
+        Side::Right => b.rows(),
+    };
+    crate::flops::tally(crate::flops::trsm_flops(n, nrhs));
 
     // Reduce the transposed cases to non-transposed ones with flipped uplo
     // and (for Side) flipped traversal order, implemented directly below.
@@ -263,7 +268,15 @@ mod tests {
             a[(i, i)] = f64::NAN;
         }
         let mut b = random_matrix(6, 3, 10);
-        trsm(Side::Left, Uplo::Lower, Trans::N, Diag::Unit, 1.0, a.as_ref(), b.as_mut());
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::N,
+            Diag::Unit,
+            1.0,
+            a.as_ref(),
+            b.as_mut(),
+        );
         assert!(b.data().iter().all(|x| x.is_finite()));
     }
 
@@ -284,7 +297,15 @@ mod tests {
         );
         let x = big.block(3, 2, 5, 4).to_owned();
         let mut lhs = Matrix::zeros(5, 4);
-        gemm(Trans::N, Trans::N, 1.0, a.as_ref(), x.as_ref(), 0.0, lhs.as_mut());
+        gemm(
+            Trans::N,
+            Trans::N,
+            1.0,
+            a.as_ref(),
+            x.as_ref(),
+            0.0,
+            lhs.as_mut(),
+        );
         assert!(max_abs_diff(&lhs, &b0) < 1e-9);
         // Outside the window untouched.
         assert_eq!(big[(0, 0)], 0.0);
@@ -295,6 +316,14 @@ mod tests {
     fn trsm_zero_rhs() {
         let a = tri(4, Uplo::Lower, false, 13);
         let mut b = Matrix::zeros(4, 0);
-        trsm(Side::Left, Uplo::Lower, Trans::N, Diag::NonUnit, 1.0, a.as_ref(), b.as_mut());
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::N,
+            Diag::NonUnit,
+            1.0,
+            a.as_ref(),
+            b.as_mut(),
+        );
     }
 }

@@ -3,7 +3,24 @@
 //! collected factor entries into a packed LU matrix.
 
 use dense::Matrix;
-use xmpi::Grid3;
+use xmpi::{Comm, Grid3};
+
+/// Declare a measurement phase on `comm`, embedding the rank's cumulative
+/// local flop count (from [`dense::flops::thread_flops`] — each simulated
+/// rank is one OS thread) so event traces can attribute computation to the
+/// span between consecutive markers. Falls back to plain phase accounting
+/// for untraced worlds.
+pub(crate) fn phase(comm: &Comm, name: &str) {
+    comm.set_phase_with_flops(name, dense::flops::thread_flops());
+}
+
+/// Close the final phase span of a rank program: records an `"_end"` marker
+/// carrying the final flop count so the last real phase's computation and
+/// duration are bounded in traces. Phases without traffic never appear in
+/// byte statistics, so untraced accounting is unaffected.
+pub(crate) fn phase_end(comm: &Comm) {
+    phase(comm, "_end");
+}
 
 /// Tile-level view of an `n × n` matrix cut into `v × v` tiles over a 3D
 /// grid: tile `(I, J)` belongs to 2D coordinates `(I mod px, J mod py)` on
@@ -27,9 +44,21 @@ impl Tiling {
     /// If `v` does not divide `n`, or `pz` does not divide `v` (each layer
     /// must own an equal slice of the reduction dimension).
     pub fn new(n: usize, v: usize, grid: Grid3) -> Self {
-        assert!(v > 0 && n.is_multiple_of(v), "block size v={v} must divide n={n}");
-        assert!(v.is_multiple_of(grid.pz), "v={v} must be a multiple of pz={}", grid.pz);
-        Tiling { n, v, nt: n / v, grid }
+        assert!(
+            v > 0 && n.is_multiple_of(v),
+            "block size v={v} must divide n={n}"
+        );
+        assert!(
+            v.is_multiple_of(grid.pz),
+            "v={v} must be a multiple of pz={}",
+            grid.pz
+        );
+        Tiling {
+            n,
+            v,
+            nt: n / v,
+            grid,
+        }
     }
 
     /// Does the rank at 2D coordinates `(pi, pj)` own tile `(ti, tj)`?
@@ -74,7 +103,10 @@ pub struct RowMask {
 impl RowMask {
     /// All rows active.
     pub fn new(n: usize) -> Self {
-        RowMask { active: vec![true; n], n_active: n }
+        RowMask {
+            active: vec![true; n],
+            n_active: n,
+        }
     }
 
     /// Is global row `r` still active?
@@ -163,7 +195,9 @@ pub fn pick_grid_and_block(n: usize, p: usize) -> (Grid3, usize) {
         // O(N·v) A00-broadcast term down, big enough that per-step message
         // latency does not dominate (the paper's hardware-tuning knob).
         let target = (4 * c).max(16).min(n);
-        let Some(v) = choose_block(n, c, target) else { continue };
+        let Some(v) = choose_block(n, c, target) else {
+            continue;
+        };
         let aspect =
             (layer.rows + layer.cols) as f64 / (2.0 * ((layer.rows * layer.cols) as f64).sqrt());
         let cost = aspect / (c as f64).sqrt();
@@ -173,7 +207,11 @@ pub fn pick_grid_and_block(n: usize, p: usize) -> (Grid3, usize) {
     }
     let (_, grid, v) = best.unwrap_or_else(|| {
         // Last resort: 1D row grid, any divisor of n.
-        (0.0, Grid3::new(p, 1, 1), choose_block(n, 1, 8).expect("n ≥ 1 has a divisor"))
+        (
+            0.0,
+            Grid3::new(p, 1, 1),
+            choose_block(n, 1, 8).expect("n ≥ 1 has a divisor"),
+        )
     });
     (grid, v)
 }
@@ -191,9 +229,7 @@ pub fn choose_block(n: usize, pz: usize, target: usize) -> Option<usize> {
         }
         let better = match best {
             None => true,
-            Some(b) => {
-                (v as i64 - target as i64).abs() < (b as i64 - target as i64).abs()
-            }
+            Some(b) => (v as i64 - target as i64).abs() < (b as i64 - target as i64).abs(),
         };
         if better {
             best = Some(v);

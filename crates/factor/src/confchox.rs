@@ -9,7 +9,7 @@
 //! column), and diagonal tiles use `gemmt`. This realizes Table 1 of the
 //! paper: Cholesky moves the same volume as LU while doing half the flops.
 
-use crate::common::{assemble_packed, pick_grid_and_block, Entry, Tiling};
+use crate::common::{assemble_packed, phase, phase_end, pick_grid_and_block, Entry, Tiling};
 use dense::gemm::{gemm, gemmt, CUplo, Trans};
 use dense::potrf::potrf_unblocked;
 use dense::trsm::{trsm, Diag, Side, Uplo};
@@ -39,7 +39,12 @@ impl ConfchoxConfig {
     /// If `v` does not divide `n` or `pz` does not divide `v`.
     pub fn new(n: usize, v: usize, grid: Grid3) -> Self {
         let _ = Tiling::new(n, v, grid);
-        ConfchoxConfig { n, v, grid, collect: true }
+        ConfchoxConfig {
+            n,
+            v,
+            grid,
+            collect: true,
+        }
     }
 
     /// Automatic grid and block-size selection (see
@@ -96,7 +101,10 @@ pub fn confchox_cholesky(cfg: &ConfchoxConfig, a: &Matrix) -> Result<CholOutput,
         let perm: Vec<usize> = (0..cfg.n).collect();
         assemble_packed(cfg.n, &perm, &all_entries)
     });
-    Ok(CholOutput { l, stats: out.stats })
+    Ok(CholOutput {
+        l,
+        stats: out.stats,
+    })
 }
 
 /// Layer-0 staging of the lower-triangular tiles straight from a
@@ -150,13 +158,19 @@ pub(crate) fn rank_program(
 
         // Trailing tile rows this process row owns (strictly below the
         // diagonal block) and trailing tile columns this process column owns.
-        let trail_rows: Vec<usize> =
-            til.tile_rows_of(pi).into_iter().filter(|&ti| ti > step).collect();
-        let col_role_tiles: Vec<usize> =
-            til.tile_rows_of_py(pj, g.py).into_iter().filter(|&ti| ti > step).collect();
+        let trail_rows: Vec<usize> = til
+            .tile_rows_of(pi)
+            .into_iter()
+            .filter(|&ti| ti > step)
+            .collect();
+        let col_role_tiles: Vec<usize> = til
+            .tile_rows_of_py(pj, g.py)
+            .into_iter()
+            .filter(|&ti| ti > step)
+            .collect();
 
         // ---- 1. Reduce block column `step` (rows ≥ step·v) -------------
-        comm.set_phase("reduce_col");
+        phase(comm, "reduce_col");
         let mut panel_vals = Matrix::zeros(0, v); // trailing rows, tiles > step
         let mut diag_vals = Matrix::zeros(0, v); // diagonal tile (step, step)
         if pj == jt {
@@ -178,43 +192,35 @@ pub(crate) fn rank_program(
             if pk == 0 {
                 let nd = if own_diag { v } else { 0 };
                 diag_vals = Matrix::from_vec(nd, v, buf[..nd * v].to_vec());
-                panel_vals =
-                    Matrix::from_vec(trail_rows.len() * v, v, buf[nd * v..].to_vec());
+                panel_vals = Matrix::from_vec(trail_rows.len() * v, v, buf[nd * v..].to_vec());
             }
         }
 
         // ---- 2. Factor diagonal block, broadcast L00 -------------------
-        comm.set_phase("potrf_bcast");
+        phase(comm, "potrf_bcast");
         let mut l00_flat: Vec<f64> = Vec::new();
         let mut potrf_err: Option<Error> = None;
-        if pj == jt && pk == 0
-            && pi == it {
-                let mut d = diag_vals;
-                if let Err(e) = potrf_unblocked(d.as_mut()) {
-                    potrf_err = Some(shift_err(e, step * v));
-                }
-                if potrf_err.is_none() && cfg.collect {
-                    for r in 0..v {
-                        for c in 0..=r {
-                            entries.push((
-                                (step * v + r) as u32,
-                                (step * v + c) as u32,
-                                d[(r, c)],
-                            ));
-                        }
+        if pj == jt && pk == 0 && pi == it {
+            let mut d = diag_vals;
+            if let Err(e) = potrf_unblocked(d.as_mut()) {
+                potrf_err = Some(shift_err(e, step * v));
+            }
+            if potrf_err.is_none() && cfg.collect {
+                for r in 0..v {
+                    for c in 0..=r {
+                        entries.push(((step * v + r) as u32, (step * v + c) as u32, d[(r, c)]));
                     }
                 }
-                l00_flat = d.into_vec();
             }
+            l00_flat = d.into_vec();
+        }
         // One status word to everyone, so an indefinite block aborts all
         // ranks cleanly instead of deadlocking the world.
         let status_root = g.rank_of(it, jt, 0);
         let mut status = vec![if potrf_err.is_some() { 1.0 } else { 0.0 }];
         comm.bcast_f64(status_root, &mut status);
         if status[0] != 0.0 {
-            return Err(
-                potrf_err.unwrap_or(Error::NotPositiveDefinite(step * v)),
-            );
+            return Err(potrf_err.unwrap_or(Error::NotPositiveDefinite(step * v)));
         }
         if pj == jt && pk == 0 {
             // Broadcast L00 within the panel group (process column `jt`).
@@ -222,7 +228,7 @@ pub(crate) fn rank_program(
         }
 
         // ---- 3. Panel solve: L10 = A10·L00⁻ᵀ ---------------------------
-        comm.set_phase("panel_trsm");
+        phase(comm, "panel_trsm");
         let mut l10 = Matrix::zeros(0, v);
         if pj == jt && pk == 0 && !trail_rows.is_empty() {
             let l00 = Matrix::from_vec(v, v, l00_flat);
@@ -256,7 +262,7 @@ pub(crate) fn rank_program(
         }
 
         // ---- 4a. Distribute L10, row role (by tile row, z-sliced) ------
-        comm.set_phase("scatter_panels");
+        phase(comm, "scatter_panels");
         let mut l10_row = Matrix::zeros(trail_rows.len() * v, ks);
         if !trail_rows.is_empty() {
             if pj == jt {
@@ -318,7 +324,7 @@ pub(crate) fn rank_program(
         }
 
         // ---- 5. Trailing symmetric update (lower tiles only) -----------
-        comm.set_phase("update_a11");
+        phase(comm, "update_a11");
         if !trail_rows.is_empty() && any_col_tiles {
             for (bi, &ti) in trail_rows.iter().enumerate() {
                 let rowblk = l10_row.block(bi * v, 0, v, ks);
@@ -329,7 +335,16 @@ pub(crate) fn rank_program(
                     let colblk = l10_col.block(bj * v, 0, v, ks);
                     let tile = acc.entry((ti, tj)).or_insert_with(|| Matrix::zeros(v, v));
                     if ti == tj {
-                        gemmt(CUplo::Lower, Trans::N, Trans::T, 1.0, rowblk, colblk, 1.0, tile.as_mut());
+                        gemmt(
+                            CUplo::Lower,
+                            Trans::N,
+                            Trans::T,
+                            1.0,
+                            rowblk,
+                            colblk,
+                            1.0,
+                            tile.as_mut(),
+                        );
                     } else {
                         gemm(Trans::N, Trans::T, 1.0, rowblk, colblk, 1.0, tile.as_mut());
                     }
@@ -338,6 +353,7 @@ pub(crate) fn rank_program(
         }
     }
 
+    phase_end(comm);
     Ok(entries)
 }
 
@@ -452,6 +468,9 @@ mod tests {
             .stats
             .total_bytes_sent();
         let ratio = vc as f64 / vl as f64;
-        assert!(ratio > 0.35 && ratio < 1.3, "volume ratio chol/lu = {ratio}");
+        assert!(
+            ratio > 0.35 && ratio < 1.3,
+            "volume ratio chol/lu = {ratio}"
+        );
     }
 }

@@ -27,7 +27,9 @@
 //! (Lemma 10); the `volume_close_to_model` integration test checks the
 //! measured bytes against this model.
 
-use crate::common::{assemble_packed, pick_grid_and_block, Entry, RowMask, Tiling};
+use crate::common::{
+    assemble_packed, phase, phase_end, pick_grid_and_block, Entry, RowMask, Tiling,
+};
 use crate::tourn::tournament;
 use dense::gemm::{gemm, Trans};
 use dense::trsm::{trsm, Diag, Side, Uplo};
@@ -60,7 +62,12 @@ impl ConfluxConfig {
     /// If `v` does not divide `n` or `pz` does not divide `v`.
     pub fn new(n: usize, v: usize, grid: Grid3) -> Self {
         let _ = Tiling::new(n, v, grid); // validates
-        ConfluxConfig { n, v, grid, collect: true }
+        ConfluxConfig {
+            n,
+            v,
+            grid,
+            collect: true,
+        }
     }
 
     /// Pick a grid and block size automatically for `p` ranks, in the
@@ -125,8 +132,14 @@ pub fn conflux_lu(cfg: &ConfluxConfig, a: &Matrix) -> Result<LuOutput, dense::Er
         }
         all_entries.push(entries);
     }
-    let packed = cfg.collect.then(|| assemble_packed(cfg.n, &perm, &all_entries));
-    Ok(LuOutput { perm, packed, stats: out.stats })
+    let packed = cfg
+        .collect
+        .then(|| assemble_packed(cfg.n, &perm, &all_entries));
+    Ok(LuOutput {
+        perm,
+        packed,
+        stats: out.stats,
+    })
 }
 
 /// Layer-0 tile staging straight from a globally-known matrix (the
@@ -203,7 +216,7 @@ pub(crate) fn rank_program(
         let last = step + 1 == nt;
 
         // ---- 1. Reduce next block column ------------------------------
-        comm.set_phase("reduce_col");
+        phase(comm, "reduce_col");
         let mut panel_rows: Vec<usize> = Vec::new();
         let mut panel_vals = Matrix::zeros(0, v);
         if pj == jt {
@@ -225,7 +238,7 @@ pub(crate) fn rank_program(
         }
 
         // ---- 2. TournPivot --------------------------------------------
-        comm.set_phase("pivoting");
+        phase(comm, "pivoting");
         let mut a00_flat: Vec<f64> = Vec::new();
         let mut piv_ids: Vec<u64> = Vec::new();
         let mut tourn_err: Option<dense::Error> = None;
@@ -243,7 +256,7 @@ pub(crate) fn rank_program(
         }
 
         // ---- 3. Broadcast A00 and pivot row ids (row masking) ----------
-        comm.set_phase("bcast_a00");
+        phase(comm, "bcast_a00");
         let root = g.rank_of(0, jt, 0);
         // One status word first, so a singular panel aborts every rank
         // cleanly instead of deadlocking the world.
@@ -267,14 +280,20 @@ pub(crate) fn rank_program(
         mask.retire(&pivots);
 
         // Trailing tile columns this process column owns.
-        let trail_cols: Vec<usize> =
-            til.tile_cols_of(pj).into_iter().filter(|&tj| tj > step).collect();
+        let trail_cols: Vec<usize> = til
+            .tile_cols_of(pj)
+            .into_iter()
+            .filter(|&tj| tj > step)
+            .collect();
         let trail_len = trail_cols.len() * v;
 
         // ---- 4. Reduce pivot rows, solve U01 = L00⁻¹·A01 ---------------
-        comm.set_phase("reduce_pivots");
-        let my_piv: Vec<usize> =
-            pivots.iter().copied().filter(|&p| (p / v) % g.px == pi).collect();
+        phase(comm, "reduce_pivots");
+        let my_piv: Vec<usize> = pivots
+            .iter()
+            .copied()
+            .filter(|&p| (p / v) % g.px == pi)
+            .collect();
         let mut u01 = Matrix::zeros(0, 0);
         if !last && !trail_cols.is_empty() {
             let mut a01_contrib = Vec::new();
@@ -293,8 +312,7 @@ pub(crate) fn rank_program(
                     // Pull each contributing group's buffer (own group local).
                     let mut group_bufs: HashMap<usize, (Vec<f64>, usize)> = HashMap::new();
                     let groups: Vec<usize> = {
-                        let mut s: Vec<usize> =
-                            pivots.iter().map(|&p| (p / v) % g.px).collect();
+                        let mut s: Vec<usize> = pivots.iter().map(|&p| (p / v) % g.px).collect();
                         s.sort_unstable();
                         s.dedup();
                         s
@@ -312,7 +330,8 @@ pub(crate) fn rank_program(
                     for (pos, &p) in pivots.iter().enumerate() {
                         let spi = (p / v) % g.px;
                         let (buf, cursor) = group_bufs.get_mut(&spi).unwrap();
-                        a01m.row_mut(pos).copy_from_slice(&buf[*cursor..*cursor + trail_len]);
+                        a01m.row_mut(pos)
+                            .copy_from_slice(&buf[*cursor..*cursor + trail_len]);
                         *cursor += trail_len;
                     }
                     trsm(
@@ -345,14 +364,22 @@ pub(crate) fn rank_program(
         }
 
         // ---- 5. FactorizeA10: L10 = A10·U00⁻¹ on panel ranks ------------
-        comm.set_phase("panel_trsm");
+        phase(comm, "panel_trsm");
         let mut l10 = Matrix::zeros(0, v);
         if pj == jt && pk == 0 {
             let keep: Vec<usize> = (0..panel_rows.len())
                 .filter(|&i| mask.is_active(panel_rows[i]))
                 .collect();
             l10 = Matrix::from_fn(keep.len(), v, |i, j| panel_vals[(keep[i], j)]);
-            trsm(Side::Right, Uplo::Upper, Trans::N, Diag::NonUnit, 1.0, a00.as_ref(), l10.as_mut());
+            trsm(
+                Side::Right,
+                Uplo::Upper,
+                Trans::N,
+                Diag::NonUnit,
+                1.0,
+                a00.as_ref(),
+                l10.as_mut(),
+            );
             if cfg.collect {
                 for (i, &ki) in keep.iter().enumerate() {
                     let r = panel_rows[ki];
@@ -372,7 +399,7 @@ pub(crate) fn rank_program(
             .collect();
 
         // ---- 6a. Scatter L10: z-slice then broadcast along y -----------
-        comm.set_phase("scatter_panels");
+        phase(comm, "scatter_panels");
         let mut l10_slice = Matrix::zeros(my_l10_rows.len(), ks);
         if !last && !my_l10_rows.is_empty() {
             if pj == jt {
@@ -391,8 +418,7 @@ pub(crate) fn rank_program(
                         }
                     }
                 } else {
-                    let flat =
-                        comm_recv_world(comm, g.rank_of(pi, jt, 0), TAG_L10 + step as u64);
+                    let flat = comm_recv_world(comm, g.rank_of(pi, jt, 0), TAG_L10 + step as u64);
                     l10_slice = Matrix::from_vec(my_l10_rows.len(), ks, flat);
                 }
             }
@@ -420,8 +446,7 @@ pub(crate) fn rank_program(
                         }
                     }
                 } else {
-                    let flat =
-                        comm_recv_world(comm, g.rank_of(it, pj, 0), TAG_U01 + step as u64);
+                    let flat = comm_recv_world(comm, g.rank_of(it, pj, 0), TAG_U01 + step as u64);
                     u01_slice = Matrix::from_vec(ks, trail_len, flat);
                 }
             }
@@ -431,7 +456,7 @@ pub(crate) fn rank_program(
         }
 
         // ---- 7. FactorizeA11: layer-local partial Schur update ---------
-        comm.set_phase("update_a11");
+        phase(comm, "update_a11");
         if !last && !my_l10_rows.is_empty() && trail_len > 0 {
             let mut upd = Matrix::zeros(my_l10_rows.len(), trail_len);
             gemm(
@@ -447,8 +472,7 @@ pub(crate) fn rank_program(
                 let ti = r / v;
                 let lr = r % v;
                 for (cj, &tj) in trail_cols.iter().enumerate() {
-                    let tile =
-                        acc.entry((ti, tj)).or_insert_with(|| Matrix::zeros(v, v));
+                    let tile = acc.entry((ti, tj)).or_insert_with(|| Matrix::zeros(v, v));
                     let urow = &upd.row(ri)[cj * v..(cj + 1) * v];
                     for (x, &u) in tile.row_mut(lr).iter_mut().zip(urow) {
                         *x += u;
@@ -458,6 +482,7 @@ pub(crate) fn rank_program(
         }
     }
 
+    phase_end(comm);
     Ok((entries, perm))
 }
 
@@ -484,9 +509,16 @@ mod tests {
         assert_eq!(out.perm.len(), n);
         let mut sorted = out.perm.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "perm must be a permutation");
+        assert_eq!(
+            sorted,
+            (0..n).collect::<Vec<_>>(),
+            "perm must be a permutation"
+        );
         let res = lu_residual_perm(&a, out.packed.as_ref().unwrap(), &out.perm);
-        assert!(res < 1e-10, "residual {res} too large for n={n} v={v} grid={grid:?}");
+        assert!(
+            res < 1e-10,
+            "residual {res} too large for n={n} v={v} grid={grid:?}"
+        );
     }
 
     #[test]

@@ -37,9 +37,9 @@ pub mod scalapack;
 pub mod tourn;
 pub mod twod;
 
+pub use cholqr::{cholesky_qr, CholQrConfig};
 pub use confchox::{confchox_cholesky, ConfchoxConfig};
 pub use conflux::{conflux_lu, ConfluxConfig, LuOutput};
-pub use cholqr::{cholesky_qr, CholQrConfig};
 pub use mmm25d::{mmm25d, Mmm25dConfig};
 pub use scalapack::{pdgetrf, pdpotrf, ScalapackOutput};
 pub use twod::{twod_cholesky, twod_lu, TwodConfig};

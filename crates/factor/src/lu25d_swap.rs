@@ -13,7 +13,7 @@
 //! occupies); `id_at[pos]` tracks which original row lives where, and the
 //! final permutation is read off `id_at`.
 
-use crate::common::{assemble_packed, Entry, Tiling};
+use crate::common::{assemble_packed, phase, phase_end, Entry, Tiling};
 use crate::tourn::tournament;
 use dense::gemm::{gemm, Trans};
 use dense::trsm::{trsm, Diag, Side, Uplo};
@@ -45,7 +45,12 @@ impl SwapLuConfig {
     /// If `v` does not divide `n` or `pz` does not divide `v`.
     pub fn new(n: usize, v: usize, grid: Grid3) -> Self {
         let _ = Tiling::new(n, v, grid);
-        SwapLuConfig { n, v, grid, collect: true }
+        SwapLuConfig {
+            n,
+            v,
+            grid,
+            collect: true,
+        }
     }
 
     /// Disable collection for volume-only runs.
@@ -86,7 +91,11 @@ pub fn lu25d_swap(cfg: &SwapLuConfig, a: &Matrix) -> Result<SwapLuOutput, dense:
         entries.push(e);
     }
     let packed = cfg.collect.then(|| assemble_packed(cfg.n, &perm, &entries));
-    Ok(SwapLuOutput { perm, packed, stats: out.stats })
+    Ok(SwapLuOutput {
+        perm,
+        packed,
+        stats: out.stats,
+    })
 }
 
 struct RankState {
@@ -112,11 +121,15 @@ fn rank_program(
     let xcol = comm.subcomm(3, &g.x_members(pj, pk));
     let panel_comm = (pk == 0).then(|| comm.subcomm(4, &g.x_members(pj, 0)));
 
-    let mut st = RankState { orig: HashMap::new(), acc: HashMap::new() };
+    let mut st = RankState {
+        orig: HashMap::new(),
+        acc: HashMap::new(),
+    };
     if pk == 0 {
         for ti in til.tile_rows_of(pi) {
             for tj in til.tile_cols_of(pj) {
-                st.orig.insert((ti, tj), a.block(ti * v, tj * v, v, v).to_owned());
+                st.orig
+                    .insert((ti, tj), a.block(ti * v, tj * v, v, v).to_owned());
             }
         }
     }
@@ -129,9 +142,12 @@ fn rank_program(
         let last = step + 1 == nt;
 
         // ---- 1. Reduce block column `step` (positions ≥ step·v) ---------
-        comm.set_phase("reduce_col");
-        let my_panel_tiles: Vec<usize> =
-            til.tile_rows_of(pi).into_iter().filter(|&ti| ti >= step).collect();
+        phase(comm, "reduce_col");
+        let my_panel_tiles: Vec<usize> = til
+            .tile_rows_of(pi)
+            .into_iter()
+            .filter(|&ti| ti >= step)
+            .collect();
         let mut panel = Matrix::zeros(0, v);
         if pj == jt {
             let mut buf = Vec::with_capacity(my_panel_tiles.len() * v * v);
@@ -140,9 +156,7 @@ fn rank_program(
                     let o = st.orig.get(&(ti, step));
                     let ac = st.acc.get(&(ti, step));
                     for c in 0..v {
-                        buf.push(
-                            o.map_or(0.0, |m| m[(lr, c)]) - ac.map_or(0.0, |m| m[(lr, c)]),
-                        );
+                        buf.push(o.map_or(0.0, |m| m[(lr, c)]) - ac.map_or(0.0, |m| m[(lr, c)]));
                     }
                 }
             }
@@ -155,7 +169,7 @@ fn rank_program(
         }
 
         // ---- 2. Tournament over panel ranks ------------------------------
-        comm.set_phase("pivoting");
+        phase(comm, "pivoting");
         let mut a00_flat = Vec::new();
         let mut piv_pos = Vec::new();
         let mut tourn_err: Option<dense::Error> = None;
@@ -174,7 +188,7 @@ fn rank_program(
         }
 
         // ---- 3. Broadcast A00 and pivot positions ------------------------
-        comm.set_phase("bcast_a00");
+        phase(comm, "bcast_a00");
         let root = g.rank_of(0, jt, 0);
         let mut status = vec![if tourn_err.is_some() { 1.0 } else { 0.0 }];
         comm.bcast_f64(root, &mut status);
@@ -188,7 +202,7 @@ fn rank_program(
         // ---- 4. Row swapping: move pivots into the diagonal block --------
         // This is what masking avoids: every swap moves full rows of the
         // original data AND of every layer's accumulator.
-        comm.set_phase("row_swaps");
+        phase(comm, "row_swaps");
         let mut targets: Vec<usize> = piv_pos.iter().map(|&p| p as usize).collect();
         for r in 0..v {
             let tgt = step * v + r;
@@ -202,7 +216,19 @@ fn rank_program(
                 }
                 swap_positions(comm, &til, &mut st, pi, pj, pk, step, tgt, cur, r as u64);
                 if pj == jt && pk == 0 {
-                    swap_panel_rows(comm, &til, &my_panel_tiles, &mut panel, pi, jt, step, tgt, cur, r as u64, &g);
+                    swap_panel_rows(
+                        comm,
+                        &til,
+                        &my_panel_tiles,
+                        &mut panel,
+                        pi,
+                        jt,
+                        step,
+                        tgt,
+                        cur,
+                        r as u64,
+                        &g,
+                    );
                 }
                 id_at.swap(tgt, cur);
             }
@@ -220,15 +246,26 @@ fn rank_program(
         }
 
         // ---- 5. Panel solve: L10 = A10·U00⁻¹ ------------------------------
-        comm.set_phase("panel_trsm");
-        let my_l10_tiles: Vec<usize> =
-            til.tile_rows_of(pi).into_iter().filter(|&ti| ti > step).collect();
+        phase(comm, "panel_trsm");
+        let my_l10_tiles: Vec<usize> = til
+            .tile_rows_of(pi)
+            .into_iter()
+            .filter(|&ti| ti > step)
+            .collect();
         let mut l10 = Matrix::zeros(0, v);
         if pj == jt && pk == 0 && !my_l10_tiles.is_empty() {
             // Panel rows for tiles > step (tile `step`'s rows are A00 now).
             let skip = usize::from(my_panel_tiles.first() == Some(&step)) * v;
             l10 = Matrix::from_fn(my_l10_tiles.len() * v, v, |r, c| panel[(skip + r, c)]);
-            trsm(Side::Right, Uplo::Upper, Trans::N, Diag::NonUnit, 1.0, a00.as_ref(), l10.as_mut());
+            trsm(
+                Side::Right,
+                Uplo::Upper,
+                Trans::N,
+                Diag::NonUnit,
+                1.0,
+                a00.as_ref(),
+                l10.as_mut(),
+            );
             if cfg.collect {
                 for (bi, &ti) in my_l10_tiles.iter().enumerate() {
                     for lr in 0..v {
@@ -250,9 +287,12 @@ fn rank_program(
         }
 
         // ---- 6. Reduce pivot block row, solve U01 -------------------------
-        comm.set_phase("reduce_pivots");
-        let trail_cols: Vec<usize> =
-            til.tile_cols_of(pj).into_iter().filter(|&tj| tj > step).collect();
+        phase(comm, "reduce_pivots");
+        let trail_cols: Vec<usize> = til
+            .tile_cols_of(pj)
+            .into_iter()
+            .filter(|&tj| tj > step)
+            .collect();
         let trail_len = trail_cols.len() * v;
         let mut u01 = Matrix::zeros(0, 0);
         if !trail_cols.is_empty() && pi == it {
@@ -263,16 +303,22 @@ fn rank_program(
                     let o = st.orig.get(&(step, tj));
                     let ac = st.acc.get(&(step, tj));
                     for c in 0..v {
-                        buf.push(
-                            o.map_or(0.0, |m| m[(lr, c)]) - ac.map_or(0.0, |m| m[(lr, c)]),
-                        );
+                        buf.push(o.map_or(0.0, |m| m[(lr, c)]) - ac.map_or(0.0, |m| m[(lr, c)]));
                     }
                 }
             }
             zfib.reduce_sum_f64(0, &mut buf);
             if pk == 0 {
                 let mut a01 = Matrix::from_vec(v, trail_len, buf);
-                trsm(Side::Left, Uplo::Lower, Trans::N, Diag::Unit, 1.0, a00.as_ref(), a01.as_mut());
+                trsm(
+                    Side::Left,
+                    Uplo::Lower,
+                    Trans::N,
+                    Diag::Unit,
+                    1.0,
+                    a00.as_ref(),
+                    a01.as_mut(),
+                );
                 if cfg.collect {
                     for lr in 0..v {
                         for (cj, &tj) in trail_cols.iter().enumerate() {
@@ -291,13 +337,15 @@ fn rank_program(
         }
 
         // ---- 7. Scatter L10 (z-slice + y-broadcast) -----------------------
-        comm.set_phase("scatter_panels");
+        phase(comm, "scatter_panels");
         let mut l10_slice = Matrix::zeros(my_l10_tiles.len() * v, ks);
         if !my_l10_tiles.is_empty() {
             if pj == jt {
                 if pk == 0 {
                     for pk2 in (0..g.pz).rev() {
-                        let sl = l10.block(0, pk2 * ks, my_l10_tiles.len() * v, ks).to_owned();
+                        let sl = l10
+                            .block(0, pk2 * ks, my_l10_tiles.len() * v, ks)
+                            .to_owned();
                         if pk2 == 0 {
                             l10_slice = sl;
                         } else {
@@ -338,13 +386,24 @@ fn rank_program(
         }
 
         // ---- 9. Layer-local partial Schur update --------------------------
-        comm.set_phase("update_a11");
+        phase(comm, "update_a11");
         if !my_l10_tiles.is_empty() && trail_len > 0 {
             let mut upd = Matrix::zeros(my_l10_tiles.len() * v, trail_len);
-            gemm(Trans::N, Trans::N, 1.0, l10_slice.as_ref(), u01_slice.as_ref(), 0.0, upd.as_mut());
+            gemm(
+                Trans::N,
+                Trans::N,
+                1.0,
+                l10_slice.as_ref(),
+                u01_slice.as_ref(),
+                0.0,
+                upd.as_mut(),
+            );
             for (bi, &ti) in my_l10_tiles.iter().enumerate() {
                 for (cj, &tj) in trail_cols.iter().enumerate() {
-                    let tile = st.acc.entry((ti, tj)).or_insert_with(|| Matrix::zeros(v, v));
+                    let tile = st
+                        .acc
+                        .entry((ti, tj))
+                        .or_insert_with(|| Matrix::zeros(v, v));
                     for lr in 0..v {
                         let urow = &upd.row(bi * v + lr)[cj * v..(cj + 1) * v];
                         for (x, &u) in tile.row_mut(lr).iter_mut().zip(urow) {
@@ -356,6 +415,7 @@ fn rank_program(
         }
     }
 
+    phase_end(comm);
     Ok((entries, id_at))
 }
 
@@ -381,7 +441,11 @@ fn swap_positions(
     let (t1, r1) = (p1 / v, p1 % v);
     let (t2, r2) = (p2 / v, p2 % v);
     let (o1, o2) = (t1 % g.px, t2 % g.px);
-    let js: Vec<usize> = til.tile_cols_of(pj).into_iter().filter(|&tj| tj != step).collect();
+    let js: Vec<usize> = til
+        .tile_cols_of(pj)
+        .into_iter()
+        .filter(|&tj| tj != step)
+        .collect();
     if js.is_empty() {
         return;
     }
@@ -427,11 +491,17 @@ fn swap_positions(
     let mut off = 0;
     for &tj in &js {
         if pk == 0 {
-            let o = st.orig.entry((my_tile, tj)).or_insert_with(|| Matrix::zeros(v, v));
+            let o = st
+                .orig
+                .entry((my_tile, tj))
+                .or_insert_with(|| Matrix::zeros(v, v));
             o.row_mut(my_row).copy_from_slice(&theirs[off..off + v]);
             off += v;
         }
-        let ac = st.acc.entry((my_tile, tj)).or_insert_with(|| Matrix::zeros(v, v));
+        let ac = st
+            .acc
+            .entry((my_tile, tj))
+            .or_insert_with(|| Matrix::zeros(v, v));
         ac.row_mut(my_row).copy_from_slice(&theirs[off..off + v]);
         off += v;
     }
@@ -529,7 +599,12 @@ fn swap_panel_rows(
     let (o1, o2) = (t1 % g.px, t2 % g.px);
     let tag = TAG_SWAP + step as u64 * 64 + nonce + 32;
     let row_index = |tile: usize, r: usize| -> usize {
-        my_panel_tiles.iter().position(|&x| x == tile).expect("panel tile owned") * v + r
+        my_panel_tiles
+            .iter()
+            .position(|&x| x == tile)
+            .expect("panel tile owned")
+            * v
+            + r
     };
     if o1 == o2 {
         if pi == o1 {

@@ -11,7 +11,7 @@
 //! the layer contributions onto layer 0. With `Pz = 1` this *is* 2D SUMMA —
 //! the baseline the 2.5D analysis compares against.
 
-use crate::common::pick_grid_and_block;
+use crate::common::{phase, phase_end, pick_grid_and_block};
 use dense::gemm::{gemm, Trans};
 use dense::Matrix;
 use std::collections::HashMap;
@@ -36,8 +36,13 @@ impl Mmm25dConfig {
     /// # Panics
     /// If `v` does not divide `n`.
     pub fn new(n: usize, v: usize, grid: Grid3) -> Self {
-        assert!(v > 0 && n % v == 0, "v={v} must divide n={n}");
-        Mmm25dConfig { n, v, grid, collect: true }
+        assert!(v > 0 && n.is_multiple_of(v), "v={v} must divide n={n}");
+        Mmm25dConfig {
+            n,
+            v,
+            grid,
+            collect: true,
+        }
     }
 
     /// Automatic grid/block selection (same policy as the factorizations).
@@ -89,7 +94,10 @@ pub fn mmm25d(cfg: &Mmm25dConfig, a: &Matrix, b: &Matrix) -> MmmOutput {
         }
         c
     });
-    MmmOutput { c, stats: out.stats }
+    MmmOutput {
+        c,
+        stats: out.stats,
+    }
 }
 
 type TileMap = HashMap<(usize, usize), Matrix>;
@@ -134,7 +142,7 @@ fn rank_program(comm: &Comm, cfg: &Mmm25dConfig, a: &Matrix, b: &Matrix) -> Tile
 
     // SUMMA over this layer's inner steps.
     for &k in &my_ks {
-        comm.set_phase("summa_bcast");
+        phase(comm, "summa_bcast");
         // A(·, k): owner column k mod py broadcasts along process rows.
         let a_root = k % g.py;
         let mut abuf: Vec<f64> = if pj == a_root {
@@ -160,7 +168,7 @@ fn rank_program(comm: &Comm, cfg: &Mmm25dConfig, a: &Matrix, b: &Matrix) -> Tile
         };
         xcol.bcast_f64(b_root, &mut bbuf);
 
-        comm.set_phase("local_gemm");
+        phase(comm, "local_gemm");
         let astride = Matrix::from_vec(my_tis.len() * v, v, abuf);
         let bwide = Matrix::from_vec(my_tjs.len() * v, v, bbuf); // row-block packed
         for (ii, &ti) in my_tis.iter().enumerate() {
@@ -174,7 +182,7 @@ fn rank_program(comm: &Comm, cfg: &Mmm25dConfig, a: &Matrix, b: &Matrix) -> Tile
     }
 
     // z-reduction of the partial C onto layer 0.
-    comm.set_phase("c_reduce");
+    phase(comm, "c_reduce");
     if g.pz > 1 {
         let mut buf = Vec::with_capacity(my_tis.len() * my_tjs.len() * v * v);
         for &ti in &my_tis {
@@ -194,6 +202,7 @@ fn rank_program(comm: &Comm, cfg: &Mmm25dConfig, a: &Matrix, b: &Matrix) -> Tile
             }
         }
     }
+    phase_end(comm);
     if pk == 0 && cfg.collect {
         c_tiles
     } else {
@@ -212,7 +221,15 @@ mod tests {
         let b = random_matrix(n, n, seed + 1);
         let out = mmm25d(&Mmm25dConfig::new(n, v, grid), &a, &b);
         let mut expect = Matrix::zeros(n, n);
-        gemm(Trans::N, Trans::N, 1.0, a.as_ref(), b.as_ref(), 0.0, expect.as_mut());
+        gemm(
+            Trans::N,
+            Trans::N,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            expect.as_mut(),
+        );
         let diff = max_abs_diff(out.c.as_ref().unwrap(), &expect);
         assert!(diff < 1e-10, "diff {diff} for n={n} v={v} grid={grid:?}");
     }
@@ -249,8 +266,16 @@ mod tests {
         let n = 96;
         let a = random_matrix(n, n, 9);
         let b = random_matrix(n, n, 10);
-        let flat = mmm25d(&Mmm25dConfig::new(n, 4, Grid3::new(4, 4, 1)).volume_only(), &a, &b);
-        let repl = mmm25d(&Mmm25dConfig::new(n, 4, Grid3::new(2, 2, 4)).volume_only(), &a, &b);
+        let flat = mmm25d(
+            &Mmm25dConfig::new(n, 4, Grid3::new(4, 4, 1)).volume_only(),
+            &a,
+            &b,
+        );
+        let repl = mmm25d(
+            &Mmm25dConfig::new(n, 4, Grid3::new(2, 2, 4)).volume_only(),
+            &a,
+            &b,
+        );
         assert!(
             repl.stats.total_bytes_sent() < flat.stats.total_bytes_sent(),
             "c=4 {} vs c=1 {}",

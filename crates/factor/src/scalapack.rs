@@ -10,9 +10,9 @@
 //! coordinates* with an explicit permutation (COnfLUX's row masking never
 //! swaps rows, so the natural output is `P·A = L·U` plus `perm`).
 
+use crate::common::{phase, phase_end, Entry, Tiling};
 use crate::confchox::{self, ConfchoxConfig};
 use crate::conflux::{self, ConfluxConfig};
-use crate::common::{Entry, Tiling};
 use dense::{Error, Matrix};
 use layout::{redist::redistribute_subset, BlockCyclic, DistMatrix};
 use xmpi::{Comm, Grid2, WorldStats};
@@ -62,23 +62,27 @@ pub fn pdgetrf(
         cfg.grid.size(),
         "user layout must span the whole machine"
     );
-    assert!(cfg.collect, "the wrapper must collect entries to return the factor");
+    assert!(
+        cfg.collect,
+        "the wrapper must collect entries to return the factor"
+    );
     let tdesc = tile_desc(cfg.n, cfg.v, cfg.grid.px, cfg.grid.py);
     let out = xmpi::run(cfg.grid.size(), |comm| -> Result<_, Error> {
         // 1. The caller's shard is pre-existing state (unmeasured).
         let mine = DistMatrix::from_global(user_desc, user_desc.grid.coords(comm.rank()), a);
         // 2. Stage onto the layer-0 tile layout (measured).
-        comm.set_phase("staging_in");
+        phase(comm, "staging_in");
         let staged = redistribute_subset(comm, Some(&mine), tdesc);
         let tiles = shard_to_tiles(staged.as_ref(), cfg.n, cfg.v, cfg.grid.px, cfg.grid.py);
         // 3. Factor.
         let (entries, perm) = conflux::rank_program(comm, cfg, tiles)?;
         // 4. Route factor entries to the pivoted tile layout (measured).
-        comm.set_phase("staging_out");
+        phase(comm, "staging_out");
         let pivoted = entries_to_shard(comm, cfg.n, tdesc, &perm, entries);
         // 5. Back to the caller's layout (measured).
         let back = redistribute_subset(comm, pivoted.as_ref(), user_desc)
             .expect("user layout covers every rank");
+        phase_end(comm);
         Ok((back, perm))
     });
     collect(out, cfg.grid.size())
@@ -104,21 +108,25 @@ pub fn pdpotrf(
         cfg.grid.size(),
         "user layout must span the whole machine"
     );
-    assert!(cfg.collect, "the wrapper must collect entries to return the factor");
+    assert!(
+        cfg.collect,
+        "the wrapper must collect entries to return the factor"
+    );
     let tdesc = tile_desc(cfg.n, cfg.v, cfg.grid.px, cfg.grid.py);
     let identity: Vec<usize> = (0..cfg.n).collect();
     let out = xmpi::run(cfg.grid.size(), |comm| -> Result<_, Error> {
         let mine = DistMatrix::from_global(user_desc, user_desc.grid.coords(comm.rank()), a);
-        comm.set_phase("staging_in");
+        phase(comm, "staging_in");
         let staged = redistribute_subset(comm, Some(&mine), tdesc);
         // Keep only the lower-triangular tiles (COnfCHOX's storage).
         let mut tiles = shard_to_tiles(staged.as_ref(), cfg.n, cfg.v, cfg.grid.px, cfg.grid.py);
         tiles.retain(|&(ti, tj), _| ti >= tj);
         let entries = confchox::rank_program(comm, cfg, tiles)?;
-        comm.set_phase("staging_out");
+        phase(comm, "staging_out");
         let pivoted = entries_to_shard(comm, cfg.n, tdesc, &identity, entries);
         let back = redistribute_subset(comm, pivoted.as_ref(), user_desc)
             .expect("user layout covers every rank");
+        phase_end(comm);
         Ok((back, identity.clone()))
     });
     collect(out, cfg.grid.size())
@@ -137,7 +145,11 @@ fn collect(
         }
         shards.push(shard);
     }
-    Ok(ScalapackOutput { shards, perm, stats: out.stats })
+    Ok(ScalapackOutput {
+        shards,
+        perm,
+        stats: out.stats,
+    })
 }
 
 /// Slice a staged layer-0 shard (v×v block-cyclic) into the tile map the

@@ -23,7 +23,10 @@ pub struct Candidates {
 
 impl Candidates {
     fn empty(v: usize) -> Self {
-        Candidates { rows: Matrix::zeros(0, v), ids: Vec::new() }
+        Candidates {
+            rows: Matrix::zeros(0, v),
+            ids: Vec::new(),
+        }
     }
 
     fn flatten(&self) -> Vec<f64> {
@@ -32,7 +35,10 @@ impl Candidates {
 
     fn from_parts(v: usize, data: Vec<f64>, ids: Vec<u64>) -> Self {
         assert_eq!(data.len(), ids.len() * v, "candidate buffer shape mismatch");
-        Candidates { rows: Matrix::from_vec(ids.len(), v, data), ids }
+        Candidates {
+            rows: Matrix::from_vec(ids.len(), v, data),
+            ids,
+        }
     }
 }
 
@@ -107,7 +113,11 @@ fn merge(
     v: usize,
     first_mine: bool,
 ) -> Result<Candidates, dense::Error> {
-    let (a, b) = if first_mine { (mine, theirs) } else { (theirs, mine) };
+    let (a, b) = if first_mine {
+        (mine, theirs)
+    } else {
+        (theirs, mine)
+    };
     let m = a.ids.len() + b.ids.len();
     let stacked = Matrix::from_fn(m, v, |i, j| {
         if i < a.ids.len() {
@@ -198,7 +208,10 @@ pub fn tournament(
     for (k, &p) in ipiv.iter().enumerate() {
         final_ids.swap(k, p);
     }
-    Ok(PivotBlock { ids: final_ids, a00 })
+    Ok(PivotBlock {
+        ids: final_ids,
+        a00,
+    })
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //!
 //! Per-rank volume scales as `N²/√P` — the 2D wall the 2.5D schedules break.
 
+use crate::common::{phase, phase_end};
 use dense::gemm::{gemm, Trans};
 use dense::potrf::potrf_unblocked;
 use dense::trsm::{trsm, Diag, Side, Uplo};
@@ -44,7 +45,12 @@ impl TwodConfig {
     /// as ScaLAPACK defaults do for benchmark sizes).
     pub fn new(n: usize, nb: usize, grid: Grid2) -> Self {
         assert!(nb > 0 && n.is_multiple_of(nb), "nb={nb} must divide n={n}");
-        TwodConfig { n, nb, grid, collect: true }
+        TwodConfig {
+            n,
+            nb,
+            grid,
+            collect: true,
+        }
     }
 
     /// Near-square grid and a default block size.
@@ -98,7 +104,11 @@ pub fn twod_lu(cfg: &TwodConfig, a: &Matrix) -> Result<TwodLuOutput, Error> {
         shards.push(shard);
     }
     let packed = cfg.collect.then(|| layout::dist::assemble(&desc, &shards));
-    Ok(TwodLuOutput { ipiv, packed, stats: out.stats })
+    Ok(TwodLuOutput {
+        ipiv,
+        packed,
+        stats: out.stats,
+    })
 }
 
 #[allow(clippy::type_complexity)]
@@ -127,7 +137,7 @@ fn lu_rank(
         let prow = (k0 / nb) % g.rows; // process row owning the U block row
 
         // ---- Panel factorization with partial pivoting ------------------
-        comm.set_phase("panel");
+        phase(comm, "panel");
         for j in k0..end {
             // Pivot search over the owning process column.
             let mut piv_row = j;
@@ -157,7 +167,11 @@ fn lu_rank(
             // Propagate the pivot to every process column (pivot metadata
             // broadcast along process rows); a singular column is signalled
             // as a negative sentinel so every rank aborts together.
-            let mut pbuf = vec![if piv_row == usize::MAX { -1.0 } else { piv_row as f64 }];
+            let mut pbuf = vec![if piv_row == usize::MAX {
+                -1.0
+            } else {
+                piv_row as f64
+            }];
             rowc.bcast_f64(pcol, &mut pbuf);
             if pbuf[0] < 0.0 {
                 return Err(Error::SingularAt(j));
@@ -200,7 +214,7 @@ fn lu_rank(
         }
 
         // ---- Broadcast L00 along the U-owning process row, solve U12 ----
-        comm.set_phase("u_panel");
+        phase(comm, "u_panel");
         if pi == prow {
             let mut l00 = vec![0.0; kb * kb];
             if pj == pcol {
@@ -213,15 +227,24 @@ fn lu_rank(
             rowc.bcast_f64(pcol, &mut l00);
             let l00m = Matrix::from_vec(kb, kb, l00);
             // My trailing columns in the U block row.
-            let my_cols: Vec<usize> = (end..n).filter(|&c| {
-                let (pc, _) = desc.col_g2l(c);
-                pc == pj
-            }).collect();
+            let my_cols: Vec<usize> = (end..n)
+                .filter(|&c| {
+                    let (pc, _) = desc.col_g2l(c);
+                    pc == pj
+                })
+                .collect();
             if !my_cols.is_empty() {
-                let mut u12 = Matrix::from_fn(kb, my_cols.len(), |r, ci| {
-                    m.get_global(k0 + r, my_cols[ci])
-                });
-                trsm(Side::Left, Uplo::Lower, Trans::N, Diag::Unit, 1.0, l00m.as_ref(), u12.as_mut());
+                let mut u12 =
+                    Matrix::from_fn(kb, my_cols.len(), |r, ci| m.get_global(k0 + r, my_cols[ci]));
+                trsm(
+                    Side::Left,
+                    Uplo::Lower,
+                    Trans::N,
+                    Diag::Unit,
+                    1.0,
+                    l00m.as_ref(),
+                    u12.as_mut(),
+                );
                 for (ci, &c) in my_cols.iter().enumerate() {
                     for r in 0..kb {
                         m.set_global(k0 + r, c, u12[(r, ci)]);
@@ -231,7 +254,7 @@ fn lu_rank(
         }
 
         // ---- Broadcast panels, rank-kb trailing update -------------------
-        comm.set_phase("update");
+        phase(comm, "update");
         let my_rows: Vec<usize> = (end..n).filter(|&r| desc.row_g2l(r).0 == pi).collect();
         let my_cols: Vec<usize> = (end..n).filter(|&c| desc.col_g2l(c).0 == pj).collect();
 
@@ -264,7 +287,15 @@ fn lu_rank(
             let l = Matrix::from_vec(my_rows.len(), kb, lbuf);
             let u = Matrix::from_vec(kb, my_cols.len(), ubuf);
             let mut upd = Matrix::zeros(my_rows.len(), my_cols.len());
-            gemm(Trans::N, Trans::N, 1.0, l.as_ref(), u.as_ref(), 0.0, upd.as_mut());
+            gemm(
+                Trans::N,
+                Trans::N,
+                1.0,
+                l.as_ref(),
+                u.as_ref(),
+                0.0,
+                upd.as_mut(),
+            );
             for (ri, &r) in my_rows.iter().enumerate() {
                 for (ci, &c) in my_cols.iter().enumerate() {
                     let cur = m.get_global(r, c);
@@ -276,6 +307,7 @@ fn lu_rank(
         k0 = end;
     }
 
+    phase_end(comm);
     Ok((m, ipiv))
 }
 
@@ -339,7 +371,10 @@ pub fn twod_cholesky(cfg: &TwodConfig, a: &Matrix) -> Result<TwodCholOutput, Err
         // Zero the strictly-upper garbage for a clean factor.
         Matrix::from_fn(cfg.n, cfg.n, |i, j| if j <= i { full[(i, j)] } else { 0.0 })
     });
-    Ok(TwodCholOutput { l, stats: out.stats })
+    Ok(TwodCholOutput {
+        l,
+        stats: out.stats,
+    })
 }
 
 fn chol_rank(
@@ -365,7 +400,7 @@ fn chol_rank(
         let prow = (k0 / nb) % g.rows;
 
         // ---- Diagonal block factorization --------------------------------
-        comm.set_phase("panel");
+        phase(comm, "panel");
         let mut l00 = vec![0.0; kb * kb];
         let mut potrf_err: Option<Error> = None;
         if pi == prow && pj == pcol {
@@ -409,10 +444,17 @@ fn chol_rank(
         let mut lpanel = Matrix::zeros(0, kb);
         if pj == pcol && !my_rows.is_empty() {
             let l00m = Matrix::from_vec(kb, kb, l00.clone());
-            let mut p = Matrix::from_fn(my_rows.len(), kb, |ri, c| {
-                m.get_global(my_rows[ri], k0 + c)
-            });
-            trsm(Side::Right, Uplo::Lower, Trans::T, Diag::NonUnit, 1.0, l00m.as_ref(), p.as_mut());
+            let mut p =
+                Matrix::from_fn(my_rows.len(), kb, |ri, c| m.get_global(my_rows[ri], k0 + c));
+            trsm(
+                Side::Right,
+                Uplo::Lower,
+                Trans::T,
+                Diag::NonUnit,
+                1.0,
+                l00m.as_ref(),
+                p.as_mut(),
+            );
             for (ri, &r) in my_rows.iter().enumerate() {
                 for c in 0..kb {
                     m.set_global(r, k0 + c, p[(ri, c)]);
@@ -422,9 +464,13 @@ fn chol_rank(
         }
 
         // ---- Distribute the panel in both roles ---------------------------
-        comm.set_phase("update");
+        phase(comm, "update");
         // Row role: rows ≡ pi along the process row.
-        let mut rowbuf: Vec<f64> = if pj == pcol { lpanel.data().to_vec() } else { Vec::new() };
+        let mut rowbuf: Vec<f64> = if pj == pcol {
+            lpanel.data().to_vec()
+        } else {
+            Vec::new()
+        };
         if !my_rows.is_empty() {
             rowc.bcast_f64(pcol, &mut rowbuf);
         }
@@ -449,7 +495,9 @@ fn chol_rank(
             for (ci, &c) in my_cols.iter().enumerate() {
                 let srow = desc.row_g2l(c).0;
                 let cur = &mut cursors[srow];
-                colpanel.row_mut(ci).copy_from_slice(&pieces[srow][*cur..*cur + kb]);
+                colpanel
+                    .row_mut(ci)
+                    .copy_from_slice(&pieces[srow][*cur..*cur + kb]);
                 *cur += kb;
             }
         }
@@ -458,7 +506,15 @@ fn chol_rank(
         if !my_rows.is_empty() && col_needed {
             let rowm = Matrix::from_vec(my_rows.len(), kb, rowbuf);
             let mut upd = Matrix::zeros(my_rows.len(), my_cols.len());
-            gemm(Trans::N, Trans::T, 1.0, rowm.as_ref(), colpanel.as_ref(), 0.0, upd.as_mut());
+            gemm(
+                Trans::N,
+                Trans::T,
+                1.0,
+                rowm.as_ref(),
+                colpanel.as_ref(),
+                0.0,
+                upd.as_mut(),
+            );
             for (ri, &r) in my_rows.iter().enumerate() {
                 for (ci, &c) in my_cols.iter().enumerate() {
                     if c <= r {
@@ -471,6 +527,7 @@ fn chol_rank(
 
         k0 = end;
     }
+    phase_end(comm);
     Ok(m)
 }
 
@@ -528,7 +585,10 @@ mod tests {
         let out = twod_lu(&cfg, &a).unwrap();
         let mut seq = a.clone();
         let ipiv_seq = dense::getrf(&mut seq, 5).unwrap();
-        assert_eq!(out.ipiv, ipiv_seq, "distributed pivots must match LAPACK reference");
+        assert_eq!(
+            out.ipiv, ipiv_seq,
+            "distributed pivots must match LAPACK reference"
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl BlockCyclic {
     /// Grid coordinates of the process owning global entry `(i, j)`.
     pub fn owner_coords(&self, i: usize, j: usize) -> (usize, usize) {
         debug_assert!(i < self.m && j < self.n);
-        ((i / self.rb) % self.grid.rows, (j / self.cb) % self.grid.cols)
+        (
+            (i / self.rb) % self.grid.rows,
+            (j / self.cb) % self.grid.cols,
+        )
     }
 
     /// Rank of the process owning global entry `(i, j)`.
@@ -137,7 +140,13 @@ impl ScalapackDesc {
     pub fn to_block_cyclic(&self, grid: Grid2) -> BlockCyclic {
         assert_eq!(self.rsrc, 0, "nonzero RSRC unsupported");
         assert_eq!(self.csrc, 0, "nonzero CSRC unsupported");
-        BlockCyclic::new(self.m as usize, self.n as usize, self.mb as usize, self.nb as usize, grid)
+        BlockCyclic::new(
+            self.m as usize,
+            self.n as usize,
+            self.mb as usize,
+            self.nb as usize,
+            grid,
+        )
     }
 }
 

@@ -20,7 +20,11 @@ impl DistMatrix {
     /// Create a zero-initialized shard for the rank at `coords`.
     pub fn zeros(desc: BlockCyclic, coords: (usize, usize)) -> Self {
         let local = Matrix::zeros(desc.local_rows(coords.0), desc.local_cols(coords.1));
-        DistMatrix { desc, coords, local }
+        DistMatrix {
+            desc,
+            coords,
+            local,
+        }
     }
 
     /// Build this rank's shard directly from a globally-replicated matrix
@@ -37,7 +41,11 @@ impl DistMatrix {
         let local = Matrix::from_fn(lr, lc, |li, lj| {
             global[(desc.row_l2g(pi, li), desc.col_l2g(pj, lj))]
         });
-        DistMatrix { desc, coords, local }
+        DistMatrix {
+            desc,
+            coords,
+            local,
+        }
     }
 
     /// Read the global entry `(i, j)`.
@@ -47,7 +55,11 @@ impl DistMatrix {
     pub fn get_global(&self, i: usize, j: usize) -> f64 {
         let (pi, li) = self.desc.row_g2l(i);
         let (pj, lj) = self.desc.col_g2l(j);
-        assert_eq!((pi, pj), self.coords, "entry ({i},{j}) not owned by this rank");
+        assert_eq!(
+            (pi, pj),
+            self.coords,
+            "entry ({i},{j}) not owned by this rank"
+        );
         self.local[(li, lj)]
     }
 
@@ -58,7 +70,11 @@ impl DistMatrix {
     pub fn set_global(&mut self, i: usize, j: usize, v: f64) {
         let (pi, li) = self.desc.row_g2l(i);
         let (pj, lj) = self.desc.col_g2l(j);
-        assert_eq!((pi, pj), self.coords, "entry ({i},{j}) not owned by this rank");
+        assert_eq!(
+            (pi, pj),
+            self.coords,
+            "entry ({i},{j}) not owned by this rank"
+        );
         self.local[(li, lj)] = v;
     }
 

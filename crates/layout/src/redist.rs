@@ -27,8 +27,16 @@ const TAG_REDIST: u64 = 7_000_000;
 /// # Panics
 /// On descriptor mismatch (extents or process counts).
 pub fn redistribute(comm: &Comm, src: &DistMatrix, dst_desc: BlockCyclic) -> DistMatrix {
-    assert_eq!(src.desc.nprocs(), comm.size(), "source layout does not span communicator");
-    assert_eq!(dst_desc.nprocs(), comm.size(), "target layout does not span communicator");
+    assert_eq!(
+        src.desc.nprocs(),
+        comm.size(),
+        "source layout does not span communicator"
+    );
+    assert_eq!(
+        dst_desc.nprocs(),
+        comm.size(),
+        "target layout does not span communicator"
+    );
     redistribute_subset(comm, Some(src), dst_desc).expect("rank is inside the target grid")
 }
 
@@ -49,7 +57,10 @@ pub fn redistribute_subset(
 ) -> Option<DistMatrix> {
     let p = comm.size();
     let me = comm.rank();
-    assert!(dst_desc.nprocs() <= p, "target layout larger than communicator");
+    assert!(
+        dst_desc.nprocs() <= p,
+        "target layout larger than communicator"
+    );
 
     // Consistency between this rank's src argument and the source grid.
     if let Some(s) = src {

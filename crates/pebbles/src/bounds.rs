@@ -85,7 +85,10 @@ mod tests {
         assert!((lu - lead).abs() / lead < 0.06, "LU leading term");
         let ch = cholesky_io_lower_bound(n, p, m);
         let lead_ch = (n as f64).powi(3) / (3.0 * p as f64 * m.sqrt());
-        assert!((ch - lead_ch).abs() / lead_ch < 0.12, "Cholesky leading term");
+        assert!(
+            (ch - lead_ch).abs() / lead_ch < 0.12,
+            "Cholesky leading term"
+        );
         assert!((lu / ch - 2.0).abs() < 0.1, "LU bound is 2× Cholesky's");
     }
 
@@ -113,10 +116,7 @@ mod tests {
             ] {
                 let moves = greedy_schedule(&g, m);
                 let q = verify(&g, &moves, m).unwrap().q as f64;
-                assert!(
-                    q >= lb,
-                    "{name} M={m}: greedy Q={q} below lower bound {lb}"
-                );
+                assert!(q >= lb, "{name} M={m}: greedy Q={q} below lower bound {lb}");
             }
         }
     }

@@ -35,17 +35,23 @@ impl Cdag {
     /// Vertices with no incoming edges (graph inputs: initial element
     /// versions).
     pub fn inputs(&self) -> Vec<NodeId> {
-        (0..self.len()).filter(|&v| self.preds[v].is_empty()).collect()
+        (0..self.len())
+            .filter(|&v| self.preds[v].is_empty())
+            .collect()
     }
 
     /// Vertices with no outgoing edges (graph outputs).
     pub fn outputs(&self) -> Vec<NodeId> {
-        (0..self.len()).filter(|&v| self.succs[v].is_empty()).collect()
+        (0..self.len())
+            .filter(|&v| self.succs[v].is_empty())
+            .collect()
     }
 
     /// Non-input vertices (the computations).
     pub fn compute_vertices(&self) -> Vec<NodeId> {
-        (0..self.len()).filter(|&v| !self.preds[v].is_empty()).collect()
+        (0..self.len())
+            .filter(|&v| !self.preds[v].is_empty())
+            .collect()
     }
 
     /// Out-degree of a vertex.
@@ -121,7 +127,9 @@ impl Builder {
         let in_nodes: Vec<NodeId> = inputs.iter().map(|(a, i)| self.read(a, i)).collect();
         let key = (output.0.to_string(), output.1.to_vec());
         let version = self.live.get(&key).map_or(0, |&(_, ver)| ver + 1);
-        let v = self.graph.add_vertex((output.0.to_string(), output.1.to_vec(), version));
+        let v = self
+            .graph
+            .add_vertex((output.0.to_string(), output.1.to_vec(), version));
         for u in in_nodes {
             self.graph.add_edge(u, v);
         }
@@ -146,7 +154,10 @@ pub fn lu_cdag(n: usize) -> Cdag {
         for i in k + 1..n {
             for j in k + 1..n {
                 // S2: A[i,j] ← A[i,j] − A[i,k]·A[k,j]
-                b.compute(("A", &[i, j]), &[("A", &[i, j]), ("A", &[i, k]), ("A", &[k, j])]);
+                b.compute(
+                    ("A", &[i, j]),
+                    &[("A", &[i, j]), ("A", &[i, k]), ("A", &[k, j])],
+                );
             }
         }
     }
@@ -166,7 +177,10 @@ pub fn cholesky_cdag(n: usize) -> Cdag {
         for i in k + 1..n {
             for j in k + 1..=i {
                 // S3: L[i,j] ← L[i,j] − L[i,k]·L[j,k]
-                b.compute(("L", &[i, j]), &[("L", &[i, j]), ("L", &[i, k]), ("L", &[j, k])]);
+                b.compute(
+                    ("L", &[i, j]),
+                    &[("L", &[i, j]), ("L", &[i, k]), ("L", &[j, k])],
+                );
             }
         }
     }
@@ -179,7 +193,10 @@ pub fn mmm_cdag(n: usize) -> Cdag {
     for i in 0..n {
         for j in 0..n {
             for k in 0..n {
-                b.compute(("C", &[i, j]), &[("C", &[i, j]), ("A", &[i, k]), ("B", &[k, j])]);
+                b.compute(
+                    ("C", &[i, j]),
+                    &[("C", &[i, j]), ("A", &[i, k]), ("B", &[k, j])],
+                );
             }
         }
     }
@@ -224,7 +241,9 @@ mod tests {
             // S1: N, S2: N(N-1)/2, S3: Σ_k Σ_{i>k} (i-k).
             let v1 = n;
             let v2 = n * (n - 1) / 2;
-            let v3: usize = (0..n).map(|k| (k + 1..n).map(|i| i - k).sum::<usize>()).sum();
+            let v3: usize = (0..n)
+                .map(|k| (k + 1..n).map(|i| i - k).sum::<usize>())
+                .sum();
             // Inputs: lower triangle incl. diagonal.
             assert_eq!(g.inputs().len(), n * (n + 1) / 2, "n={n}");
             assert_eq!(g.compute_vertices().len(), v1 + v2 + v3, "n={n}");

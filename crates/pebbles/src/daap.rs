@@ -28,7 +28,10 @@ pub struct AccessFn {
 impl AccessFn {
     /// Convenience constructor: `AccessFn::new("A", &["i", "k"])`.
     pub fn new(array: &str, index: &[&str]) -> Self {
-        AccessFn { array: array.to_string(), index: index.iter().map(|s| s.to_string()).collect() }
+        AccessFn {
+            array: array.to_string(),
+            index: index.iter().map(|s| s.to_string()).collect(),
+        }
     }
 
     /// The access dimension: number of distinct iteration variables in the
@@ -105,7 +108,10 @@ pub fn lu_program() -> Program {
                 name: "S1".into(),
                 loop_vars: vec!["k".into(), "i".into()],
                 output: AccessFn::new("A", &["i", "k"]),
-                inputs: vec![AccessFn::new("A", &["i", "k"]), AccessFn::new("A", &["k", "k"])],
+                inputs: vec![
+                    AccessFn::new("A", &["i", "k"]),
+                    AccessFn::new("A", &["k", "k"]),
+                ],
             },
             Statement {
                 name: "S2".into(),
@@ -135,7 +141,10 @@ pub fn cholesky_program() -> Program {
                 name: "S2".into(),
                 loop_vars: vec!["k".into(), "i".into()],
                 output: AccessFn::new("L", &["i", "k"]),
-                inputs: vec![AccessFn::new("L", &["i", "k"]), AccessFn::new("L", &["k", "k"])],
+                inputs: vec![
+                    AccessFn::new("L", &["i", "k"]),
+                    AccessFn::new("L", &["k", "k"]),
+                ],
             },
             Statement {
                 name: "S3".into(),

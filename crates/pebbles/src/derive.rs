@@ -102,7 +102,12 @@ pub fn analyze_statement(stmt: &Statement, n_compute: f64, m: f64) -> StatementB
         let (x0, rho) = find_x0(&chi_fn, m, 64.0 * m + 1024.0);
         RhoBound::Kkt { x0, rho }
     };
-    StatementBound { name: stmt.name.clone(), rho, n_compute, q: n_compute / rho.rho() }
+    StatementBound {
+        name: stmt.name.clone(),
+        rho,
+        n_compute,
+        q: n_compute / rho.rho(),
+    }
 }
 
 /// Derive the parallel I/O lower bound of a whole program (§3–§5).
@@ -116,7 +121,11 @@ pub fn analyze_statement(stmt: &Statement, n_compute: f64, m: f64) -> StatementB
 /// # Panics
 /// If `counts.len() != program.statements.len()`.
 pub fn derive_program_bound(prog: &Program, counts: &[f64], m: f64, p: usize) -> ProgramBound {
-    assert_eq!(counts.len(), prog.statements.len(), "one count per statement");
+    assert_eq!(
+        counts.len(),
+        prog.statements.len(),
+        "one count per statement"
+    );
     let statements: Vec<StatementBound> = prog
         .statements
         .iter()
@@ -145,7 +154,11 @@ pub fn derive_program_bound(prog: &Program, counts: &[f64], m: f64, p: usize) ->
         }
     }
     let q_total: f64 = statements.iter().map(|s| s.q).sum();
-    ProgramBound { statements, q_parallel: q_total / p as f64, second_order_caveats: caveats }
+    ProgramBound {
+        statements,
+        q_parallel: q_total / p as f64,
+        second_order_caveats: caveats,
+    }
 }
 
 /// Lemma 7 composition: a sound combined bound when statements share input
@@ -169,7 +182,11 @@ pub fn lu_counts(n: usize) -> Vec<f64> {
 /// `|V₂| = N(N−1)/2`, `|V₃| = N(N−1)(N−2)/6` — §6.2).
 pub fn cholesky_counts(n: usize) -> Vec<f64> {
     let nf = n as f64;
-    vec![nf, nf * (nf - 1.0) / 2.0, nf * (nf - 1.0) * (nf - 2.0) / 6.0]
+    vec![
+        nf,
+        nf * (nf - 1.0) / 2.0,
+        nf * (nf - 1.0) * (nf - 2.0) / 6.0,
+    ]
 }
 
 /// Counts for the built-in matrix-multiplication program (`N³`).
@@ -206,7 +223,11 @@ mod tests {
             let derived = derive_program_bound(&lu_program(), &lu_counts(n), m, p);
             let closed = lu_io_lower_bound(n, p, m);
             let rel = (derived.q_parallel - closed).abs() / closed;
-            assert!(rel < 0.02, "n={n}: derived {} vs closed {closed}", derived.q_parallel);
+            assert!(
+                rel < 0.02,
+                "n={n}: derived {} vs closed {closed}",
+                derived.q_parallel
+            );
         }
     }
 
@@ -216,7 +237,11 @@ mod tests {
         let derived = derive_program_bound(&cholesky_program(), &cholesky_counts(n), m, p);
         let closed = cholesky_io_lower_bound(n, p, m);
         let rel = (derived.q_parallel - closed).abs() / closed;
-        assert!(rel < 0.02, "derived {} vs closed {closed}", derived.q_parallel);
+        assert!(
+            rel < 0.02,
+            "derived {} vs closed {closed}",
+            derived.q_parallel
+        );
     }
 
     #[test]
@@ -225,7 +250,11 @@ mod tests {
         let derived = derive_program_bound(&mmm_program(), &mmm_counts(n), m, p);
         let closed = mmm_io_lower_bound(n, p, m);
         let rel = (derived.q_parallel - closed).abs() / closed;
-        assert!(rel < 0.05, "derived {} vs closed {closed}", derived.q_parallel);
+        assert!(
+            rel < 0.05,
+            "derived {} vs closed {closed}",
+            derived.q_parallel
+        );
     }
 
     #[test]

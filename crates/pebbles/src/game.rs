@@ -56,7 +56,12 @@ pub fn verify(g: &Cdag, moves: &[Move], m: usize) -> Result<GameStats, String> {
     let mut red: HashSet<NodeId> = HashSet::new();
     let mut blue: HashSet<NodeId> = g.inputs().into_iter().collect();
     let mut computed: HashSet<NodeId> = HashSet::new();
-    let mut stats = GameStats { q: 0, loads: 0, stores: 0, peak_red: 0 };
+    let mut stats = GameStats {
+        q: 0,
+        loads: 0,
+        stores: 0,
+        peak_red: 0,
+    };
     for (i, &mv) in moves.iter().enumerate() {
         match mv {
             Move::Load(v) => {
@@ -138,8 +143,11 @@ pub fn greedy_schedule(g: &Cdag, m: usize) -> Vec<Move> {
     };
     // Next-use lists: for each vertex, the positions (in compute order) of
     // the consumers, ascending.
-    let compute_seq: Vec<NodeId> =
-        order.iter().copied().filter(|&v| !g.preds[v].is_empty()).collect();
+    let compute_seq: Vec<NodeId> = order
+        .iter()
+        .copied()
+        .filter(|&v| !g.preds[v].is_empty())
+        .collect();
     let mut uses: HashMap<NodeId, Vec<usize>> = HashMap::new();
     for (pos, &v) in compute_seq.iter().enumerate() {
         for &p in &g.preds[v] {
@@ -155,10 +163,14 @@ pub fn greedy_schedule(g: &Cdag, m: usize) -> Vec<Move> {
     let mut blue: HashSet<NodeId> = g.inputs().into_iter().collect();
     let mut cursor: HashMap<NodeId, usize> = HashMap::new(); // per-vertex use index
 
-    let next_use = |v: NodeId, cursor: &HashMap<NodeId, usize>, uses: &HashMap<NodeId, Vec<usize>>| -> usize {
-        let c = cursor.get(&v).copied().unwrap_or(0);
-        uses.get(&v).and_then(|u| u.get(c)).copied().unwrap_or(usize::MAX)
-    };
+    let next_use =
+        |v: NodeId, cursor: &HashMap<NodeId, usize>, uses: &HashMap<NodeId, Vec<usize>>| -> usize {
+            let c = cursor.get(&v).copied().unwrap_or(0);
+            uses.get(&v)
+                .and_then(|u| u.get(c))
+                .copied()
+                .unwrap_or(usize::MAX)
+        };
 
     for (pos, &v) in compute_seq.iter().enumerate() {
         // Bring predecessors into fast memory.
@@ -168,7 +180,9 @@ pub fn greedy_schedule(g: &Cdag, m: usize) -> Vec<Move> {
                 continue;
             }
             while red.len() >= m {
-                evict_one(g, &mut red, &mut blue, &mut moves, &needed, v, pos, &cursor, &uses);
+                evict_one(
+                    g, &mut red, &mut blue, &mut moves, &needed, v, pos, &cursor, &uses,
+                );
             }
             debug_assert!(blue.contains(&p), "predecessor must be blue to load");
             moves.push(Move::Load(p));
@@ -176,7 +190,9 @@ pub fn greedy_schedule(g: &Cdag, m: usize) -> Vec<Move> {
         }
         // Room for the result.
         while red.len() >= m {
-            evict_one(g, &mut red, &mut blue, &mut moves, &needed, v, pos, &cursor, &uses);
+            evict_one(
+                g, &mut red, &mut blue, &mut moves, &needed, v, pos, &cursor, &uses,
+            );
         }
         moves.push(Move::Compute(v));
         red.insert(v);
@@ -219,7 +235,11 @@ fn evict_one(
         .filter(|x| !protected.contains(x) && *x != current)
         .max_by_key(|&x| {
             let c = cursor.get(&x).copied().unwrap_or(0);
-            let nu = uses.get(&x).and_then(|u| u.get(c)).copied().unwrap_or(usize::MAX);
+            let nu = uses
+                .get(&x)
+                .and_then(|u| u.get(c))
+                .copied()
+                .unwrap_or(usize::MAX);
             (nu, x)
         })
         .expect("no evictable pebble — M too small");
@@ -284,8 +304,7 @@ pub fn verify_parallel(
                 computed.insert(v);
             }
             PMove::Fetch(p, v) => {
-                let available =
-                    inputs.contains(&v) || red.iter().any(|r| r.contains(&v));
+                let available = inputs.contains(&v) || red.iter().any(|r| r.contains(&v));
                 if !available {
                     return Err(format!("move {i}: P{p} fetches unavailable {v}"));
                 }
@@ -363,8 +382,7 @@ mod tests {
         ] {
             for m in [4usize, 8, 16, 64] {
                 let moves = greedy_schedule(&g, m);
-                let stats = verify(&g, &moves, m)
-                    .unwrap_or_else(|e| panic!("{name} M={m}: {e}"));
+                let stats = verify(&g, &moves, m).unwrap_or_else(|e| panic!("{name} M={m}: {e}"));
                 assert!(stats.q > 0, "{name} must do some I/O");
             }
         }

@@ -73,7 +73,10 @@ mod tests {
         let mut bld = Builder::new();
         for i in 0..n {
             for j in 0..n {
-                bld.compute(("C", &[i, j]), &[("a", &[i, j * 2]), ("b", &[i, j * 2 + 1])]);
+                bld.compute(
+                    ("C", &[i, j]),
+                    &[("a", &[i, j * 2]), ("b", &[i, j * 2 + 1])],
+                );
             }
         }
         bld.build()

@@ -64,11 +64,17 @@ fn run_statement(b: &mut Builder, stmt: &Statement, nest: &LoopNest) {
     let in_idx: Vec<(String, Vec<usize>)> = stmt
         .inputs
         .iter()
-        .map(|a| (a.array.clone(), a.index.iter().map(|v| var_index(v)).collect()))
+        .map(|a| {
+            (
+                a.array.clone(),
+                a.index.iter().map(|v| var_index(v)).collect(),
+            )
+        })
         .collect();
 
     let l = nest.ranges.len();
     let mut vals = vec![0i64; l];
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         b: &mut Builder,
         nest: &LoopNest,
@@ -85,8 +91,10 @@ fn run_statement(b: &mut Builder, stmt: &Statement, nest: &LoopNest) {
                 .iter()
                 .map(|(a, ix)| (a.clone(), ix.iter().map(|&v| vals[v] as usize).collect()))
                 .collect();
-            let ins_ref: Vec<(&str, &[usize])> =
-                ins.iter().map(|(a, ix)| (a.as_str(), ix.as_slice())).collect();
+            let ins_ref: Vec<(&str, &[usize])> = ins
+                .iter()
+                .map(|(a, ix)| (a.as_str(), ix.as_slice()))
+                .collect();
             b.compute((out_arr, &out), &ins_ref);
             return;
         }
@@ -97,7 +105,16 @@ fn run_statement(b: &mut Builder, stmt: &Statement, nest: &LoopNest) {
             recurse(b, nest, vals, depth + 1, l, out_arr, out_idx, in_idx);
         }
     }
-    recurse(b, nest, &mut vals, 0, l, &stmt.output.array, &out_idx, &in_idx);
+    recurse(
+        b,
+        nest,
+        &mut vals,
+        0,
+        l,
+        &stmt.output.array,
+        &out_idx,
+        &in_idx,
+    );
 }
 
 /// Execute a whole program: statements run in program order for each value
@@ -153,7 +170,8 @@ mod tests {
         // Labels are (array, indices, version) — a canonical identity; map
         // label -> preds' labels and compare as sets.
         use std::collections::{BTreeSet, HashMap};
-        let sig = |g: &Cdag| -> HashMap<(String, Vec<usize>, usize), BTreeSet<(String, Vec<usize>, usize)>> {
+        type Label = (String, Vec<usize>, usize);
+        let sig = |g: &Cdag| -> HashMap<Label, BTreeSet<Label>> {
             (0..g.len())
                 .map(|v| {
                     (
@@ -220,7 +238,12 @@ mod tests {
             (Bound::Const(0), Bound::Const(4)),
             (Bound::Const(0), Bound::VarPlus(0, 0)),
         ]);
-        let g = build_cdag(&Program { statements: vec![stmt] }, &[nest]);
+        let g = build_cdag(
+            &Program {
+                statements: vec![stmt],
+            },
+            &[nest],
+        );
         assert_eq!(g.compute_vertices().len(), 6);
     }
 }

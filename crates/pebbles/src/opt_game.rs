@@ -29,8 +29,10 @@ pub fn optimal_q(g: &Cdag, m: usize, state_budget: usize) -> Option<usize> {
     let n = g.len();
     assert!(n <= 40, "exact search limited to 40 vertices");
     let all_inputs: u64 = g.inputs().iter().fold(0, |acc, &v| acc | (1 << v));
-    let compute_goal: u64 =
-        g.compute_vertices().iter().fold(0, |acc, &v| acc | (1 << v));
+    let compute_goal: u64 = g
+        .compute_vertices()
+        .iter()
+        .fold(0, |acc, &v| acc | (1 << v));
     let output_goal: u64 = g
         .outputs()
         .into_iter()
@@ -49,7 +51,11 @@ pub fn optimal_q(g: &Cdag, m: usize, state_budget: usize) -> Option<usize> {
         blue: u64,
         computed: u64,
     }
-    let start = State { red: 0, blue: all_inputs, computed: 0 };
+    let start = State {
+        red: 0,
+        blue: all_inputs,
+        computed: 0,
+    };
     let is_goal = |s: &State| {
         s.computed & compute_goal == compute_goal && s.blue & output_goal == output_goal
     };
@@ -74,10 +80,10 @@ pub fn optimal_q(g: &Cdag, m: usize, state_budget: usize) -> Option<usize> {
         }
         let red_count = s.red.count_ones() as usize;
         let push = |queue: &mut VecDeque<(State, usize)>,
-                        dist: &mut HashMap<State, usize>,
-                        ns: State,
-                        nd: usize,
-                        zero: bool| {
+                    dist: &mut HashMap<State, usize>,
+                    ns: State,
+                    nd: usize,
+                    zero: bool| {
             let better = dist.get(&ns).is_none_or(|&old| nd < old);
             if better {
                 dist.insert(ns, nd);
@@ -96,7 +102,11 @@ pub fn optimal_q(g: &Cdag, m: usize, state_budget: usize) -> Option<usize> {
                 && s.red & bit == 0
                 && red_count < m
             {
-                let ns = State { red: s.red | bit, blue: s.blue, computed: s.computed | bit };
+                let ns = State {
+                    red: s.red | bit,
+                    blue: s.blue,
+                    computed: s.computed | bit,
+                };
                 push(&mut queue, &mut dist, ns, d, true);
             }
             // A vertex is still *useful* if some successor remains
@@ -107,12 +117,18 @@ pub fn optimal_q(g: &Cdag, m: usize, state_budget: usize) -> Option<usize> {
             let needed_output = output_goal & bit != 0 && s.blue & bit == 0;
             // Load (cost 1).
             if s.blue & bit != 0 && s.red & bit == 0 && red_count < m && useful {
-                let ns = State { red: s.red | bit, ..s };
+                let ns = State {
+                    red: s.red | bit,
+                    ..s
+                };
                 push(&mut queue, &mut dist, ns, d + 1, false);
             }
             // Store (cost 1).
             if s.red & bit != 0 && s.blue & bit == 0 && (useful || needed_output) {
-                let ns = State { blue: s.blue | bit, ..s };
+                let ns = State {
+                    blue: s.blue | bit,
+                    ..s
+                };
                 push(&mut queue, &mut dist, ns, d + 1, false);
             }
             // Evict (free). Pruned to full-memory states: an eviction only
@@ -120,7 +136,10 @@ pub fn optimal_q(g: &Cdag, m: usize, state_budget: usize) -> Option<usize> {
             // space is actually needed preserves optimality while cutting
             // the reachable state space dramatically.
             if s.red & bit != 0 && red_count == m {
-                let ns = State { red: s.red & !bit, ..s };
+                let ns = State {
+                    red: s.red & !bit,
+                    ..s
+                };
                 push(&mut queue, &mut dist, ns, d, true);
             }
         }

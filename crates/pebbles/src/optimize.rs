@@ -38,7 +38,10 @@ pub fn maximize_h(accesses: &Accesses, nvars: usize, x_budget: f64) -> (Vec<f64>
     );
 
     let constraint = |x: &[f64]| -> f64 {
-        accesses.iter().map(|s| s.iter().map(|&k| x[k]).product::<f64>()).sum()
+        accesses
+            .iter()
+            .map(|s| s.iter().map(|&k| x[k]).product::<f64>())
+            .sum()
     };
 
     // Variables appearing in no access would make H unbounded; pin them at
@@ -88,8 +91,10 @@ pub fn maximize_h(accesses: &Accesses, nvars: usize, x_budget: f64) -> (Vec<f64>
     let mut last_h = 0.0_f64;
     for _ in 0..500 {
         // KKT balance: equalize Σ_{j∋t} P_j across variables.
-        let prods: Vec<f64> =
-            accesses.iter().map(|s| s.iter().map(|&k| x[k]).product()).collect();
+        let prods: Vec<f64> = accesses
+            .iter()
+            .map(|s| s.iter().map(|&k| x[k]).product())
+            .collect();
         let mut sums = vec![0.0_f64; nvars];
         for (j, s) in accesses.iter().enumerate() {
             for &k in s {
@@ -123,11 +128,7 @@ pub fn chi(accesses: &Accesses, nvars: usize, x_budget: f64) -> f64 {
 
 /// Find `X₀ = argmin_{X > M} χ(X)/(X − M)` by golden-section search in
 /// `log X` over `(M, x_hi]`, returning `(X₀, ρ(X₀))`.
-pub fn find_x0(
-    chi_fn: &dyn Fn(f64) -> f64,
-    m: f64,
-    x_hi: f64,
-) -> (f64, f64) {
+pub fn find_x0(chi_fn: &dyn Fn(f64) -> f64, m: f64, x_hi: f64) -> (f64, f64) {
     assert!(x_hi > m + 1.0, "search interval empty");
     let rho = |x: f64| chi_fn(x) / (x - m);
     let (mut a, mut b) = ((m + 1e-6).ln(), x_hi.ln());
@@ -160,12 +161,7 @@ pub fn find_x0(
 /// End-to-end Lemma 2 for one statement: given its access structure, the
 /// number of compute vertices, and fast-memory size `M`, return the I/O
 /// lower bound `Q ≥ |V|·(X₀ − M)/χ(X₀)`.
-pub fn statement_lower_bound(
-    accesses: &Accesses,
-    nvars: usize,
-    n_compute: f64,
-    m: f64,
-) -> f64 {
+pub fn statement_lower_bound(accesses: &Accesses, nvars: usize, n_compute: f64, m: f64) -> f64 {
     let chi_fn = |x: f64| chi(accesses, nvars, x);
     let (_, rho) = find_x0(&chi_fn, m, 64.0 * m + 1024.0);
     n_compute / rho
@@ -216,7 +212,10 @@ mod tests {
         let m = 256.0;
         let q = statement_lower_bound(&mmm_accesses(), 3, n * n * n, m);
         let expect = 2.0 * n * n * n / m.sqrt();
-        assert!((q - expect).abs() / expect < 0.05, "q={q} expected {expect}");
+        assert!(
+            (q - expect).abs() / expect < 0.05,
+            "q={q} expected {expect}"
+        );
     }
 
     #[test]

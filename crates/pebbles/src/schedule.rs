@@ -169,12 +169,16 @@ mod tests {
         let q_fine = {
             let parts = topo_chunks(&g, 2);
             let m = required_memory(&g, &parts);
-            verify(&g, &schedule_from_partition(&g, &parts), m).unwrap().q
+            verify(&g, &schedule_from_partition(&g, &parts), m)
+                .unwrap()
+                .q
         };
         let q_coarse = {
             let parts = topo_chunks(&g, 24);
             let m = required_memory(&g, &parts);
-            verify(&g, &schedule_from_partition(&g, &parts), m).unwrap().q
+            verify(&g, &schedule_from_partition(&g, &parts), m)
+                .unwrap()
+                .q
         };
         assert!(
             q_coarse < q_fine,

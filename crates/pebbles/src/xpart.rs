@@ -158,7 +158,10 @@ mod tests {
         let g = mmm_cdag(2);
         let parts: Vec<Vec<NodeId>> = (0..g.len()).map(|v| vec![v]).collect();
         assert!(check_x_partition(&g, &parts, 3).is_ok());
-        assert!(check_x_partition(&g, &parts, 2).is_err(), "X=2 < in-degree 3");
+        assert!(
+            check_x_partition(&g, &parts, 2).is_err(),
+            "X=2 < in-degree 3"
+        );
     }
 
     #[test]
@@ -166,7 +169,9 @@ mod tests {
         let g = mmm_cdag(2);
         let mut all: Vec<NodeId> = (0..g.len()).collect();
         all.pop();
-        assert!(check_x_partition(&g, &[all], g.len()).unwrap_err().contains("not covered"));
+        assert!(check_x_partition(&g, &[all], g.len())
+            .unwrap_err()
+            .contains("not covered"));
     }
 
     #[test]

@@ -30,8 +30,10 @@ fn random_dag(layers: usize, width: usize, edges: &[usize]) -> Cdag {
                     ins.push(prev[pick].clone());
                 }
             }
-            let ins_ref: Vec<(&str, &[usize])> =
-                ins.iter().map(|(a, i)| (a.as_str(), i.as_slice())).collect();
+            let ins_ref: Vec<(&str, &[usize])> = ins
+                .iter()
+                .map(|(a, i)| (a.as_str(), i.as_slice()))
+                .collect();
             b.compute((&name, &idx), &ins_ref);
             cur.push((name, idx));
         }

@@ -8,6 +8,7 @@
 //! gather/scatter.
 
 use crate::comm::Comm;
+use crate::stats::CollKind;
 
 /// Tag namespace for collectives, above any user point-to-point tag.
 const COLL: u64 = 1 << 32;
@@ -22,6 +23,7 @@ const TAG_ALLGATHER: u64 = COLL + 6;
 impl Comm {
     /// Dissemination barrier: all ranks block until every rank has entered.
     pub fn barrier(&self) {
+        let _scope = self.coll_scope(CollKind::Barrier);
         let p = self.size();
         let r = self.rank();
         let mut k = 1;
@@ -35,6 +37,7 @@ impl Comm {
     /// Binomial-tree broadcast of an element buffer from `root`. Non-root
     /// ranks' buffers are overwritten (and resized) with the root's data.
     pub fn bcast_f64(&self, root: usize, buf: &mut Vec<f64>) {
+        let _scope = self.coll_scope(CollKind::Bcast);
         let p = self.size();
         if p == 1 {
             return;
@@ -63,6 +66,7 @@ impl Comm {
 
     /// Binomial-tree broadcast of an index buffer from `root`.
     pub fn bcast_u64(&self, root: usize, buf: &mut Vec<u64>) {
+        let _scope = self.coll_scope(CollKind::Bcast);
         let p = self.size();
         if p == 1 {
             return;
@@ -94,6 +98,7 @@ impl Comm {
     /// # Panics
     /// If contributions disagree in length.
     pub fn reduce_sum_f64(&self, root: usize, buf: &mut [f64]) {
+        let _scope = self.coll_scope(CollKind::Reduce);
         let p = self.size();
         let vr = (self.rank() + p - root) % p;
         let mut mask = 1;
@@ -121,6 +126,7 @@ impl Comm {
     /// group sizes, reduce-plus-broadcast otherwise. Every rank ends with the
     /// global sum in `buf`.
     pub fn allreduce_sum(&self, buf: &mut Vec<f64>) {
+        let _scope = self.coll_scope(CollKind::Allreduce);
         let p = self.size();
         if p == 1 {
             return;
@@ -146,6 +152,7 @@ impl Comm {
 
     /// All-reduce taking the elementwise maximum.
     pub fn allreduce_max(&self, buf: &mut Vec<f64>) {
+        let _scope = self.coll_scope(CollKind::Allreduce);
         let p = self.size();
         if p == 1 {
             return;
@@ -183,6 +190,7 @@ impl Comm {
     /// the per-rank buffers (indexed by local rank) on the root, `None`
     /// elsewhere.
     pub fn gather_f64(&self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        let _scope = self.coll_scope(CollKind::Gather);
         if self.rank() != root {
             self.send_f64(root, TAG_GATHER, data);
             return None;
@@ -200,6 +208,7 @@ impl Comm {
 
     /// Gather variable-length index buffers to `root`.
     pub fn gather_u64(&self, root: usize, data: &[u64]) -> Option<Vec<Vec<u64>>> {
+        let _scope = self.coll_scope(CollKind::Gather);
         if self.rank() != root {
             self.send_u64(root, TAG_GATHER, data);
             return None;
@@ -221,9 +230,14 @@ impl Comm {
     /// # Panics
     /// On the root if `pieces.len() != size()`.
     pub fn scatter_f64(&self, root: usize, pieces: Option<Vec<Vec<f64>>>) -> Vec<f64> {
+        let _scope = self.coll_scope(CollKind::Scatter);
         if self.rank() == root {
             let pieces = pieces.expect("scatter: root must supply pieces");
-            assert_eq!(pieces.len(), self.size(), "scatter: need one piece per rank");
+            assert_eq!(
+                pieces.len(),
+                self.size(),
+                "scatter: need one piece per rank"
+            );
             let mut mine = Vec::new();
             for (dst, piece) in pieces.into_iter().enumerate() {
                 if dst == root {
@@ -241,6 +255,7 @@ impl Comm {
     /// Ring all-gather of equal-or-variable-length buffers: returns every
     /// rank's contribution, indexed by local rank.
     pub fn allgather_f64(&self, data: &[f64]) -> Vec<Vec<f64>> {
+        let _scope = self.coll_scope(CollKind::Allgather);
         let p = self.size();
         let r = self.rank();
         let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
@@ -276,7 +291,11 @@ mod tests {
         for p in [1, 2, 4, 5, 7, 8] {
             for root in 0..p {
                 let out = run(p, move |c| {
-                    let mut buf = if c.rank() == root { vec![3.5, -1.0] } else { vec![] };
+                    let mut buf = if c.rank() == root {
+                        vec![3.5, -1.0]
+                    } else {
+                        vec![]
+                    };
                     c.bcast_f64(root, &mut buf);
                     buf
                 });
@@ -393,7 +412,11 @@ mod tests {
     fn bcast_volume_matches_binomial_tree() {
         // A binomial bcast of B bytes to p ranks moves exactly (p-1)*B bytes.
         let out = run(8, |c| {
-            let mut buf = if c.rank() == 0 { vec![0.0; 100] } else { vec![] };
+            let mut buf = if c.rank() == 0 {
+                vec![0.0; 100]
+            } else {
+                vec![]
+            };
             c.bcast_f64(0, &mut buf);
         });
         assert_eq!(out.stats.total_bytes_sent(), 7 * 800);

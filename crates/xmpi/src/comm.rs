@@ -12,7 +12,8 @@
 //! columns, z-fibres, layers) get isolated message streams over the shared
 //! mailboxes, mirroring MPI communicator semantics.
 
-use crate::stats::Counters;
+use crate::stats::{CollKind, Counters};
+use crate::trace::{Event, Recorder, TraceConfig};
 use parking_lot::{Condvar, Mutex};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -61,14 +62,27 @@ pub(crate) struct Shared {
     pub mailboxes: Vec<Mailbox>,
     pub counters: Vec<Counters>,
     pub windows: crate::rma::WindowRegistry,
+    /// Event recorder; `None` for untraced worlds, so the transport hot
+    /// path pays one branch and no extra synchronization when tracing is
+    /// off.
+    pub trace: Option<Recorder>,
 }
 
 impl Shared {
     pub(crate) fn new(p: usize) -> Arc<Self> {
+        Shared::build(p, None)
+    }
+
+    pub(crate) fn new_traced(p: usize, cfg: &TraceConfig) -> Arc<Self> {
+        Shared::build(p, Some(Recorder::new(p, cfg)))
+    }
+
+    fn build(p: usize, trace: Option<Recorder>) -> Arc<Self> {
         Arc::new(Shared {
             mailboxes: (0..p).map(|_| Mailbox::default()).collect(),
             counters: (0..p).map(|_| Counters::default()).collect(),
             windows: crate::rma::WindowRegistry::default(),
+            trace,
         })
     }
 }
@@ -91,7 +105,12 @@ pub struct Comm {
 impl Comm {
     pub(crate) fn world(shared: Arc<Shared>, world_rank: usize) -> Self {
         let p = shared.mailboxes.len();
-        Comm { shared, rank: world_rank, members: Arc::new((0..p).collect()), ctx: 0 }
+        Comm {
+            shared,
+            rank: world_rank,
+            members: Arc::new((0..p).collect()),
+            ctx: 0,
+        }
     }
 
     /// This rank's id within the communicator.
@@ -121,8 +140,46 @@ impl Comm {
     /// Declare the active measurement phase for this rank; all subsequent
     /// traffic is attributed to it (Table 1's per-routine breakdown).
     pub fn set_phase(&self, name: &str) {
+        self.set_phase_with_flops(name, 0);
+    }
+
+    /// [`Comm::set_phase`] carrying the rank's *cumulative* local flop count
+    /// at the marker, so a trace can attribute computation (as first
+    /// differences) to the span between consecutive markers. Untraced
+    /// worlds ignore the count.
+    pub fn set_phase_with_flops(&self, name: &str, cum_flops: u64) {
         let w = self.world_rank();
-        *self.shared.counters[w].phase.lock() = name.to_string();
+        self.shared.counters[w].set_phase(name);
+        if let Some(tr) = &self.shared.trace {
+            let label = tr.intern(name);
+            tr.push(
+                w,
+                Event::Phase {
+                    t: tr.now(),
+                    label,
+                    cum_flops,
+                },
+            );
+        }
+    }
+
+    /// Scoped marker for a collective call: attributes enclosed traffic to
+    /// `kind` and (when tracing) brackets it with enter/exit events. Nested
+    /// calls keep the outermost attribution, like a profiler attributing to
+    /// the user-visible MPI call site.
+    pub(crate) fn coll_scope(&self, kind: CollKind) -> CollScope<'_> {
+        let w = self.world_rank();
+        let prev = self.shared.counters[w].enter_coll(kind);
+        if prev == 0 {
+            if let Some(tr) = &self.shared.trace {
+                tr.push(w, Event::CollEnter { t: tr.now(), kind });
+            }
+        }
+        CollScope {
+            comm: self,
+            prev,
+            kind,
+        }
     }
 
     /// Build a sub-communicator from communicator-local member ranks.
@@ -148,7 +205,12 @@ impl Comm {
         // Bit 63 marks non-world contexts so a world ctx of 0 can never
         // collide with a derived one.
         let ctx = h.finish() | (1 << 63);
-        Comm { shared: self.shared.clone(), rank: my_pos, members: Arc::new(world_members), ctx }
+        Comm {
+            shared: self.shared.clone(),
+            rank: my_pos,
+            members: Arc::new(world_members),
+            ctx,
+        }
     }
 
     /// Send a buffer of matrix elements to local rank `dst` with `tag`.
@@ -167,9 +229,29 @@ impl Comm {
         assert!(dst < self.size(), "send: destination {dst} out of range");
         let dst_world = self.members[dst];
         let src_world = self.world_rank();
-        self.shared.counters[src_world].record_send(payload.bytes());
+        let bytes = payload.bytes();
+        self.shared.counters[src_world].record_send(bytes);
+        if let Some(tr) = &self.shared.trace {
+            let kind = self.shared.counters[src_world].current_coll();
+            tr.push(
+                src_world,
+                Event::Send {
+                    t: tr.now(),
+                    peer: dst_world,
+                    ctx: self.ctx,
+                    tag,
+                    bytes,
+                    kind,
+                },
+            );
+        }
         let mbox = &self.shared.mailboxes[dst_world];
-        mbox.queue.lock().push(Message { src_world, ctx: self.ctx, tag, payload });
+        mbox.queue.lock().push(Message {
+            src_world,
+            ctx: self.ctx,
+            tag,
+            payload,
+        });
         mbox.arrived.notify_all();
     }
 
@@ -205,6 +287,17 @@ impl Comm {
         assert!(src < self.size(), "recv: source {src} out of range");
         let src_world = self.members[src];
         let my_world = self.world_rank();
+        if let Some(tr) = &self.shared.trace {
+            tr.push(
+                my_world,
+                Event::RecvPost {
+                    t: tr.now(),
+                    peer: src_world,
+                    ctx: self.ctx,
+                    tag,
+                },
+            );
+        }
         let mbox = &self.shared.mailboxes[my_world];
         let mut queue = mbox.queue.lock();
         loop {
@@ -214,7 +307,22 @@ impl Comm {
             {
                 let msg = queue.remove(pos);
                 drop(queue);
-                self.shared.counters[my_world].record_recv(msg.payload.bytes());
+                let bytes = msg.payload.bytes();
+                self.shared.counters[my_world].record_recv(bytes);
+                if let Some(tr) = &self.shared.trace {
+                    let kind = self.shared.counters[my_world].current_coll();
+                    tr.push(
+                        my_world,
+                        Event::RecvDone {
+                            t: tr.now(),
+                            peer: src_world,
+                            ctx: self.ctx,
+                            tag,
+                            bytes,
+                            kind,
+                        },
+                    );
+                }
                 return msg.payload;
             }
             let timed_out = mbox.arrived.wait_for(&mut queue, RECV_TIMEOUT).timed_out();
@@ -255,15 +363,75 @@ impl Comm {
     }
 
     /// Account a one-sided put/accumulate: this rank sends, `dst` receives.
+    /// Attributed explicitly to [`CollKind::Rma`] — the passive target may
+    /// be inside an unrelated collective, so the in-collective marker must
+    /// not leak into one-sided traffic.
     pub(crate) fn account_rma(&self, dst_world: usize, bytes: u64) {
-        self.shared.counters[self.world_rank()].record_send(bytes);
-        self.shared.counters[dst_world].record_recv(bytes);
+        let me = self.world_rank();
+        self.shared.counters[me].record_send_kind(bytes, CollKind::Rma);
+        self.shared.counters[dst_world].record_recv_kind(bytes, CollKind::Rma);
+        if let Some(tr) = &self.shared.trace {
+            let t = tr.now();
+            let kind = CollKind::Rma;
+            tr.push(
+                me,
+                Event::Send {
+                    t,
+                    peer: dst_world,
+                    ctx: self.ctx,
+                    tag: 0,
+                    bytes,
+                    kind,
+                },
+            );
+            // One-sided: the target never posts a receive, so the done
+            // event has no matching RecvPost (analyses treat it as
+            // zero-wait).
+            tr.push(
+                dst_world,
+                Event::RecvDone {
+                    t,
+                    peer: me,
+                    ctx: self.ctx,
+                    tag: 0,
+                    bytes,
+                    kind,
+                },
+            );
+        }
     }
 
     /// Account a one-sided get: `src` sends, this rank receives.
     pub(crate) fn account_rma_from(&self, src_world: usize, bytes: u64) {
-        self.shared.counters[src_world].record_send(bytes);
-        self.shared.counters[self.world_rank()].record_recv(bytes);
+        let me = self.world_rank();
+        self.shared.counters[src_world].record_send_kind(bytes, CollKind::Rma);
+        self.shared.counters[me].record_recv_kind(bytes, CollKind::Rma);
+        if let Some(tr) = &self.shared.trace {
+            let t = tr.now();
+            let kind = CollKind::Rma;
+            tr.push(
+                src_world,
+                Event::Send {
+                    t,
+                    peer: me,
+                    ctx: self.ctx,
+                    tag: 0,
+                    bytes,
+                    kind,
+                },
+            );
+            tr.push(
+                me,
+                Event::RecvDone {
+                    t,
+                    peer: src_world,
+                    ctx: self.ctx,
+                    tag: 0,
+                    bytes,
+                    kind,
+                },
+            );
+        }
     }
 
     /// Exchange a (elements, indices) pair with a partner — the message shape
@@ -280,6 +448,32 @@ impl Comm {
         let d = self.recv_f64(partner, tag);
         let i = self.recv_u64(partner, tag);
         (d, i)
+    }
+}
+
+/// RAII guard produced by [`Comm::coll_scope`]; restores the previous
+/// collective attribution (and emits the exit event) on drop.
+pub(crate) struct CollScope<'a> {
+    comm: &'a Comm,
+    prev: usize,
+    kind: CollKind,
+}
+
+impl Drop for CollScope<'_> {
+    fn drop(&mut self) {
+        let w = self.comm.world_rank();
+        if self.prev == 0 {
+            if let Some(tr) = &self.comm.shared.trace {
+                tr.push(
+                    w,
+                    Event::CollExit {
+                        t: tr.now(),
+                        kind: self.kind,
+                    },
+                );
+            }
+        }
+        self.comm.shared.counters[w].exit_coll(self.prev);
     }
 }
 
@@ -365,9 +559,17 @@ mod tests {
     #[test]
     fn nested_subcomms() {
         let out = run(8, |c| {
-            let half = if c.rank() < 4 { vec![0, 1, 2, 3] } else { vec![4, 5, 6, 7] };
+            let half = if c.rank() < 4 {
+                vec![0, 1, 2, 3]
+            } else {
+                vec![4, 5, 6, 7]
+            };
             let sub = c.subcomm(2, &half);
-            let pair_local = if sub.rank() < 2 { vec![0, 1] } else { vec![2, 3] };
+            let pair_local = if sub.rank() < 2 {
+                vec![0, 1]
+            } else {
+                vec![2, 3]
+            };
             let pair = sub.subcomm(3, &pair_local);
             if pair.rank() == 0 {
                 pair.send_u64(1, 9, &[c.rank() as u64]);

@@ -106,8 +106,7 @@ impl Grid3 {
             // Per-rank volume of a 2.5D schedule scales as
             // aspect_penalty / √c: replication divides volume by √c while a
             // skewed layer inflates the larger-side broadcasts.
-            let aspect =
-                (g.rows + g.cols) as f64 / (2.0 * ((g.rows * g.cols) as f64).sqrt());
+            let aspect = (g.rows + g.cols) as f64 / (2.0 * ((g.rows * g.cols) as f64).sqrt());
             let cost = aspect / (c as f64).sqrt();
             if cost < best_cost {
                 best_cost = cost;
@@ -187,7 +186,10 @@ mod tests {
             assert_eq!(g.rank_of(i, j, k), r);
         }
         assert_eq!(g.z_members(1, 2).len(), 2);
-        assert_eq!(g.x_members(0, 1), vec![g.rank_of(0, 0, 1), g.rank_of(1, 0, 1)]);
+        assert_eq!(
+            g.x_members(0, 1),
+            vec![g.rank_of(0, 0, 1), g.rank_of(1, 0, 1)]
+        );
         assert_eq!(g.layer_members(0), (0..6).collect::<Vec<_>>());
     }
 
@@ -195,10 +197,17 @@ mod tests {
     fn grid3_for_processors_prefers_replication() {
         let g = Grid3::for_processors(8, 8);
         assert_eq!(g.size(), 8);
-        assert_eq!((g.px, g.py, g.pz), (2, 2, 2), "8 ranks should form a 2x2x2 cube");
+        assert_eq!(
+            (g.px, g.py, g.pz),
+            (2, 2, 2),
+            "8 ranks should form a 2x2x2 cube"
+        );
         let g = Grid3::for_processors(16, 16);
         assert_eq!(g.size(), 16);
-        assert!(g.pz >= 2, "ample memory should enable replication, got {g:?}");
+        assert!(
+            g.pz >= 2,
+            "ample memory should enable replication, got {g:?}"
+        );
     }
 
     #[test]

@@ -30,15 +30,27 @@
 //! assert!(out.stats.total_bytes_sent() > 0);
 //! ```
 
+//! # Tracing
+//!
+//! Beyond aggregate counters, a world can record a full event trace —
+//! sends, receive waits, collective spans, phase markers with flop counts —
+//! via [`run_traced`] or by wrapping an existing driver in
+//! [`trace::capture`]. The `xtrace` crate turns the resulting
+//! [`trace::WorldTrace`] into timelines, idle-time attribution, critical
+//! paths, simulated α-β-γ replays, and Chrome-trace exports. Tracing is
+//! opt-in: untraced worlds carry no recorder and pay no locks for it.
+
 pub mod collectives;
 pub mod comm;
 pub mod grid;
 pub mod rma;
 pub mod stats;
+pub mod trace;
 pub mod world;
 
 pub use comm::Comm;
 pub use grid::{Grid2, Grid3};
-pub use stats::{RankStats, WorldStats};
 pub use rma::Window;
-pub use world::{run, WorldResult};
+pub use stats::{CollCounts, CollKind, RankStats, WorldStats};
+pub use trace::{Event, RankTrace, TraceConfig, WorldTrace};
+pub use world::{run, run_traced, TracedResult, WorldResult};

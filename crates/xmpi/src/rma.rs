@@ -38,8 +38,11 @@ impl WindowRegistry {
             }
             return buf;
         }
-        let buf: Buffers =
-            Arc::new((0..nranks).map(|_| RwLock::new(vec![0.0; local_len])).collect());
+        let buf: Buffers = Arc::new(
+            (0..nranks)
+                .map(|_| RwLock::new(vec![0.0; local_len]))
+                .collect(),
+        );
         map.insert(key, (buf.clone(), 1));
         buf
     }
@@ -75,7 +78,12 @@ impl Comm {
         // Creation is collective in MPI; synchronize so no rank touches the
         // window before everyone exists.
         self.barrier();
-        Window { comm: self, buffers, key, local_len }
+        Window {
+            comm: self,
+            buffers,
+            key,
+            local_len,
+        }
     }
 }
 
@@ -124,7 +132,10 @@ impl Window<'_> {
     /// One-sided accumulate: `dst[offset..] += data` (MPI_Accumulate with
     /// MPI_SUM). Element-wise atomic under the window's per-rank lock.
     pub fn accumulate(&self, dst: usize, offset: usize, data: &[f64]) {
-        assert!(offset + data.len() <= self.local_len, "accumulate overruns window");
+        assert!(
+            offset + data.len() <= self.local_len,
+            "accumulate overruns window"
+        );
         let dst_world = self.comm.world_rank_of(dst);
         self.comm.account_rma(dst_world, (8 * data.len()) as u64);
         let mut buf = self.buffers[dst].write();

@@ -2,50 +2,289 @@
 //!
 //! Counters live in shared memory and are updated by the transport on every
 //! send and receive, attributed to the *phase* the rank has currently
-//! declared (see [`crate::Comm::set_phase`]). Phases give the per-routine
-//! breakdown used to regenerate Table 1 of the paper.
+//! declared (see [`crate::Comm::set_phase`]) and to the collective kind in
+//! progress (see [`CollKind`]). Phases give the per-routine breakdown used
+//! to regenerate Table 1 of the paper; collective kinds give the
+//! per-primitive breakdown a Score-P profile would show per MPI call site.
+//!
+//! The record path is lock-free: the active phase is an index into a
+//! preallocated slab of atomic slots, so `record_send`/`record_recv` are a
+//! handful of relaxed `fetch_add`s. Only [`Counters::set_phase`] (cold, a
+//! few calls per factorization step) takes a lock, to intern the label.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Maximum distinct phase labels per rank. The factorization schedules use
+/// fewer than ten; the slab is preallocated so the record path can index it
+/// without locking.
+pub const MAX_PHASES: usize = 64;
+
+/// The kind of communication primitive a byte was moved by.
+///
+/// Every send/receive is attributed to exactly one kind: plain
+/// point-to-point traffic is [`CollKind::P2p`]; traffic inside a collective
+/// is attributed to the *outermost* collective call (an `allreduce` that
+/// internally broadcasts still counts as `Allreduce`, matching how a
+/// profiler attributes to the user's call site); one-sided traffic is
+/// [`CollKind::Rma`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CollKind {
+    /// Plain point-to-point message (outside any collective).
+    P2p,
+    /// Dissemination barrier.
+    Barrier,
+    /// Binomial-tree broadcast.
+    Bcast,
+    /// Binomial-tree reduction.
+    Reduce,
+    /// Recursive-doubling (or reduce+bcast) all-reduce.
+    Allreduce,
+    /// Fan-in gather.
+    Gather,
+    /// Fan-out scatter.
+    Scatter,
+    /// Ring all-gather.
+    Allgather,
+    /// One-sided put/get/accumulate.
+    Rma,
+}
+
+impl CollKind {
+    /// Number of kinds (size of per-kind counter slabs).
+    pub const COUNT: usize = 9;
+
+    /// All kinds, in slab order.
+    pub const ALL: [CollKind; CollKind::COUNT] = [
+        CollKind::P2p,
+        CollKind::Barrier,
+        CollKind::Bcast,
+        CollKind::Reduce,
+        CollKind::Allreduce,
+        CollKind::Gather,
+        CollKind::Scatter,
+        CollKind::Allgather,
+        CollKind::Rma,
+    ];
+
+    /// Slab index of this kind.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Kind at slab index `i`.
+    ///
+    /// # Panics
+    /// If `i >= CollKind::COUNT`.
+    pub fn from_index(i: usize) -> CollKind {
+        CollKind::ALL[i]
+    }
+
+    /// Stable lowercase name (used in reports and exported profiles).
+    pub fn name(self) -> &'static str {
+        match self {
+            CollKind::P2p => "p2p",
+            CollKind::Barrier => "barrier",
+            CollKind::Bcast => "bcast",
+            CollKind::Reduce => "reduce",
+            CollKind::Allreduce => "allreduce",
+            CollKind::Gather => "gather",
+            CollKind::Scatter => "scatter",
+            CollKind::Allgather => "allgather",
+            CollKind::Rma => "rma",
+        }
+    }
+}
+
+/// One atomic (sent, received, msgs) cell of a per-kind slab.
+#[derive(Default)]
+struct CollCell {
+    sent: AtomicU64,
+    recv: AtomicU64,
+    msgs_sent: AtomicU64,
+    msgs_recv: AtomicU64,
+}
 
 /// Live counters for a single rank (shared, updated by the transport).
-#[derive(Default)]
 pub(crate) struct Counters {
     pub bytes_sent: AtomicU64,
     pub bytes_recv: AtomicU64,
     pub msgs_sent: AtomicU64,
     pub msgs_recv: AtomicU64,
-    /// Phase-name → (bytes sent, bytes received) while that phase was active.
-    pub per_phase: Mutex<HashMap<String, (u64, u64)>>,
-    /// Currently active phase label for this rank.
-    pub phase: Mutex<String>,
+    /// Slab index of the currently active phase (slot 0 = the unnamed "").
+    current: AtomicUsize,
+    /// Slab index of the collective kind in progress (0 = none → p2p).
+    in_coll: AtomicUsize,
+    /// Interned phase labels; `labels[i]` names slab slot `i`. Locked only
+    /// by [`Counters::set_phase`] and [`Counters::snapshot`] (cold paths).
+    labels: Mutex<Vec<String>>,
+    /// Per-phase bytes sent, indexed by interned label.
+    phase_sent: [AtomicU64; MAX_PHASES],
+    /// Per-phase bytes received, indexed by interned label.
+    phase_recv: [AtomicU64; MAX_PHASES],
+    /// Per-collective-kind traffic.
+    coll: [CollCell; CollKind::COUNT],
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters {
+            bytes_sent: AtomicU64::new(0),
+            bytes_recv: AtomicU64::new(0),
+            msgs_sent: AtomicU64::new(0),
+            msgs_recv: AtomicU64::new(0),
+            current: AtomicUsize::new(0),
+            in_coll: AtomicUsize::new(0),
+            labels: Mutex::new(vec![String::new()]),
+            phase_sent: [const { AtomicU64::new(0) }; MAX_PHASES],
+            phase_recv: [const { AtomicU64::new(0) }; MAX_PHASES],
+            coll: [const {
+                CollCell {
+                    sent: AtomicU64::new(0),
+                    recv: AtomicU64::new(0),
+                    msgs_sent: AtomicU64::new(0),
+                    msgs_recv: AtomicU64::new(0),
+                }
+            }; CollKind::COUNT],
+        }
+    }
 }
 
 impl Counters {
+    /// Lock-free record of a send: totals, active phase slot, active
+    /// collective kind.
     pub(crate) fn record_send(&self, bytes: u64) {
-        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
-        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        let phase = self.phase.lock().clone();
-        self.per_phase.lock().entry(phase).or_default().0 += bytes;
+        self.record_send_as(bytes, self.in_coll.load(Ordering::Relaxed));
     }
 
+    /// Lock-free record of a receive.
     pub(crate) fn record_recv(&self, bytes: u64) {
+        self.record_recv_as(bytes, self.in_coll.load(Ordering::Relaxed));
+    }
+
+    /// Record a send attributed to an explicit kind (RMA bypasses the
+    /// in-collective marker: the acting rank may be inside an unrelated
+    /// collective on another code path).
+    pub(crate) fn record_send_kind(&self, bytes: u64, kind: CollKind) {
+        self.record_send_as(bytes, kind.index());
+    }
+
+    /// Record a receive attributed to an explicit kind.
+    pub(crate) fn record_recv_kind(&self, bytes: u64, kind: CollKind) {
+        self.record_recv_as(bytes, kind.index());
+    }
+
+    fn record_send_as(&self, bytes: u64, kind_idx: usize) {
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.phase_sent[self.current.load(Ordering::Relaxed)].fetch_add(bytes, Ordering::Relaxed);
+        let cell = &self.coll[kind_idx];
+        cell.sent.fetch_add(bytes, Ordering::Relaxed);
+        cell.msgs_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_recv_as(&self, bytes: u64, kind_idx: usize) {
         self.bytes_recv.fetch_add(bytes, Ordering::Relaxed);
         self.msgs_recv.fetch_add(1, Ordering::Relaxed);
-        let phase = self.phase.lock().clone();
-        self.per_phase.lock().entry(phase).or_default().1 += bytes;
+        self.phase_recv[self.current.load(Ordering::Relaxed)].fetch_add(bytes, Ordering::Relaxed);
+        let cell = &self.coll[kind_idx];
+        cell.recv.fetch_add(bytes, Ordering::Relaxed);
+        cell.msgs_recv.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Switch the active phase, interning `name` into the label slab. Cold
+    /// path: called a few times per factorization step, never per message.
+    ///
+    /// # Panics
+    /// If more than [`MAX_PHASES`] distinct labels are used.
+    pub(crate) fn set_phase(&self, name: &str) {
+        let mut labels = self.labels.lock();
+        let idx = match labels.iter().position(|l| l == name) {
+            Some(i) => i,
+            None => {
+                assert!(
+                    labels.len() < MAX_PHASES,
+                    "too many distinct phase labels (max {MAX_PHASES})"
+                );
+                labels.push(name.to_string());
+                labels.len() - 1
+            }
+        };
+        self.current.store(idx, Ordering::Relaxed);
+    }
+
+    /// Mark entry into a collective of `kind`; returns the previous marker
+    /// for [`Counters::exit_coll`]. Attribution goes to the *outermost*
+    /// collective: nested entry keeps the outer kind.
+    pub(crate) fn enter_coll(&self, kind: CollKind) -> usize {
+        let prev = self.in_coll.load(Ordering::Relaxed);
+        if prev == 0 {
+            self.in_coll.store(kind.index(), Ordering::Relaxed);
+        }
+        prev
+    }
+
+    /// Restore the marker saved by [`Counters::enter_coll`].
+    pub(crate) fn exit_coll(&self, prev: usize) {
+        self.in_coll.store(prev, Ordering::Relaxed);
+    }
+
+    /// Is a collective currently in progress (and which)?
+    pub(crate) fn current_coll(&self) -> CollKind {
+        CollKind::from_index(self.in_coll.load(Ordering::Relaxed))
     }
 
     pub(crate) fn snapshot(&self) -> RankStats {
+        let labels = self.labels.lock().clone();
+        let mut per_phase = HashMap::new();
+        for (i, label) in labels.iter().enumerate() {
+            let s = self.phase_sent[i].load(Ordering::Relaxed);
+            let r = self.phase_recv[i].load(Ordering::Relaxed);
+            if s != 0 || r != 0 {
+                per_phase.insert(label.clone(), (s, r));
+            }
+        }
+        let mut per_coll = Vec::new();
+        for kind in CollKind::ALL {
+            let cell = &self.coll[kind.index()];
+            let counts = CollCounts {
+                bytes_sent: cell.sent.load(Ordering::Relaxed),
+                bytes_recv: cell.recv.load(Ordering::Relaxed),
+                msgs_sent: cell.msgs_sent.load(Ordering::Relaxed),
+                msgs_recv: cell.msgs_recv.load(Ordering::Relaxed),
+            };
+            if counts.bytes_sent != 0
+                || counts.bytes_recv != 0
+                || counts.msgs_sent != 0
+                || counts.msgs_recv != 0
+            {
+                per_coll.push((kind, counts));
+            }
+        }
         RankStats {
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
             msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
             msgs_recv: self.msgs_recv.load(Ordering::Relaxed),
-            per_phase: self.per_phase.lock().clone(),
+            per_phase,
+            per_coll,
         }
     }
+}
+
+/// Per-collective-kind traffic totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollCounts {
+    /// Bytes sent inside this kind of primitive.
+    pub bytes_sent: u64,
+    /// Bytes received inside this kind of primitive.
+    pub bytes_recv: u64,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Messages received.
+    pub msgs_recv: u64,
 }
 
 /// Immutable snapshot of one rank's traffic after a world has finished.
@@ -61,6 +300,10 @@ pub struct RankStats {
     pub msgs_recv: u64,
     /// Per-phase (sent, received) byte breakdown.
     pub per_phase: HashMap<String, (u64, u64)>,
+    /// Per-collective-kind breakdown (only kinds with traffic), in
+    /// [`CollKind::ALL`] order. The sent totals sum to `bytes_sent`, the
+    /// received totals to `bytes_recv` — every byte has exactly one kind.
+    pub per_coll: Vec<(CollKind, CollCounts)>,
 }
 
 impl RankStats {
@@ -68,6 +311,15 @@ impl RankStats {
     /// paper plots as "communication volume per node".
     pub fn total_bytes(&self) -> u64 {
         self.bytes_sent + self.bytes_recv
+    }
+
+    /// Traffic of a specific collective kind (zeros if unused).
+    pub fn coll(&self, kind: CollKind) -> CollCounts {
+        self.per_coll
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, c)| *c)
+            .unwrap_or_default()
     }
 }
 
@@ -92,7 +344,11 @@ impl WorldStats {
 
     /// Largest per-rank traffic (sent + received) — the load-bound rank.
     pub fn max_rank_bytes(&self) -> u64 {
-        self.ranks.iter().map(|r| r.total_bytes()).max().unwrap_or(0)
+        self.ranks
+            .iter()
+            .map(|r| r.total_bytes())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean per-rank traffic (sent + received).
@@ -120,6 +376,29 @@ impl WorldStats {
         }
         out
     }
+
+    /// Aggregate per-collective-kind traffic across all ranks, in
+    /// [`CollKind::ALL`] order (only kinds with traffic).
+    pub fn coll_totals(&self) -> Vec<(CollKind, CollCounts)> {
+        let mut slab = [CollCounts::default(); CollKind::COUNT];
+        for r in &self.ranks {
+            for (kind, c) in &r.per_coll {
+                let cell = &mut slab[kind.index()];
+                cell.bytes_sent += c.bytes_sent;
+                cell.bytes_recv += c.bytes_recv;
+                cell.msgs_sent += c.msgs_sent;
+                cell.msgs_recv += c.msgs_recv;
+            }
+        }
+        CollKind::ALL
+            .into_iter()
+            .filter(|k| {
+                let c = slab[k.index()];
+                c.bytes_sent != 0 || c.bytes_recv != 0 || c.msgs_sent != 0 || c.msgs_recv != 0
+            })
+            .map(|k| (k, slab[k.index()]))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -129,10 +408,10 @@ mod tests {
     #[test]
     fn counters_accumulate_and_snapshot() {
         let c = Counters::default();
-        *c.phase.lock() = "a".to_string();
+        c.set_phase("a");
         c.record_send(100);
         c.record_recv(40);
-        *c.phase.lock() = "b".to_string();
+        c.set_phase("b");
         c.record_send(1);
         let s = c.snapshot();
         assert_eq!(s.bytes_sent, 101);
@@ -145,12 +424,91 @@ mod tests {
     }
 
     #[test]
+    fn phase_interning_reuses_slots() {
+        let c = Counters::default();
+        c.set_phase("x");
+        c.record_send(5);
+        c.set_phase("y");
+        c.record_send(7);
+        c.set_phase("x");
+        c.record_send(11);
+        let s = c.snapshot();
+        assert_eq!(s.per_phase["x"], (16, 0));
+        assert_eq!(s.per_phase["y"], (7, 0));
+        assert_eq!(s.per_phase.len(), 2);
+    }
+
+    #[test]
+    fn collective_attribution_tracks_outermost_kind() {
+        let c = Counters::default();
+        c.record_send(8); // plain p2p
+        let outer = c.enter_coll(CollKind::Allreduce);
+        c.record_send(16);
+        // Nested collective (allreduce falling back to bcast) keeps the
+        // outer attribution.
+        let inner = c.enter_coll(CollKind::Bcast);
+        assert_eq!(c.current_coll(), CollKind::Allreduce);
+        c.record_send(32);
+        c.exit_coll(inner);
+        c.exit_coll(outer);
+        assert_eq!(c.current_coll(), CollKind::P2p);
+        c.record_recv(4);
+
+        let s = c.snapshot();
+        assert_eq!(s.coll(CollKind::P2p).bytes_sent, 8);
+        assert_eq!(s.coll(CollKind::Allreduce).bytes_sent, 48);
+        assert_eq!(s.coll(CollKind::Bcast), CollCounts::default());
+        assert_eq!(s.coll(CollKind::P2p).bytes_recv, 4);
+        // Every byte has exactly one kind.
+        let sum: u64 = s.per_coll.iter().map(|(_, c)| c.bytes_sent).sum();
+        assert_eq!(sum, s.bytes_sent);
+    }
+
+    #[test]
+    fn rma_kind_bypasses_collective_marker() {
+        let c = Counters::default();
+        let prev = c.enter_coll(CollKind::Barrier);
+        c.record_send_kind(64, CollKind::Rma);
+        c.exit_coll(prev);
+        let s = c.snapshot();
+        assert_eq!(s.coll(CollKind::Rma).bytes_sent, 64);
+        assert_eq!(s.coll(CollKind::Barrier), CollCounts::default());
+    }
+
+    #[test]
     fn world_stats_aggregates() {
-        let mk = |s, r| RankStats { bytes_sent: s, bytes_recv: r, ..Default::default() };
-        let w = WorldStats { ranks: vec![mk(10, 20), mk(30, 40)] };
+        let mk = |s, r| RankStats {
+            bytes_sent: s,
+            bytes_recv: r,
+            ..Default::default()
+        };
+        let w = WorldStats {
+            ranks: vec![mk(10, 20), mk(30, 40)],
+        };
         assert_eq!(w.total_bytes_sent(), 40);
         assert_eq!(w.total_bytes_recv(), 60);
         assert_eq!(w.max_rank_bytes(), 70);
         assert!((w.avg_rank_bytes() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coll_totals_aggregate_across_ranks() {
+        let mk = |sent| RankStats {
+            per_coll: vec![(
+                CollKind::Bcast,
+                CollCounts {
+                    bytes_sent: sent,
+                    ..Default::default()
+                },
+            )],
+            ..Default::default()
+        };
+        let w = WorldStats {
+            ranks: vec![mk(100), mk(50)],
+        };
+        let totals = w.coll_totals();
+        assert_eq!(totals.len(), 1);
+        assert_eq!(totals[0].0, CollKind::Bcast);
+        assert_eq!(totals[0].1.bytes_sent, 150);
     }
 }

@@ -85,6 +85,37 @@ proptest! {
     }
 
     #[test]
+    fn byte_accounting_balances_per_phase(p in 2usize..8, len in 1usize..48, phases in 1usize..5) {
+        // Phased ring traffic with a barrier fencing each phase: every
+        // byte of phase k is sent *and* received while both endpoints are
+        // in phase k, so the per-phase ledgers must balance exactly, and
+        // their totals must add up to the global ledgers.
+        let out = run(p, move |c| {
+            for ph in 0..phases {
+                c.set_phase(&format!("ph{ph}"));
+                let dst = (c.rank() + 1) % c.size();
+                let src = (c.rank() + c.size() - 1) % c.size();
+                c.send_f64(dst, ph as u64, &vec![1.0; len + ph]);
+                c.recv_f64(src, ph as u64);
+                c.barrier();
+            }
+        });
+        let totals = out.stats.phase_totals();
+        let mut sum_sent = 0u64;
+        for ph in 0..phases {
+            let &(sent, recv) = totals.get(&format!("ph{ph}")).expect("phase recorded");
+            prop_assert_eq!(sent, recv, "phase ph{} unbalanced", ph);
+            prop_assert_eq!(sent as usize, p * (len + ph) * 8);
+            sum_sent += sent;
+        }
+        // Barrier messages are zero-byte, so the phase ledgers partition
+        // the global byte count (slot "" stays empty: traffic starts after
+        // the first set_phase).
+        prop_assert_eq!(sum_sent, out.stats.total_bytes_sent());
+        prop_assert_eq!(out.stats.total_bytes_sent(), out.stats.total_bytes_recv());
+    }
+
+    #[test]
     fn scatter_then_gather_round_trips(p in 1usize..9, len in 1usize..10, root_pick in 0usize..9) {
         let root = root_pick % p;
         let out = run(p, move |c| {

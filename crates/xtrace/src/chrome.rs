@@ -1,0 +1,153 @@
+//! Chrome Trace Format export.
+//!
+//! Emits the "JSON Object Format" understood by Perfetto and
+//! `chrome://tracing`: one `"X"` (complete) event per phase span, wait
+//! interval, and collective call, with `pid` = world rank and three `tid`
+//! lanes per rank (0 = phases, 1 = waits, 2 = collectives). Timestamps and
+//! durations are microseconds (fractional — the recorder's clock is ns).
+
+use crate::timeline::Timeline;
+use serde_json::{json, Value};
+use xmpi::WorldTrace;
+
+const TID_PHASES: u64 = 0;
+const TID_WAITS: u64 = 1;
+const TID_COLLS: u64 = 2;
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+/// Render `trace` as a Chrome-trace JSON document.
+pub fn chrome_trace(trace: &WorldTrace) -> Value {
+    let tl = Timeline::build(trace);
+    let mut events: Vec<Value> = Vec::new();
+
+    for rt in &tl.ranks {
+        let pid = rt.rank as u64;
+        events.push(json!({
+            "ph": "M", "name": "process_name", "pid": pid,
+            "args": { "name": format!("rank {}", rt.rank) },
+        }));
+        for (tid, name) in [
+            (TID_PHASES, "phases"),
+            (TID_WAITS, "waits"),
+            (TID_COLLS, "collectives"),
+        ] {
+            events.push(json!({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": { "name": name },
+            }));
+        }
+
+        for s in &rt.phases {
+            let label = if s.label.is_empty() {
+                "(setup)"
+            } else {
+                &s.label
+            };
+            events.push(json!({
+                "ph": "X", "name": label, "cat": "phase",
+                "pid": pid, "tid": TID_PHASES,
+                "ts": us(s.start), "dur": us(s.end - s.start),
+                "args": { "flops": s.flops },
+            }));
+        }
+        for w in &rt.waits {
+            events.push(json!({
+                "ph": "X", "name": format!("wait rank {}", w.peer), "cat": "wait",
+                "pid": pid, "tid": TID_WAITS,
+                "ts": us(w.start), "dur": us(w.idle()),
+                "args": { "peer": w.peer as u64, "bytes": w.bytes, "phase": w.phase },
+            }));
+        }
+        for c in &rt.colls {
+            events.push(json!({
+                "ph": "X", "name": c.kind.name(), "cat": "collective",
+                "pid": pid, "tid": TID_COLLS,
+                "ts": us(c.start), "dur": us(c.end - c.start),
+            }));
+        }
+    }
+
+    json!({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmpi::trace::Event;
+    use xmpi::{CollKind, RankTrace};
+
+    fn small_trace() -> WorldTrace {
+        WorldTrace {
+            labels: vec!["panel".into()],
+            ranks: vec![RankTrace {
+                events: vec![
+                    Event::Phase {
+                        t: 0,
+                        label: 0,
+                        cum_flops: 0,
+                    },
+                    Event::CollEnter {
+                        t: 100,
+                        kind: CollKind::Bcast,
+                    },
+                    Event::Send {
+                        t: 150,
+                        peer: 0,
+                        ctx: 0,
+                        tag: 1,
+                        bytes: 64,
+                        kind: CollKind::Bcast,
+                    },
+                    Event::CollExit {
+                        t: 400,
+                        kind: CollKind::Bcast,
+                    },
+                    Event::Phase {
+                        t: 500,
+                        label: 0,
+                        cum_flops: 300,
+                    },
+                ],
+                dropped: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn export_round_trips_through_serde_json() {
+        let doc = chrome_trace(&small_trace());
+        let text = serde_json::to_string(&doc).unwrap();
+        let back = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, doc);
+
+        let events = back["traceEvents"].as_array().unwrap();
+        // Four metadata events + one phase span + one collective span.
+        assert_eq!(events.len(), 6);
+        let span = events
+            .iter()
+            .find(|e| e["ph"].as_str() == Some("X") && e["cat"].as_str() == Some("phase"))
+            .unwrap();
+        assert_eq!(span["name"].as_str(), Some("panel"));
+        assert_eq!(span["ts"].as_f64(), Some(0.0));
+        assert_eq!(span["dur"].as_f64(), Some(0.5)); // 500 ns = 0.5 µs
+        assert_eq!(span["args"]["flops"].as_u64(), Some(300));
+    }
+
+    #[test]
+    fn collective_lane_is_separate() {
+        let doc = chrome_trace(&small_trace());
+        let events = doc["traceEvents"].as_array().unwrap();
+        let coll = events
+            .iter()
+            .find(|e| e["cat"].as_str() == Some("collective"))
+            .unwrap();
+        assert_eq!(coll["tid"].as_u64(), Some(TID_COLLS));
+        assert_eq!(coll["name"].as_str(), Some("bcast"));
+    }
+}

@@ -1,0 +1,32 @@
+//! `xtrace` — trace analysis and profiling for the simulated runtime.
+//!
+//! The paper's experiments instrument their MPI implementation with Score-P
+//! and inspect the resulting profiles and traces. This crate is the
+//! equivalent layer for the `xmpi` runtime: it consumes the
+//! [`xmpi::WorldTrace`] recorded by [`xmpi::run_traced`] (or
+//! [`xmpi::trace::capture`]) and derives the artefacts a profiler would:
+//!
+//! * [`timeline`] — per-rank span timelines: phase spans with attributed
+//!   flops, receive-wait (idle) intervals, collective spans;
+//! * [`critpath`] — the critical path through the send/receive
+//!   happens-before graph (which rank was the bottleneck, when);
+//! * [`replay`] — simulated-time replay of the trace under the α-β-γ
+//!   machine model, predicting time-to-solution on a real machine from the
+//!   recorded event structure rather than wall-clock of the simulation;
+//! * [`chrome`] — Chrome-trace JSON export (loadable in Perfetto /
+//!   `chrome://tracing`);
+//! * [`profile`] — JSON profile reports with provenance (commit, params,
+//!   seed) whose per-phase and per-collective tables are derived from the
+//!   trace and cross-checkable against [`xmpi::WorldStats`].
+
+pub mod chrome;
+pub mod critpath;
+pub mod profile;
+pub mod replay;
+pub mod timeline;
+
+pub use chrome::chrome_trace;
+pub use critpath::{critical_path, path_length, CpSegment};
+pub use profile::{profile_report, Provenance};
+pub use replay::{replay, Machine, Replay};
+pub use timeline::{CollSpan, RankTimeline, Span, Timeline, Wait};

@@ -1,0 +1,297 @@
+//! Simulated-time replay of a trace under the α-β-γ machine model.
+//!
+//! The simulation's wall-clock times reflect the host machine, not the
+//! target; replay re-executes the *event structure* of the trace against the
+//! paper's machine model instead: a message of `s` bytes costs
+//! `α + s/β` (latency + inverse bandwidth), and `f` flops cost `f/(γ·ε)`
+//! (peak rate derated by efficiency). Per-rank clocks advance through each
+//! rank's event stream; a receive completes when both the receiver reaches
+//! it and the message has arrived, which reproduces the dependency structure
+//! (and hence the critical path) on the modelled machine.
+
+use std::collections::HashMap;
+use xmpi::trace::Event;
+use xmpi::WorldTrace;
+
+/// α-β-γ machine constants (same convention as the benchmark harness).
+#[derive(Debug, Clone, Copy)]
+pub struct Machine {
+    /// Per-message latency, seconds.
+    pub alpha: f64,
+    /// Bandwidth, bytes/second.
+    pub beta: f64,
+    /// Peak compute rate, flops/second.
+    pub gamma: f64,
+    /// Sustained fraction of peak (ε in the paper's model).
+    pub epsilon: f64,
+}
+
+impl Machine {
+    /// The paper's evaluation machine (Piz Daint XC50 node):
+    /// P100 peak 0.605 Tflop/s·ε0.7, 5 GB/s injection, 1.5 µs latency.
+    pub fn piz_daint() -> Machine {
+        Machine {
+            alpha: 1.5e-6,
+            beta: 5.0e9,
+            gamma: 0.605e12,
+            epsilon: 0.7,
+        }
+    }
+
+    /// Time for `f` flops, seconds.
+    pub fn flop_time(&self, f: u64) -> f64 {
+        f as f64 / (self.gamma * self.epsilon)
+    }
+
+    /// End-to-end time for one `bytes`-sized message, seconds.
+    pub fn xfer_time(&self, bytes: u64) -> f64 {
+        self.alpha + bytes as f64 / self.beta
+    }
+}
+
+/// Result of a replay.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// Modelled completion time of each rank, seconds.
+    pub rank_finish: Vec<f64>,
+    /// Modelled makespan (max finish), seconds.
+    pub makespan: f64,
+    /// Per-rank modelled compute time, seconds.
+    pub comp: Vec<f64>,
+    /// Per-rank modelled send-overhead time, seconds.
+    pub comm: Vec<f64>,
+    /// Per-rank modelled blocked-receive time, seconds.
+    pub wait: Vec<f64>,
+    /// False if the replay stalled (possible only on truncated traces).
+    pub complete: bool,
+}
+
+/// Replay `trace` on machine `m`.
+pub fn replay(trace: &WorldTrace, m: &Machine) -> Replay {
+    let p = trace.ranks.len();
+    let mut clock = vec![0.0f64; p];
+    let mut comp = vec![0.0f64; p];
+    let mut comm = vec![0.0f64; p];
+    let mut wait = vec![0.0f64; p];
+    let mut cursor = vec![0usize; p];
+    let mut prev_cum = vec![0u64; p];
+    // Modelled arrival times per channel, FIFO.
+    let mut channel: HashMap<(usize, usize, u64, u64), Vec<f64>> = HashMap::new();
+
+    loop {
+        let mut progressed = false;
+        for r in 0..p {
+            let events = &trace.ranks[r].events;
+            while cursor[r] < events.len() {
+                match events[cursor[r]] {
+                    Event::Phase { cum_flops, .. } => {
+                        let dt = m.flop_time(cum_flops.saturating_sub(prev_cum[r]));
+                        clock[r] += dt;
+                        comp[r] += dt;
+                        prev_cum[r] = cum_flops;
+                    }
+                    Event::Send {
+                        peer,
+                        ctx,
+                        tag,
+                        bytes,
+                        ..
+                    } => {
+                        // Buffered send: the sender pays only the injection
+                        // overhead; the payload arrives α + s/β later.
+                        let arrival = clock[r] + m.xfer_time(bytes);
+                        channel
+                            .entry((r, peer, ctx, tag))
+                            .or_default()
+                            .push(arrival);
+                        clock[r] += m.alpha;
+                        comm[r] += m.alpha;
+                    }
+                    Event::RecvPost { .. } => {}
+                    Event::RecvDone { peer, ctx, tag, .. } => {
+                        let q = channel.entry((peer, r, ctx, tag)).or_default();
+                        if q.is_empty() {
+                            // Sender hasn't reached its send yet in modelled
+                            // time — blocked; revisit on the next sweep.
+                            break;
+                        }
+                        let arrival = q.remove(0);
+                        if arrival > clock[r] {
+                            wait[r] += arrival - clock[r];
+                            clock[r] = arrival;
+                        }
+                    }
+                    Event::CollEnter { .. } | Event::CollExit { .. } => {}
+                }
+                cursor[r] += 1;
+                progressed = true;
+            }
+        }
+        if cursor
+            .iter()
+            .enumerate()
+            .all(|(r, &c)| c == trace.ranks[r].events.len())
+        {
+            let makespan = clock.iter().cloned().fold(0.0, f64::max);
+            return Replay {
+                rank_finish: clock,
+                makespan,
+                comp,
+                comm,
+                wait,
+                complete: true,
+            };
+        }
+        if !progressed {
+            // Stalled: a receive whose send was evicted from a full ring.
+            let makespan = clock.iter().cloned().fold(0.0, f64::max);
+            return Replay {
+                rank_finish: clock,
+                makespan,
+                comp,
+                comm,
+                wait,
+                complete: false,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmpi::{CollKind, RankTrace};
+
+    #[test]
+    fn machine_costs_are_the_model() {
+        let m = Machine::piz_daint();
+        assert!((m.xfer_time(5_000_000_000) - (1.5e-6 + 1.0)).abs() < 1e-9);
+        let one_second_of_flops = (0.605e12 * 0.7) as u64;
+        assert!((m.flop_time(one_second_of_flops) - 1.0).abs() < 1e-9);
+    }
+
+    /// Two ranks: rank 0 computes f flops then sends s bytes; rank 1 only
+    /// receives. Modelled makespan must be exactly
+    /// `f/(γε) + α + s/β` (receiver idle until the message lands).
+    #[test]
+    fn pipeline_makespan_is_exact() {
+        let k = CollKind::P2p;
+        let f = 1_000_000u64;
+        let s = 80_000u64;
+        let tr = WorldTrace {
+            labels: vec!["w".into()],
+            ranks: vec![
+                RankTrace {
+                    events: vec![
+                        Event::Phase {
+                            t: 5,
+                            label: 0,
+                            cum_flops: f,
+                        },
+                        Event::Send {
+                            t: 6,
+                            peer: 1,
+                            ctx: 0,
+                            tag: 1,
+                            bytes: s,
+                            kind: k,
+                        },
+                    ],
+                    dropped: 0,
+                },
+                RankTrace {
+                    events: vec![
+                        Event::RecvPost {
+                            t: 0,
+                            peer: 0,
+                            ctx: 0,
+                            tag: 1,
+                        },
+                        Event::RecvDone {
+                            t: 9,
+                            peer: 0,
+                            ctx: 0,
+                            tag: 1,
+                            bytes: s,
+                            kind: k,
+                        },
+                    ],
+                    dropped: 0,
+                },
+            ],
+        };
+        let m = Machine::piz_daint();
+        let out = replay(&tr, &m);
+        assert!(out.complete);
+        let expect = m.flop_time(f) + m.xfer_time(s);
+        assert!((out.rank_finish[1] - expect).abs() < 1e-12);
+        assert!((out.makespan - expect).abs() < 1e-12);
+        assert!((out.wait[1] - expect).abs() < 1e-12);
+        assert_eq!(out.wait[0], 0.0);
+    }
+
+    /// A head-on exchange (both send, then both receive) must not stall.
+    #[test]
+    fn symmetric_exchange_replays() {
+        let k = CollKind::Allreduce;
+        let mk = |me: usize, peer: usize| RankTrace {
+            events: vec![
+                Event::Send {
+                    t: 1,
+                    peer,
+                    ctx: 0,
+                    tag: 9,
+                    bytes: 400,
+                    kind: k,
+                },
+                Event::RecvPost {
+                    t: 2,
+                    peer,
+                    ctx: 0,
+                    tag: 9,
+                },
+                Event::RecvDone {
+                    t: 3,
+                    peer,
+                    ctx: 0,
+                    tag: 9,
+                    bytes: 400,
+                    kind: k,
+                },
+                Event::Phase {
+                    t: 4,
+                    label: 0,
+                    cum_flops: (me as u64 + 1) * 100,
+                },
+            ],
+            dropped: 0,
+        };
+        let tr = WorldTrace {
+            labels: vec!["p".into()],
+            ranks: vec![mk(0, 1), mk(1, 0)],
+        };
+        let out = replay(&tr, &Machine::piz_daint());
+        assert!(out.complete);
+        assert!(out.makespan > 0.0);
+    }
+
+    #[test]
+    fn truncated_trace_reports_incomplete() {
+        // A receive with no recorded send stalls and is reported as such.
+        let tr = WorldTrace {
+            labels: vec![],
+            ranks: vec![RankTrace {
+                events: vec![Event::RecvDone {
+                    t: 1,
+                    peer: 0,
+                    ctx: 0,
+                    tag: 0,
+                    bytes: 8,
+                    kind: CollKind::P2p,
+                }],
+                dropped: 1,
+            }],
+        };
+        assert!(!replay(&tr, &Machine::piz_daint()).complete);
+    }
+}

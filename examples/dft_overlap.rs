@@ -26,7 +26,13 @@ fn overlap_matrix(n: usize, seed: u64) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);
     let box_side = (n as f64).cbrt() * 2.0;
     let pos: Vec<[f64; 3]> = (0..n)
-        .map(|_| [rng.gen_range(0.0..box_side), rng.gen_range(0.0..box_side), rng.gen_range(0.0..box_side)])
+        .map(|_| {
+            [
+                rng.gen_range(0.0..box_side),
+                rng.gen_range(0.0..box_side),
+                rng.gen_range(0.0..box_side),
+            ]
+        })
         .collect();
     let sigma2 = 2.0 * 0.8_f64 * 0.8;
     let mut s = Matrix::from_fn(n, n, |i, j| {
@@ -63,6 +69,9 @@ fn main() {
     let ours_b = ours.stats.max_rank_bytes();
     let base_b = base.stats.max_rank_bytes();
     println!("  max bytes/rank: COnfCHOX = {ours_b}, 2D = {base_b}");
-    println!("  communication ratio 2D / COnfCHOX = {:.2}x", base_b as f64 / ours_b as f64);
+    println!(
+        "  communication ratio 2D / COnfCHOX = {:.2}x",
+        base_b as f64 / ours_b as f64
+    );
     assert!(res < 1e-9 && res2d < 1e-9);
 }

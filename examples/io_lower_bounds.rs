@@ -38,7 +38,9 @@ fn main() {
                 _ => mmm_io_lower_bound(n, 1, m as f64),
             };
             let moves = greedy_schedule(&g, m);
-            let q = verify(&g, &moves, m).expect("greedy schedule must be valid").q;
+            let q = verify(&g, &moves, m)
+                .expect("greedy schedule must be valid")
+                .q;
             println!(
                 "  {name:9} {n:4} {m:4} {lb:13.1} {q:10} {:7.2}x",
                 q as f64 / lb

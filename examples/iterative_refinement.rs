@@ -23,7 +23,15 @@ fn main() {
     let a = random_matrix(n, n, 3);
     let xstar = Matrix::from_fn(n, 1, |i, _| ((i % 7) as f64) - 3.0);
     let mut b = Matrix::zeros(n, 1);
-    gemm(Trans::N, Trans::N, 1.0, a.as_ref(), xstar.as_ref(), 0.0, b.as_mut());
+    gemm(
+        Trans::N,
+        Trans::N,
+        1.0,
+        a.as_ref(),
+        xstar.as_ref(),
+        0.0,
+        b.as_mut(),
+    );
 
     let out = conflux_lu(&ConfluxConfig::auto(n, p), &a).expect("factorization failed");
     let mut packed = out.packed.unwrap();
@@ -43,6 +51,9 @@ fn main() {
     let err = (0..n)
         .map(|i| (refined.x[(i, 0)] - xstar[(i, 0)]).abs())
         .fold(0.0_f64, f64::max);
-    println!("  final max |x − x*| = {err:.3e} after {} sweeps", refined.iterations);
+    println!(
+        "  final max |x − x*| = {err:.3e} after {} sweeps",
+        refined.iterations
+    );
     assert!(err < 1e-8, "refinement should recover the solution");
 }

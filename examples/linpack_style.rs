@@ -40,10 +40,28 @@ fn main() {
 
     // ---- Solve: L·y = P·b, then U·x = y --------------------------------------
     let mut y = Matrix::from_fn(n, 1, |i, _| b[(out.perm[i], 0)]);
-    trsm(Side::Left, Uplo::Lower, Trans::N, Diag::Unit, 1.0, f.as_ref(), y.as_mut());
-    trsm(Side::Left, Uplo::Upper, Trans::N, Diag::NonUnit, 1.0, f.as_ref(), y.as_mut());
+    trsm(
+        Side::Left,
+        Uplo::Lower,
+        Trans::N,
+        Diag::Unit,
+        1.0,
+        f.as_ref(),
+        y.as_mut(),
+    );
+    trsm(
+        Side::Left,
+        Uplo::Upper,
+        Trans::N,
+        Diag::NonUnit,
+        1.0,
+        f.as_ref(),
+        y.as_mut(),
+    );
 
-    let err = (0..n).map(|i| (y[(i, 0)] - 1.0).abs()).fold(0.0_f64, f64::max);
+    let err = (0..n)
+        .map(|i| (y[(i, 0)] - 1.0).abs())
+        .fold(0.0_f64, f64::max);
     println!("HPL-style solve: N={n}, P={p}");
     println!("  max |x_i − 1|        = {err:.3e}");
 
@@ -53,6 +71,9 @@ fn main() {
     let v2d = base.stats.max_rank_bytes();
     println!("  COnfLUX max bytes/rank   = {v25}");
     println!("  2D (MKL/SLATE) max bytes = {v2d}");
-    println!("  ratio 2D / COnfLUX       = {:.2}x", v2d as f64 / v25 as f64);
+    println!(
+        "  ratio 2D / COnfLUX       = {:.2}x",
+        v2d as f64 / v25 as f64
+    );
     assert!(err < 1e-8, "solution drifted");
 }

@@ -19,12 +19,24 @@ fn main() {
     let a = random_matrix(n, n, 1);
     let b = random_matrix(n, n, 2);
     let mut expect = Matrix::zeros(n, n);
-    gemm(Trans::N, Trans::N, 1.0, a.as_ref(), b.as_ref(), 0.0, expect.as_mut());
+    gemm(
+        Trans::N,
+        Trans::N,
+        1.0,
+        a.as_ref(),
+        b.as_ref(),
+        0.0,
+        expect.as_mut(),
+    );
 
     println!("2.5D matrix multiplication, N={n}:");
     println!("  grid        bytes/rank   vs SUMMA   bound (w/rank)");
     let mut summa_bytes = 0.0;
-    for grid in [Grid3::new(4, 4, 1), Grid3::new(2, 4, 2), Grid3::new(2, 2, 4)] {
+    for grid in [
+        Grid3::new(4, 4, 1),
+        Grid3::new(2, 4, 2),
+        Grid3::new(2, 2, 4),
+    ] {
         let p = grid.size();
         let out = mmm25d(&Mmm25dConfig::new(n, 8, grid), &a, &b);
         let diff = max_abs_diff(out.c.as_ref().unwrap(), &expect);

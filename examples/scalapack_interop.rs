@@ -31,13 +31,7 @@ fn main() {
 
     // The layout COnfLUX wants: square v×v blocks on its layer-0 grid.
     let cfg = ConfluxConfig::auto(n, p);
-    let ours = BlockCyclic::new(
-        n,
-        n,
-        cfg.v,
-        cfg.v,
-        Grid2::new(cfg.grid.px, cfg.grid.py),
-    );
+    let ours = BlockCyclic::new(n, n, cfg.v, cfg.v, Grid2::new(cfg.grid.px, cfg.grid.py));
 
     let a = random_matrix(n, n, 5);
 
@@ -46,11 +40,8 @@ fn main() {
     // we validate the transform end-to-end.
     let a_for_world = a.clone();
     let world = run(user_desc.nprocs(), |comm| {
-        let mine = DistMatrix::from_global(
-            user_desc,
-            user_desc.grid.coords(comm.rank()),
-            &a_for_world,
-        );
+        let mine =
+            DistMatrix::from_global(user_desc, user_desc.grid.coords(comm.rank()), &a_for_world);
         redistribute(comm, &mine, ours)
     });
     println!(

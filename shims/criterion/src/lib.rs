@@ -1,0 +1,349 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched. This shim keeps `cargo bench` working with the same source: it
+//! implements the harness subset the workspace's benches use (groups,
+//! `bench_function` / `bench_with_input`, throughput annotation,
+//! `criterion_group!` / `criterion_main!`) over a plain wall-clock timing
+//! loop. There is no statistical analysis — each benchmark reports
+//! min / mean / max over `sample_size` samples. Passing `--test` (as
+//! `cargo test --benches` does) runs every benchmark exactly once.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration annotation; reported as elements/s or bytes/s.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<name>/<parameter>` id.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (for groups where the group name says it all).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing-loop driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    /// Measured samples (seconds per iteration), filled by [`Bencher::iter`].
+    samples: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Run the closure under the timing loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.settings.test_mode {
+            std::hint::black_box(f());
+            self.samples.push(0.0);
+            return;
+        }
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if warm_start.elapsed() >= self.settings.warm_up_time {
+                break;
+            }
+        }
+        // Measurement: `sample_size` samples, each a timed batch sized so
+        // the whole phase lands near `measurement_time`.
+        let probe = Instant::now();
+        std::hint::black_box(f());
+        let per_iter = probe.elapsed().as_secs_f64().max(1e-9);
+        let budget = self.settings.measurement_time.as_secs_f64();
+        let iters_per_sample =
+            ((budget / self.settings.sample_size as f64 / per_iter) as u64).clamp(1, 1_000_000);
+        for _ in 0..self.settings.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples
+                .push(t0.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+}
+
+/// Run settings shared by a `Criterion` instance and its groups.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            // `cargo test --benches` invokes harness=false benches with
+            // `--test`; run each benchmark once and skip timing.
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+/// Benchmark harness entry point (stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Target duration of the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Target duration of the warm-up phase.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a closure under a bare id.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let report = run_one(&self.settings, id, None, |b| f(b));
+        println!("{report}");
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Target duration of the measurement phase within this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let report = run_one(&self.settings, &full, self.throughput, |b| f(b));
+        println!("{report}");
+        self
+    }
+
+    /// Benchmark a closure over an input value under `group/id`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        let report = run_one(&self.settings, &full, self.throughput, |b| f(b, input));
+        println!("{report}");
+        self
+    }
+
+    /// End the group (accepted for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Execute one benchmark and format its report line.
+fn run_one(
+    settings: &Settings,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) -> String {
+    let mut b = Bencher {
+        settings,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if settings.test_mode {
+        return format!("test {id} ... ok");
+    }
+    if b.samples.is_empty() {
+        return format!("{id:<40} (no samples: closure never called iter)");
+    }
+    let n = b.samples.len() as f64;
+    let mean = b.samples.iter().sum::<f64>() / n;
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut line = format!(
+        "{id:<40} time: [{} {} {}]",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max)
+    );
+    match throughput {
+        Some(Throughput::Elements(e)) if mean > 0.0 => {
+            line.push_str(&format!("  thrpt: {:.4} Melem/s", e as f64 / mean / 1e6));
+        }
+        Some(Throughput::Bytes(by)) if mean > 0.0 => {
+            line.push_str(&format!(
+                "  thrpt: {:.4} MiB/s",
+                by as f64 / mean / (1024.0 * 1024.0)
+            ));
+        }
+        _ => {}
+    }
+    line
+}
+
+/// Human-scale duration formatting (ns/µs/ms/s).
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.2} s", secs)
+    }
+}
+
+/// Declare a group of benchmark functions (`criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups (`criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(2))
+            .warm_up_time(Duration::from_millis(1));
+        c.settings.test_mode = false;
+        c
+    }
+
+    #[test]
+    fn groups_and_functions_run_their_closures() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(10));
+        let mut ran = 0u32;
+        g.bench_with_input(BenchmarkId::new("f", 3), &3usize, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x * 2
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_exactly_once() {
+        let mut c = Criterion::default();
+        c.settings.test_mode = true;
+        let mut ran = 0u32;
+        c.bench_function("once", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("lu", 64).id, "lu/64");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+}

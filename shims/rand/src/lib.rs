@@ -1,0 +1,201 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched. This shim provides the deterministic-workload subset the
+//! workspace uses: `StdRng::seed_from_u64` plus `Rng::gen_range` /
+//! `Rng::gen`. The generator is splitmix64-seeded xoshiro256++ — high
+//! quality, fast, and fully deterministic per seed (the repository's
+//! experiments only require seed-reproducibility, not the exact upstream
+//! `rand` stream).
+
+/// Create a generator from a seed (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Deterministically seed from a `u64`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// A uniformly random value of `T` (`f64` in `[0,1)`, full range for
+    /// integers, fair coin for `bool`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+pub mod rngs {
+    //! Named generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for `rand`'s `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, the canonical xoshiro seeding procedure.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types with a canonical "uniform" distribution for [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Sample one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled uniformly (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Uniform sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                // Debiased multiply-shift rejection (Lemire): accept when the
+                // low product word clears the bias threshold 2^64 mod span.
+                let threshold = span.wrapping_neg() % span;
+                loop {
+                    let x = rng.next_u64();
+                    let m = (x as u128).wrapping_mul(span as u128);
+                    if (m as u64) >= threshold {
+                        return self.start + (m >> 64) as $t;
+                    }
+                }
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty range");
+                if s == <$t>::MIN && e == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (s..e + 1).sample(rng)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, i64, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1 << 60), b.gen_range(0u64..1 << 60));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_range_covers_and_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(0..10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,157 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched. This shim reproduces the slice-parallelism subset the workspace
+//! uses (`par_chunks_mut(..).enumerate().for_each(..)`) with genuine
+//! data-parallel execution: chunks are distributed over scoped OS threads
+//! pulling work from a shared atomic cursor, one thread per available core.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    //! Traits imported by `use rayon::prelude::*`.
+    pub use crate::ParallelSliceMut;
+}
+
+/// Parallel mutable-chunk iteration over slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into chunks of `size` elements (last may be shorter), processed
+    /// in parallel.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut {
+            chunks: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// Pending parallel iteration over mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+/// [`ParChunksMut`] with chunk indices attached.
+pub struct EnumeratedParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Attach the chunk index, mirroring `IndexedParallelIterator::enumerate`.
+    pub fn enumerate(self) -> EnumeratedParChunksMut<'a, T> {
+        EnumeratedParChunksMut {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Run `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        run_indexed(self.chunks, |_, c| f(c));
+    }
+}
+
+impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
+    /// Run `f` on every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        run_indexed(self.chunks, |i, c| f((i, c)));
+    }
+}
+
+/// Available parallelism, honouring `RAYON_NUM_THREADS` like the real crate.
+fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Distribute `items` over worker threads via an atomic work-stealing cursor.
+fn run_indexed<'a, T, F>(items: Vec<&'a mut [T]>, f: F)
+where
+    T: Send,
+    F: Fn(usize, &'a mut [T]) + Sync,
+{
+    let workers = num_threads().min(items.len());
+    if workers <= 1 {
+        for (i, c) in items.into_iter().enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    // Wrap each chunk in an Option cell so any worker can take any chunk.
+    let cells: Vec<std::sync::Mutex<Option<&'a mut [T]>>> = items
+        .into_iter()
+        .map(|c| std::sync::Mutex::new(Some(c)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cells = &cells;
+    let cursor = &cursor;
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    return;
+                }
+                let chunk = cells[i].lock().unwrap().take().expect("chunk taken twice");
+                f(i, chunk);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_visits_every_element_once() {
+        let mut v = vec![0u64; 1003];
+        v.par_chunks_mut(64).enumerate().for_each(|(_i, c)| {
+            for x in c.iter_mut() {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn chunk_indices_are_correct() {
+        let mut v = vec![0usize; 100];
+        v.par_chunks_mut(10).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x = i;
+            }
+        });
+        for (j, &x) in v.iter().enumerate() {
+            assert_eq!(x, j / 10);
+        }
+    }
+
+    #[test]
+    fn without_enumerate() {
+        let mut v = [1i64; 17];
+        v.par_chunks_mut(4).for_each(|c| {
+            for x in c.iter_mut() {
+                *x *= -1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == -1));
+    }
+}

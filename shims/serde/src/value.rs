@@ -1,0 +1,346 @@
+//! The JSON data model shared by the `serde` and `serde_json` shims.
+
+use std::fmt;
+
+/// A JSON value tree (stand-in for `serde_json::Value`, hosted here so the
+/// `Serialize` trait can target it without a circular crate dependency;
+/// `serde_json` re-exports it under the usual name).
+#[derive(Debug, Clone, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Numeric view, coercing integers (like `serde_json`'s `as_f64`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view of a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// Signed view of an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) if u <= i64::MAX as u64 => Some(u as i64),
+            _ => None,
+        }
+    }
+
+    /// Borrow a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow a boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Borrow an array's elements.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow an object's entries (insertion-ordered key/value pairs).
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup; `None` on missing key or non-object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    /// Structural equality with numbers compared by value: `Int(0)` equals
+    /// `UInt(0)` (as in `serde_json`, where both are just `Number`); integer
+    /// and float representations stay distinct.
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::UInt(a), Value::UInt(b)) => a == b,
+            (Value::Int(a), Value::UInt(b)) | (Value::UInt(b), Value::Int(a)) => {
+                *a >= 0 && *a as u64 == *b
+            }
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::String(a), Value::String(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    /// `value == "text"` compares against the string variant (as in
+    /// `serde_json`; non-strings are never equal).
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+macro_rules! value_eq_num {
+    ($($t:ty => $as:ident),* $(,)?) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.$as() == Some(*other as _)
+            }
+        }
+    )*};
+}
+
+value_eq_num! {
+    u8 => as_u64, u16 => as_u64, u32 => as_u64, u64 => as_u64, usize => as_u64,
+    i8 => as_i64, i16 => as_i64, i32 => as_i64, i64 => as_i64, isize => as_i64,
+    f32 => as_f64, f64 => as_f64,
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// `value["key"]`, yielding `Null` for absent keys like `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    /// `value[i]`, yielding `Null` out of bounds like `serde_json`.
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Compact JSON rendering (matches `serde_json::to_string`).
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_value(f, self, None, 0)
+    }
+}
+
+/// Escape and quote a JSON string.
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// Render a float so it parses back as a number (serde_json prints
+/// non-finite values as `null`).
+fn write_float(f: &mut fmt::Formatter<'_>, x: f64) -> fmt::Result {
+    if !x.is_finite() {
+        return f.write_str("null");
+    }
+    if x == x.trunc() && x.abs() < 1e15 {
+        write!(f, "{x:.1}")
+    } else {
+        write!(f, "{x}")
+    }
+}
+
+/// Shared renderer: `indent = None` → compact, `Some(step)` → pretty.
+/// Public so the `serde_json` shim can drive pretty-printing; not part of
+/// the emulated serde API.
+#[doc(hidden)]
+pub fn write_value(
+    f: &mut fmt::Formatter<'_>,
+    v: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> fmt::Result {
+    let (nl, pad, pad_close, colon) = match indent {
+        Some(step) => (
+            "\n",
+            " ".repeat(step * (depth + 1)),
+            " ".repeat(step * depth),
+            ": ",
+        ),
+        None => ("", String::new(), String::new(), ":"),
+    };
+    match v {
+        Value::Null => f.write_str("null"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Int(i) => write!(f, "{i}"),
+        Value::UInt(u) => write!(f, "{u}"),
+        Value::Float(x) => write_float(f, *x),
+        Value::String(s) => write_escaped(f, s),
+        Value::Array(a) => {
+            if a.is_empty() {
+                return f.write_str("[]");
+            }
+            f.write_str("[")?;
+            for (i, e) in a.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{nl}{pad}")?;
+                write_value(f, e, indent, depth + 1)?;
+            }
+            write!(f, "{nl}{pad_close}]")
+        }
+        Value::Object(o) => {
+            if o.is_empty() {
+                return f.write_str("{}");
+            }
+            f.write_str("{")?;
+            for (i, (k, e)) in o.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{nl}{pad}")?;
+                write_escaped(f, k)?;
+                f.write_str(colon)?;
+                write_value(f, e, indent, depth + 1)?;
+            }
+            write!(f, "{nl}{pad_close}}}")
+        }
+    }
+}
+
+macro_rules! value_from {
+    ($($t:ty => $variant:ident ($conv:ty)),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Value {
+                Value::$variant(x as $conv)
+            }
+        }
+    )*};
+}
+
+value_from! {
+    u8 => UInt(u64), u16 => UInt(u64), u32 => UInt(u64), u64 => UInt(u64), usize => UInt(u64),
+    i8 => Int(i64), i16 => Int(i64), i32 => Int(i64), i64 => Int(i64), isize => Int(i64),
+    f32 => Float(f64), f64 => Float(f64),
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_total() {
+        let v = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert!(v["missing"].is_null());
+        assert!(v[3].is_null());
+    }
+
+    #[test]
+    fn display_is_valid_json() {
+        let v = Value::Object(vec![
+            ("s".into(), Value::String("a\"b".into())),
+            ("n".into(), Value::Float(2.0)),
+            ("l".into(), Value::Array(vec![Value::Int(-1), Value::Null])),
+        ]);
+        assert_eq!(v.to_string(), r#"{"s":"a\"b","n":2.0,"l":[-1,null]}"#);
+    }
+}

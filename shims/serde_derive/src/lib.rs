@@ -1,0 +1,186 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no crates.io access, so `syn`/`quote` are
+//! unavailable; this derive parses the item's token stream by hand. It
+//! supports what the workspace derives on: non-generic structs with named
+//! fields (serialized as objects) and enums with unit variants (serialized
+//! as their name string, serde's default for unit variants). Anything
+//! fancier fails loudly at compile time rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (shim data model: `fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(out) => out.parse().expect("serde_derive shim emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected struct or enum, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim cannot derive Serialize for generic type {name}"
+        ));
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => return Err(format!("expected braced body for {name}, found {other:?}")),
+    };
+
+    if kind == "struct" {
+        let fields = parse_named_fields(body)?;
+        let entries: Vec<String> = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "(::std::string::String::from({f:?}), serde::Serialize::to_value(&self.{f}))"
+                )
+            })
+            .collect();
+        Ok(format!(
+            "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+             serde::Value::Object(::std::vec![{}])\n}}\n}}",
+            entries.join(", ")
+        ))
+    } else {
+        let variants = parse_unit_variants(body)?;
+        let arms: Vec<String> = variants
+            .iter()
+            .map(|v| {
+                format!("{name}::{v} => serde::Value::String(::std::string::String::from({v:?}))")
+            })
+            .collect();
+        Ok(format!(
+            "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+             match self {{ {} }}\n}}\n}}",
+            arms.join(", ")
+        ))
+    }
+}
+
+/// Advance past `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' then the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field struct body, honouring nested `<...>` so
+/// commas inside generic types don't split fields.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            return Err(format!("expected field name, found {:?}", tokens.get(i)));
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after field, found {other:?}")),
+        }
+        // Skip the type: consume until a top-level comma.
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Variant names of a unit-variant enum body.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            return Err(format!("expected variant name, found {:?}", tokens.get(i)));
+        };
+        let v = id.to_string();
+        i += 1;
+        match tokens.get(i) {
+            None => {
+                variants.push(v);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(v);
+                i += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip the expression.
+                i += 1;
+                while let Some(t) = tokens.get(i) {
+                    if matches!(t, TokenTree::Punct(q) if q.as_char() == ',') {
+                        break;
+                    }
+                    i += 1;
+                }
+                variants.push(v);
+                i += 1;
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde shim only derives Serialize for unit enum variants; \
+                     variant {v} carries data"
+                ));
+            }
+            other => return Err(format!("unexpected token after variant {v}: {other:?}")),
+        }
+    }
+    Ok(variants)
+}

@@ -1,0 +1,434 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched. This shim provides the subset the workspace uses over the
+//! `serde` shim's [`Value`] tree: the `json!` constructor macro,
+//! `to_string` / `to_string_pretty`, and a full JSON parser for
+//! round-tripping exported traces and reports.
+
+use std::fmt;
+
+pub use serde::Value;
+
+/// Serialization/parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Compact JSON text for any serializable value.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Human-indented JSON text for any serializable value.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    struct Pretty(Value);
+    impl fmt::Display for Pretty {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            serde::value::write_value(f, &self.0, Some(2), 0)
+        }
+    }
+    Ok(Pretty(value.to_value()).to_string())
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Parse JSON text into a [`Value`].
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected {:?} at offset {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!(
+                "invalid literal at offset {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(out));
+                }
+                _ => return Err(Error::new(format!("bad array at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(out));
+                }
+                _ => return Err(Error::new(format!("bad object at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid utf-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error::new(format!("unknown escape \\{}", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("bad number {text:?}")))
+    }
+}
+
+/// Build a [`Value`] from JSON-literal syntax with interpolated expressions
+/// (`serde_json::json!` work-alike).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::Value::Array($crate::json_array!(@acc [] $($tt)*)) };
+    ({ $($tt:tt)* }) => { $crate::Value::Object($crate::json_object!(@acc [] () $($tt)*)) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal muncher for `json!` arrays. Not public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array {
+    // Done.
+    (@acc [$($elems:expr),*]) => { ::std::vec![$($elems),*] };
+    (@acc [$($elems:expr),*] ,) => { ::std::vec![$($elems),*] };
+    // Next element is a nested structure or literal.
+    (@acc [$($elems:expr),*] null $($rest:tt)*) => {
+        $crate::json_array!(@push [$($elems),*] $crate::json!(null) $($rest)*)
+    };
+    (@acc [$($elems:expr),*] true $($rest:tt)*) => {
+        $crate::json_array!(@push [$($elems),*] $crate::json!(true) $($rest)*)
+    };
+    (@acc [$($elems:expr),*] false $($rest:tt)*) => {
+        $crate::json_array!(@push [$($elems),*] $crate::json!(false) $($rest)*)
+    };
+    (@acc [$($elems:expr),*] [$($arr:tt)*] $($rest:tt)*) => {
+        $crate::json_array!(@push [$($elems),*] $crate::json!([$($arr)*]) $($rest)*)
+    };
+    (@acc [$($elems:expr),*] {$($obj:tt)*} $($rest:tt)*) => {
+        $crate::json_array!(@push [$($elems),*] $crate::json!({$($obj)*}) $($rest)*)
+    };
+    // Plain expression element (consumes up to the next top-level comma).
+    (@acc [$($elems:expr),*] $next:expr , $($rest:tt)*) => {
+        $crate::json_array!(@acc [$($elems,)* $crate::to_value(&$next)] $($rest)*)
+    };
+    (@acc [$($elems:expr),*] $next:expr) => {
+        ::std::vec![$($elems,)* $crate::to_value(&$next)]
+    };
+    // After a pushed structured element: expect comma or end.
+    (@push [$($elems:expr),*] $new:expr , $($rest:tt)*) => {
+        $crate::json_array!(@acc [$($elems,)* $new] $($rest)*)
+    };
+    (@push [$($elems:expr),*] $new:expr) => {
+        ::std::vec![$($elems,)* $new]
+    };
+}
+
+/// Internal muncher for `json!` objects. Not public API.
+///
+/// State: `[built entries] (pending key tokens) rest...`
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object {
+    // Done.
+    (@acc [$($entries:expr),*] ()) => { ::std::vec![$($entries),*] };
+    (@acc [$($entries:expr),*] () ,) => { ::std::vec![$($entries),*] };
+    // Collect the key (a single tt, e.g. a string literal) then require ':'.
+    (@acc [$($entries:expr),*] () $key:tt : $($rest:tt)*) => {
+        $crate::json_object!(@val [$($entries),*] ($key) $($rest)*)
+    };
+    // Value is a nested structure or literal.
+    (@val [$($entries:expr),*] ($key:tt) null $($rest:tt)*) => {
+        $crate::json_object!(@push [$($entries),*] ($key) $crate::json!(null) $($rest)*)
+    };
+    (@val [$($entries:expr),*] ($key:tt) true $($rest:tt)*) => {
+        $crate::json_object!(@push [$($entries),*] ($key) $crate::json!(true) $($rest)*)
+    };
+    (@val [$($entries:expr),*] ($key:tt) false $($rest:tt)*) => {
+        $crate::json_object!(@push [$($entries),*] ($key) $crate::json!(false) $($rest)*)
+    };
+    (@val [$($entries:expr),*] ($key:tt) [$($arr:tt)*] $($rest:tt)*) => {
+        $crate::json_object!(@push [$($entries),*] ($key) $crate::json!([$($arr)*]) $($rest)*)
+    };
+    (@val [$($entries:expr),*] ($key:tt) {$($obj:tt)*} $($rest:tt)*) => {
+        $crate::json_object!(@push [$($entries),*] ($key) $crate::json!({$($obj)*}) $($rest)*)
+    };
+    // Plain expression value.
+    (@val [$($entries:expr),*] ($key:tt) $val:expr , $($rest:tt)*) => {
+        $crate::json_object!(@acc
+            [$($entries,)* (::std::string::String::from($key), $crate::to_value(&$val))]
+            () $($rest)*)
+    };
+    (@val [$($entries:expr),*] ($key:tt) $val:expr) => {
+        ::std::vec![$($entries,)* (::std::string::String::from($key), $crate::to_value(&$val))]
+    };
+    // After a structured value: expect comma or end.
+    (@push [$($entries:expr),*] ($key:tt) $new:expr , $($rest:tt)*) => {
+        $crate::json_object!(@acc
+            [$($entries,)* (::std::string::String::from($key), $new)] () $($rest)*)
+    };
+    (@push [$($entries:expr),*] ($key:tt) $new:expr) => {
+        ::std::vec![$($entries,)* (::std::string::String::from($key), $new)]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let n = 3usize;
+        let v = json!({
+            "a": 1,
+            "b": [1, 2.5, "x", null, true],
+            "c": { "nested": n },
+            "d": n * 2,
+        });
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["b"][1].as_f64(), Some(2.5));
+        assert_eq!(v["b"].as_array().unwrap().len(), 5);
+        assert_eq!(v["c"]["nested"].as_u64(), Some(3));
+        assert_eq!(v["d"].as_u64(), Some(6));
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let v = json!({
+            "s": "quote \" backslash \\ newline \n",
+            "nums": [0, -5, 1.25, 1e-3],
+            "empty_arr": [],
+            "empty_obj": {},
+            "flag": false,
+        });
+        let compact = to_string(&v).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&compact).unwrap(), v);
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("nul").is_err());
+        assert!(from_str("1 2").is_err());
+    }
+
+    #[test]
+    fn float_roundtrip_preserves_numberhood() {
+        let v = json!({ "x": 2.0 });
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"x":2.0}"#);
+        assert_eq!(from_str(&s).unwrap()["x"].as_f64(), Some(2.0));
+    }
+}

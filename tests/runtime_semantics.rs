@@ -22,7 +22,11 @@ fn grid_subcomms_route_independent_traffic() {
         yrow.allreduce_sum(&mut yb);
         // x: gather pi values.
         let xs = xcol.allgather_f64(&[pi as f64]);
-        (zb[0], yb[0], xs.iter().map(|v| v[0] as usize).collect::<Vec<_>>())
+        (
+            zb[0],
+            yb[0],
+            xs.iter().map(|v| v[0] as usize).collect::<Vec<_>>(),
+        )
     });
     for rank in 0..g.size() {
         let (_, pj, pk) = g.coords(rank);
@@ -62,13 +66,13 @@ fn phase_attribution_splits_traffic() {
     let out = run(2, |c| {
         c.set_phase("alpha");
         if c.rank() == 0 {
-            c.send_f64(1, 0, &vec![0.0; 10]);
+            c.send_f64(1, 0, &[0.0; 10]);
         } else {
             c.recv_f64(0, 0);
         }
         c.set_phase("beta");
         if c.rank() == 0 {
-            c.send_f64(1, 1, &vec![0.0; 30]);
+            c.send_f64(1, 1, &[0.0; 30]);
         } else {
             c.recv_f64(0, 1);
         }
@@ -100,9 +104,17 @@ fn concurrent_windows_and_collectives_do_not_interfere() {
 fn deep_subcomm_nesting_keeps_contexts_apart() {
     // Build three levels of nesting and run the same tags at every level.
     let out = run(8, |c| {
-        let half = if c.rank() < 4 { vec![0, 1, 2, 3] } else { vec![4, 5, 6, 7] };
+        let half = if c.rank() < 4 {
+            vec![0, 1, 2, 3]
+        } else {
+            vec![4, 5, 6, 7]
+        };
         let l1 = c.subcomm(1, &half);
-        let pair = if l1.rank() < 2 { vec![0, 1] } else { vec![2, 3] };
+        let pair = if l1.rank() < 2 {
+            vec![0, 1]
+        } else {
+            vec![2, 3]
+        };
         let l2 = l1.subcomm(1, &pair);
         // Same user tag on all three communicators simultaneously.
         let me = c.rank() as f64;

@@ -14,13 +14,7 @@ use conflux_rs::xmpi::{run, Grid2, Grid3};
 
 fn stage_and_factor(n: usize, user: BlockCyclic, cfg: &ConfluxConfig, seed: u64) {
     let a = random_matrix(n, n, seed);
-    let target = BlockCyclic::new(
-        n,
-        n,
-        cfg.v,
-        cfg.v,
-        Grid2::new(cfg.grid.px, cfg.grid.py),
-    );
+    let target = BlockCyclic::new(n, n, cfg.v, cfg.v, Grid2::new(cfg.grid.px, cfg.grid.py));
     assert_eq!(user.nprocs(), target.nprocs(), "test layouts must share P");
     let aref = &a;
     let world = run(user.nprocs(), move |comm| {

@@ -41,20 +41,32 @@ fn full_chain_on_lu() {
     //    the derived bound and … itself (it is an upper bound).
     let moves = schedule_from_partition(&g, &parts);
     let mem = required_memory(&g, &parts);
-    let q_part = verify(&g, &moves, mem).expect("partition schedule must be legal").q;
+    let q_part = verify(&g, &moves, mem)
+        .expect("partition schedule must be legal")
+        .q;
 
     // 4. Greedy at the same memory also verifies.
-    let q_greedy = verify(&g, &greedy_schedule(&g, mem), mem).expect("greedy legal").q;
+    let q_greedy = verify(&g, &greedy_schedule(&g, mem), mem)
+        .expect("greedy legal")
+        .q;
 
     // 5. The program-level derived bound lower-bounds both.
     let derived = derive_program_bound(&lu_program(), &lu_counts(n), m as f64, 1);
-    assert!(derived.q_parallel <= q_part as f64, "{} vs {q_part}", derived.q_parallel);
+    assert!(
+        derived.q_parallel <= q_part as f64,
+        "{} vs {q_part}",
+        derived.q_parallel
+    );
     assert!(derived.q_parallel <= q_greedy as f64);
 
     // 6. And the derived bound matches the closed form.
     let closed = lu_io_lower_bound(n, 1, m as f64);
     let rel = (derived.q_parallel - closed).abs() / closed;
-    assert!(rel < 0.25, "derived {} vs closed {closed}", derived.q_parallel);
+    assert!(
+        rel < 0.25,
+        "derived {} vs closed {closed}",
+        derived.q_parallel
+    );
 }
 
 #[test]
@@ -83,12 +95,17 @@ fn partition_granularity_interpolates_between_extremes() {
     let q_at = |k: usize| {
         let parts: Vec<Vec<_>> = g.topo_order().chunks(k).map(|c| c.to_vec()).collect();
         let mem = required_memory(&g, &parts);
-        verify(&g, &schedule_from_partition(&g, &parts), mem).unwrap().q
+        verify(&g, &schedule_from_partition(&g, &parts), mem)
+            .unwrap()
+            .q
     };
     let coarse = q_at(g.len());
     let mid = q_at(8);
     let fine = q_at(1);
-    assert!(coarse <= mid && mid <= fine, "{coarse} ≤ {mid} ≤ {fine} violated");
+    assert!(
+        coarse <= mid && mid <= fine,
+        "{coarse} ≤ {mid} ≤ {fine} violated"
+    );
 }
 
 #[test]

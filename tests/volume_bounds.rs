@@ -28,16 +28,22 @@ fn measured_lu_volume_respects_the_lower_bound() {
     for (label, measured, c) in [
         (
             "conflux",
-            conflux_lu(&ConfluxConfig::new(n, 8, Grid3::new(2, 2, 2)).volume_only(), &a)
-                .unwrap()
-                .stats,
+            conflux_lu(
+                &ConfluxConfig::new(n, 8, Grid3::new(2, 2, 2)).volume_only(),
+                &a,
+            )
+            .unwrap()
+            .stats,
             2usize,
         ),
         (
             "swap",
-            lu25d_swap(&SwapLuConfig::new(n, 8, Grid3::new(2, 2, 2)).volume_only(), &a)
-                .unwrap()
-                .stats,
+            lu25d_swap(
+                &SwapLuConfig::new(n, 8, Grid3::new(2, 2, 2)).volume_only(),
+                &a,
+            )
+            .unwrap()
+            .stats,
             2,
         ),
         (
@@ -64,9 +70,12 @@ fn measured_cholesky_volume_respects_the_lower_bound() {
     let n = 128;
     let p = 8;
     let a = random_spd(n, 2);
-    let st = confchox_cholesky(&ConfchoxConfig::new(n, 8, Grid3::new(2, 2, 2)).volume_only(), &a)
-        .unwrap()
-        .stats;
+    let st = confchox_cholesky(
+        &ConfchoxConfig::new(n, 8, Grid3::new(2, 2, 2)).volume_only(),
+        &a,
+    )
+    .unwrap()
+    .stats;
     let m = (2 * n * n) as f64 / p as f64;
     let bound = cholesky_io_lower_bound(n, p, m);
     let w = words_per_rank(&st);
@@ -119,10 +128,19 @@ fn masking_beats_swapping_and_swap_traffic_scales_with_replication() {
     };
     let (mask1, swap1) = run_at(1);
     let (mask4, swap4) = run_at(4);
-    assert!(swap1.total_bytes_sent() > mask1.total_bytes_sent(), "c=1: swap must cost more");
-    assert!(swap4.total_bytes_sent() > mask4.total_bytes_sent(), "c=4: swap must cost more");
+    assert!(
+        swap1.total_bytes_sent() > mask1.total_bytes_sent(),
+        "c=1: swap must cost more"
+    );
+    assert!(
+        swap4.total_bytes_sent() > mask4.total_bytes_sent(),
+        "c=4: swap must cost more"
+    );
     let swaps_at = |stats: &conflux_rs::xmpi::WorldStats| -> f64 {
-        stats.phase_totals().get("row_swaps").map_or(0.0, |&(s, _)| s as f64)
+        stats
+            .phase_totals()
+            .get("row_swaps")
+            .map_or(0.0, |&(s, _)| s as f64)
     };
     let s1 = swaps_at(&swap1);
     let s4 = swaps_at(&swap4);
@@ -139,14 +157,20 @@ fn conflux_beats_2d_at_the_largest_tested_scale() {
     let n = 512;
     let p = 64;
     let a = random_matrix(n, n, 5);
-    let cf = conflux_lu(&ConfluxConfig::new(n, 8, Grid3::new(4, 4, 4)).volume_only(), &a)
-        .unwrap()
-        .stats
-        .avg_rank_bytes();
-    let td = twod_lu(&TwodConfig::new(n, 16, Grid2::near_square(p)).volume_only(), &a)
-        .unwrap()
-        .stats
-        .avg_rank_bytes();
+    let cf = conflux_lu(
+        &ConfluxConfig::new(n, 8, Grid3::new(4, 4, 4)).volume_only(),
+        &a,
+    )
+    .unwrap()
+    .stats
+    .avg_rank_bytes();
+    let td = twod_lu(
+        &TwodConfig::new(n, 16, Grid2::near_square(p)).volume_only(),
+        &a,
+    )
+    .unwrap()
+    .stats
+    .avg_rank_bytes();
     assert!(
         cf < td,
         "COnfLUX ({cf:.0} B/rank) must beat 2D ({td:.0} B/rank) at P={p}"
