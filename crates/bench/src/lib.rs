@@ -1,5 +1,7 @@
 //! Experiment harness: machinery shared by the per-table/per-figure
-//! regenerator binaries (`src/bin/*`).
+//! regenerator binaries (`src/bin/*`) that re-run the paper's evaluation
+//! (§9–§10) on the simulated machine — one binary per table/figure, indexed
+//! in `DESIGN.md` §4.
 //!
 //! * [`machine`] — Piz Daint-like machine constants and the simulated
 //!   time-to-solution model (documented in `EXPERIMENTS.md`): per-rank time

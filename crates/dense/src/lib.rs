@@ -2,8 +2,9 @@
 //!
 //! This crate is the local-computation substrate of the `conflux-rs`
 //! workspace: a small, self-contained replacement for the BLAS/LAPACK
-//! routines the paper's implementation obtains from Intel MKL. It provides
-//! exactly the kernels the factorization schedules need:
+//! routines the paper's implementation obtains from Intel MKL (paper §8,
+//! Experimental setup). It provides exactly the kernels the factorization
+//! schedules need:
 //!
 //! * [`gemm()`] — general matrix multiply `C ← α·op(A)·op(B) + β·C`,
 //! * [`gemmt()`] — the triangular-output variant used by Cholesky's trailing

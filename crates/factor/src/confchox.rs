@@ -8,6 +8,17 @@
 //! left operand by tile row and, transposed, as the right operand by tile
 //! column), and diagonal tiles use `gemmt`. This realizes Table 1 of the
 //! paper: Cholesky moves the same volume as LU while doing half the flops.
+//!
+//! # Lookahead
+//!
+//! As in [`crate::conflux`], the default schedule overlaps each step's
+//! panel broadcasts with the previous trailing update: at the end of step
+//! `t` the rank updates tile column `t+1` first, reduces and factors the
+//! `t+1` diagonal block, posts the status word (world) and `L00` (panel
+//! group) as nonblocking broadcasts, and then runs the bulk symmetric
+//! update while they travel. [`ConfchoxConfig::blocking`] restores the
+//! blocking schedule; factors, per-rank volume, and per-phase byte
+//! attribution are identical either way.
 
 use crate::common::{assemble_packed, phase, phase_end, pick_grid_and_block, Entry, Tiling};
 use dense::gemm::{gemm, gemmt, CUplo, Trans};
@@ -15,7 +26,7 @@ use dense::potrf::potrf_unblocked;
 use dense::trsm::{trsm, Diag, Side, Uplo};
 use dense::{Error, Matrix};
 use std::collections::HashMap;
-use xmpi::{Comm, Grid3, WorldStats};
+use xmpi::{BcastRequest, Comm, Grid3, WorldStats};
 
 const TAG_L10ROW: u64 = 6_000_000;
 
@@ -30,6 +41,9 @@ pub struct ConfchoxConfig {
     pub grid: Grid3,
     /// Collect factor entries so the host can assemble `L`.
     pub collect: bool,
+    /// Overlap each step's panel broadcasts with the previous step's
+    /// trailing update (one-step lookahead, see the module docs).
+    pub lookahead: bool,
 }
 
 impl ConfchoxConfig {
@@ -44,6 +58,7 @@ impl ConfchoxConfig {
             v,
             grid,
             collect: true,
+            lookahead: true,
         }
     }
 
@@ -63,6 +78,12 @@ impl ConfchoxConfig {
     /// Disable factor collection (volume-only runs).
     pub fn volume_only(mut self) -> Self {
         self.collect = false;
+        self
+    }
+
+    /// Disable lookahead: every broadcast blocks where it is issued.
+    pub fn blocking(mut self) -> Self {
+        self.lookahead = false;
         self
     }
 }
@@ -151,6 +172,9 @@ pub(crate) fn rank_program(
     let mut acc: HashMap<(usize, usize), Matrix> = HashMap::new();
     let mut entries: Vec<Entry> = Vec::new();
 
+    // Panel broadcasts posted one step ahead (lookahead mode).
+    let mut pending: Option<PendingChol<'_>> = None;
+
     for step in 0..nt {
         let jt = step % g.py;
         let it = step % g.px;
@@ -169,62 +193,55 @@ pub(crate) fn rank_program(
             .filter(|&ti| ti > step)
             .collect();
 
-        // ---- 1. Reduce block column `step` (rows ≥ step·v) -------------
-        phase(comm, "reduce_col");
-        let mut panel_vals = Matrix::zeros(0, v); // trailing rows, tiles > step
-        let mut diag_vals = Matrix::zeros(0, v); // diagonal tile (step, step)
-        if pj == jt {
-            let own_diag = step % g.px == pi;
-            let mut buf = Vec::new();
-            if own_diag {
-                for r in til.rows_of_tile(step) {
-                    push_contrib(&orig, &acc, r, step, v, &mut buf);
+        // ---- 1–2. Reduce column `step`, factor + broadcast L00 ---------
+        // Either complete the broadcasts posted at the end of the previous
+        // step (lookahead) or form the panel and broadcast blocking, here.
+        let (panel_vals, l00_flat);
+        match pending.take() {
+            Some(pp) => {
+                phase(comm, "potrf_bcast");
+                // Status first: waiting it forwards the word down the tree,
+                // so an indefinite block still aborts every rank cleanly.
+                let status = pp.status.wait_f64();
+                if status[0] != 0.0 {
+                    return Err(pp.err.unwrap_or(Error::NotPositiveDefinite(step * v)));
                 }
+                l00_flat = match pp.l00 {
+                    Some(req) => req.wait_f64(),
+                    None => Vec::new(),
+                };
+                panel_vals = pp.panel_vals;
             }
-            for &ti in &trail_rows {
-                for r in til.rows_of_tile(ti) {
-                    push_contrib(&orig, &acc, r, step, v, &mut buf);
+            None => {
+                let form = form_panel(
+                    comm,
+                    g,
+                    &til,
+                    (pi, pj, pk),
+                    v,
+                    &zfib,
+                    &orig,
+                    &acc,
+                    step,
+                    cfg.collect,
+                    &mut entries,
+                );
+                // One status word to everyone, so an indefinite block aborts
+                // all ranks cleanly instead of deadlocking the world.
+                let status_root = g.rank_of(it, jt, 0);
+                let mut status = vec![if form.err.is_some() { 1.0 } else { 0.0 }];
+                comm.bcast_f64(status_root, &mut status);
+                if status[0] != 0.0 {
+                    return Err(form.err.unwrap_or(Error::NotPositiveDefinite(step * v)));
                 }
-            }
-            if !buf.is_empty() {
-                zfib.reduce_sum_f64(0, &mut buf);
-            }
-            if pk == 0 {
-                let nd = if own_diag { v } else { 0 };
-                diag_vals = Matrix::from_vec(nd, v, buf[..nd * v].to_vec());
-                panel_vals = Matrix::from_vec(trail_rows.len() * v, v, buf[nd * v..].to_vec());
-            }
-        }
-
-        // ---- 2. Factor diagonal block, broadcast L00 -------------------
-        phase(comm, "potrf_bcast");
-        let mut l00_flat: Vec<f64> = Vec::new();
-        let mut potrf_err: Option<Error> = None;
-        if pj == jt && pk == 0 && pi == it {
-            let mut d = diag_vals;
-            if let Err(e) = potrf_unblocked(d.as_mut()) {
-                potrf_err = Some(shift_err(e, step * v));
-            }
-            if potrf_err.is_none() && cfg.collect {
-                for r in 0..v {
-                    for c in 0..=r {
-                        entries.push(((step * v + r) as u32, (step * v + c) as u32, d[(r, c)]));
-                    }
+                let mut lf = form.l00_flat;
+                if pj == jt && pk == 0 {
+                    // Broadcast L00 within the panel group (column `jt`).
+                    panel_comm.as_ref().unwrap().bcast_f64(it, &mut lf);
                 }
+                l00_flat = lf;
+                panel_vals = form.panel_vals;
             }
-            l00_flat = d.into_vec();
-        }
-        // One status word to everyone, so an indefinite block aborts all
-        // ranks cleanly instead of deadlocking the world.
-        let status_root = g.rank_of(it, jt, 0);
-        let mut status = vec![if potrf_err.is_some() { 1.0 } else { 0.0 }];
-        comm.bcast_f64(status_root, &mut status);
-        if status[0] != 0.0 {
-            return Err(potrf_err.unwrap_or(Error::NotPositiveDefinite(step * v)));
-        }
-        if pj == jt && pk == 0 {
-            // Broadcast L00 within the panel group (process column `jt`).
-            panel_comm.as_ref().unwrap().bcast_f64(it, &mut l00_flat);
         }
 
         // ---- 3. Panel solve: L10 = A10·L00⁻ᵀ ---------------------------
@@ -324,12 +341,18 @@ pub(crate) fn rank_program(
         }
 
         // ---- 5. Trailing symmetric update (lower tiles only) -----------
-        phase(comm, "update_a11");
-        if !trail_rows.is_empty() && any_col_tiles {
+        // `want` selects tile columns; splitting the update by column is
+        // exact (tiles are disjoint), so the lookahead split stays bitwise
+        // equal to the one-shot blocking update.
+        let apply_update = |acc: &mut HashMap<(usize, usize), Matrix>,
+                            want: &dyn Fn(usize) -> bool| {
+            if trail_rows.is_empty() || !any_col_tiles {
+                return;
+            }
             for (bi, &ti) in trail_rows.iter().enumerate() {
                 let rowblk = l10_row.block(bi * v, 0, v, ks);
                 for (bj, &tj) in col_role_tiles.iter().enumerate() {
-                    if ti < tj || !til.owns(pi, pj, ti, tj) {
+                    if !want(tj) || ti < tj || !til.owns(pi, pj, ti, tj) {
                         continue;
                     }
                     let colblk = l10_col.block(bj * v, 0, v, ks);
@@ -350,11 +373,153 @@ pub(crate) fn rank_program(
                     }
                 }
             }
+        };
+
+        phase(comm, "update_a11");
+        if cfg.lookahead {
+            // 5a. Update the next panel's tile column first, so its
+            // z-reduction reads the same values as the blocking schedule.
+            let next = step + 1;
+            apply_update(&mut acc, &|tj| tj == next);
+            // 5b. Reduce + factor the next diagonal block and post its
+            // broadcasts; they travel while the bulk update below runs.
+            let form = form_panel(
+                comm,
+                g,
+                &til,
+                (pi, pj, pk),
+                v,
+                &zfib,
+                &orig,
+                &acc,
+                next,
+                cfg.collect,
+                &mut entries,
+            );
+            let (it1, jt1) = (next % g.px, next % g.py);
+            let flag = vec![if form.err.is_some() { 1.0 } else { 0.0 }];
+            let status_req = comm.ibcast_f64(g.rank_of(it1, jt1, 0), next as u64, flag);
+            let l00_req = (pj == jt1 && pk == 0).then(|| {
+                panel_comm
+                    .as_ref()
+                    .unwrap()
+                    .ibcast_f64(it1, next as u64, form.l00_flat)
+            });
+            pending = Some(PendingChol {
+                panel_vals: form.panel_vals,
+                err: form.err,
+                status: status_req,
+                l00: l00_req,
+            });
+            // 5c. Bulk update of the remaining trailing columns.
+            phase(comm, "update_a11");
+            apply_update(&mut acc, &|tj| tj != next);
+        } else {
+            apply_update(&mut acc, &|_| true);
         }
     }
 
     phase_end(comm);
     Ok(entries)
+}
+
+/// Panel broadcasts in flight between two steps (lookahead mode).
+struct PendingChol<'c> {
+    /// Reduced trailing-row panel on the owning ranks (empty elsewhere).
+    panel_vals: Matrix,
+    /// The potrf error, on the diagonal owner only.
+    err: Option<Error>,
+    /// World broadcast of the status word.
+    status: BcastRequest<'c>,
+    /// Panel-group broadcast of the factored `L00` (panel ranks only).
+    l00: Option<BcastRequest<'c>>,
+}
+
+/// Steps 1–2a for block step `step`: z-reduce the diagonal and trailing
+/// rows of tile column `step` onto layer 0, then factor the diagonal block
+/// on its owner (collecting its entries). The caller broadcasts the status
+/// word and `L00` — blocking or nonblocking. The blocking path calls this
+/// at the top of step `step`, the lookahead path at the bottom of step
+/// `step − 1`; the accumulator state read is identical at both call sites.
+#[allow(clippy::too_many_arguments)]
+fn form_panel(
+    comm: &Comm,
+    g: Grid3,
+    til: &Tiling,
+    (pi, pj, pk): (usize, usize, usize),
+    v: usize,
+    zfib: &Comm,
+    orig: &HashMap<(usize, usize), Matrix>,
+    acc: &HashMap<(usize, usize), Matrix>,
+    step: usize,
+    collect: bool,
+    entries: &mut Vec<Entry>,
+) -> CholForm {
+    let jt = step % g.py;
+    let it = step % g.px;
+    let trail_rows: Vec<usize> = til
+        .tile_rows_of(pi)
+        .into_iter()
+        .filter(|&ti| ti > step)
+        .collect();
+
+    // ---- 1. Reduce block column `step` (rows ≥ step·v) -----------------
+    phase(comm, "reduce_col");
+    let mut panel_vals = Matrix::zeros(0, v); // trailing rows, tiles > step
+    let mut diag_vals = Matrix::zeros(0, v); // diagonal tile (step, step)
+    if pj == jt {
+        let own_diag = it == pi;
+        let mut buf = Vec::new();
+        if own_diag {
+            for r in til.rows_of_tile(step) {
+                push_contrib(orig, acc, r, step, v, &mut buf);
+            }
+        }
+        for &ti in &trail_rows {
+            for r in til.rows_of_tile(ti) {
+                push_contrib(orig, acc, r, step, v, &mut buf);
+            }
+        }
+        if !buf.is_empty() {
+            zfib.reduce_sum_f64(0, &mut buf);
+        }
+        if pk == 0 {
+            let nd = if own_diag { v } else { 0 };
+            diag_vals = Matrix::from_vec(nd, v, buf[..nd * v].to_vec());
+            panel_vals = Matrix::from_vec(trail_rows.len() * v, v, buf[nd * v..].to_vec());
+        }
+    }
+
+    // ---- 2a. Factor the diagonal block on its owner --------------------
+    phase(comm, "potrf_bcast");
+    let mut l00_flat: Vec<f64> = Vec::new();
+    let mut err: Option<Error> = None;
+    if pj == jt && pk == 0 && pi == it {
+        let mut d = diag_vals;
+        if let Err(e) = potrf_unblocked(d.as_mut()) {
+            err = Some(shift_err(e, step * v));
+        }
+        if err.is_none() && collect {
+            for r in 0..v {
+                for c in 0..=r {
+                    entries.push(((step * v + r) as u32, (step * v + c) as u32, d[(r, c)]));
+                }
+            }
+        }
+        l00_flat = d.into_vec();
+    }
+    CholForm {
+        panel_vals,
+        l00_flat,
+        err,
+    }
+}
+
+/// The outcome of forming one Cholesky panel (see [`form_panel`]).
+struct CholForm {
+    panel_vals: Matrix,
+    l00_flat: Vec<f64>,
+    err: Option<Error>,
 }
 
 /// Push this rank's contribution for row `r` of tile column `tj`.

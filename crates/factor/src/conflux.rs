@@ -26,16 +26,31 @@
 //! Per-rank I/O is `N³/(P√M) + O(N²/P)` — 1.5× the paper's lower bound
 //! (Lemma 10); the `volume_close_to_model` integration test checks the
 //! measured bytes against this model.
+//!
+//! # Lookahead
+//!
+//! With [`ConfluxConfig::lookahead`] (the default), each step overlaps the
+//! *next* panel's formation with its own trailing update: at the end of
+//! step `t` the rank first applies the Schur update to tile column `t+1`
+//! only, forms panel `t+1` (z-reduction + tournament), posts the three
+//! panel broadcasts as nonblocking [`xmpi::Comm::ibcast_f64`] operations,
+//! and only then runs the bulk update of the remaining trailing columns —
+//! so the broadcasts travel while the GEMM runs. Step `t+1` begins by
+//! waiting on the posted requests instead of calling the blocking
+//! broadcast. The factors, the per-rank communication volume, and the
+//! per-phase byte attribution are all bitwise identical to the blocking
+//! schedule (`lookahead = false`); only the event *timing* changes, which
+//! the `xtrace` replay turns into hidden-communication time.
 
 use crate::common::{
     assemble_packed, phase, phase_end, pick_grid_and_block, Entry, RowMask, Tiling,
 };
 use crate::tourn::tournament;
-use dense::gemm::{gemm, Trans};
+use dense::gemm::{par_gemm, Trans};
 use dense::trsm::{trsm, Diag, Side, Uplo};
 use dense::Matrix;
 use std::collections::HashMap;
-use xmpi::{Comm, Grid3, WorldStats};
+use xmpi::{BcastRequest, Comm, Grid3, WorldStats};
 
 const TAG_A01: u64 = 2_000_000;
 const TAG_L10: u64 = 3_000_000;
@@ -53,6 +68,10 @@ pub struct ConfluxConfig {
     /// Collect the factor entries so the host can assemble `L`/`U`
     /// (disable for volume-only experiments at large `n`).
     pub collect: bool,
+    /// Overlap each step's panel broadcasts with the previous step's
+    /// trailing update (one-step lookahead, see the module docs). On by
+    /// default; [`ConfluxConfig::blocking`] turns it off for A/B runs.
+    pub lookahead: bool,
 }
 
 impl ConfluxConfig {
@@ -67,6 +86,7 @@ impl ConfluxConfig {
             v,
             grid,
             collect: true,
+            lookahead: true,
         }
     }
 
@@ -87,6 +107,14 @@ impl ConfluxConfig {
     /// Disable factor collection (volume-only runs).
     pub fn volume_only(mut self) -> Self {
         self.collect = false;
+        self
+    }
+
+    /// Disable lookahead: every broadcast blocks where it is issued. The
+    /// result is bitwise identical; only the overlap (and thus the modeled
+    /// makespan) differs.
+    pub fn blocking(mut self) -> Self {
+        self.lookahead = false;
         self
     }
 }
@@ -192,81 +220,67 @@ pub(crate) fn rank_program(
     let mut perm: Vec<usize> = Vec::with_capacity(n);
     let mut entries: Vec<Entry> = Vec::new();
 
-    // Reads the up-to-date contribution of this rank for global row `r` of
-    // tile column `tj`: original value (layer 0) minus accumulated updates.
-    let contrib = |orig: &HashMap<(usize, usize), Matrix>,
-                   acc: &HashMap<(usize, usize), Matrix>,
-                   r: usize,
-                   tj: usize,
-                   buf: &mut Vec<f64>| {
-        let ti = r / v;
-        let lr = r % v;
-        let o = orig.get(&(ti, tj));
-        let ac = acc.get(&(ti, tj));
-        for c in 0..v {
-            let oo = o.map_or(0.0, |m| m[(lr, c)]);
-            let aa = ac.map_or(0.0, |m| m[(lr, c)]);
-            buf.push(oo - aa);
-        }
-    };
+    // Panel broadcasts posted one step ahead (lookahead mode).
+    let mut pending: Option<PendingPanel<'_>> = None;
 
     for step in 0..nt {
         let jt = step % g.py;
         let it = step % g.px;
         let last = step + 1 == nt;
-
-        // ---- 1. Reduce next block column ------------------------------
-        phase(comm, "reduce_col");
-        let mut panel_rows: Vec<usize> = Vec::new();
-        let mut panel_vals = Matrix::zeros(0, v);
-        if pj == jt {
-            let mut row_ids = Vec::new();
-            let mut buf = Vec::new();
-            for ti in til.tile_rows_of(pi) {
-                for r in mask.active_in(til.rows_of_tile(ti)) {
-                    row_ids.push(r);
-                    contrib(&orig, &acc, r, step, &mut buf);
-                }
-            }
-            if !buf.is_empty() {
-                zfib.reduce_sum_f64(0, &mut buf);
-            }
-            if pk == 0 {
-                panel_vals = Matrix::from_vec(row_ids.len(), v, buf);
-                panel_rows = row_ids;
-            }
-        }
-
-        // ---- 2. TournPivot --------------------------------------------
-        phase(comm, "pivoting");
-        let mut a00_flat: Vec<f64> = Vec::new();
-        let mut piv_ids: Vec<u64> = Vec::new();
-        let mut tourn_err: Option<dense::Error> = None;
-        if pj == jt && pk == 0 {
-            let ids: Vec<u64> = panel_rows.iter().map(|&r| r as u64).collect();
-            match tournament(panel_comm.as_ref().unwrap(), &panel_vals, &ids, v) {
-                Ok(pb) => {
-                    a00_flat = pb.a00.into_vec();
-                    piv_ids = pb.ids;
-                }
-                // The failing factorization is redundant and deterministic,
-                // so every panel rank lands here together.
-                Err(e) => tourn_err = Some(e),
-            }
-        }
-
-        // ---- 3. Broadcast A00 and pivot row ids (row masking) ----------
-        phase(comm, "bcast_a00");
         let root = g.rank_of(0, jt, 0);
-        // One status word first, so a singular panel aborts every rank
-        // cleanly instead of deadlocking the world.
-        let mut status = vec![if tourn_err.is_some() { 1.0 } else { 0.0 }];
-        comm.bcast_f64(root, &mut status);
-        if status[0] != 0.0 {
-            return Err(tourn_err.unwrap_or(dense::Error::SingularAt(step * v)));
+
+        // ---- 1–3. Form this step's panel and broadcast A00 + pivots ----
+        // Either complete the broadcasts posted at the end of the previous
+        // step (lookahead) or form the panel and broadcast blocking, right
+        // here. Both paths attribute their traffic to the same phases.
+        let (panel_rows, panel_vals, a00_flat, piv_ids);
+        match pending.take() {
+            Some(pp) => {
+                phase(comm, "bcast_a00");
+                // Status first: waiting it forwards the word down the
+                // broadcast tree, so a singular panel still aborts every
+                // rank cleanly (the unused data requests are just dropped).
+                let status = pp.status.wait_f64();
+                if status[0] != 0.0 {
+                    return Err(pp.err.unwrap_or(dense::Error::SingularAt(step * v)));
+                }
+                a00_flat = pp.a00.wait_f64();
+                piv_ids = pp.piv.wait_u64();
+                panel_rows = pp.rows;
+                panel_vals = pp.vals;
+            }
+            None => {
+                let form = form_panel(
+                    comm,
+                    g,
+                    &til,
+                    (pi, pj, pk),
+                    v,
+                    &zfib,
+                    panel_comm.as_ref(),
+                    &mask,
+                    &orig,
+                    &acc,
+                    step,
+                );
+                phase(comm, "bcast_a00");
+                // One status word first, so a singular panel aborts every
+                // rank cleanly instead of deadlocking the world.
+                let mut status = vec![if form.err.is_some() { 1.0 } else { 0.0 }];
+                comm.bcast_f64(root, &mut status);
+                if status[0] != 0.0 {
+                    return Err(form.err.unwrap_or(dense::Error::SingularAt(step * v)));
+                }
+                let mut af = form.a00_flat;
+                comm.bcast_f64(root, &mut af);
+                let mut pv = form.piv_ids;
+                comm.bcast_u64(root, &mut pv);
+                a00_flat = af;
+                piv_ids = pv;
+                panel_rows = form.rows;
+                panel_vals = form.vals;
+            }
         }
-        comm.bcast_f64(root, &mut a00_flat);
-        comm.bcast_u64(root, &mut piv_ids);
         let a00 = Matrix::from_vec(v, v, a00_flat);
         let pivots: Vec<usize> = piv_ids.iter().map(|&x| x as usize).collect();
         if cfg.collect && comm.rank() == root {
@@ -300,7 +314,7 @@ pub(crate) fn rank_program(
             if !my_piv.is_empty() {
                 for &p in &my_piv {
                     for &tj in &trail_cols {
-                        contrib(&orig, &acc, p, tj, &mut a01_contrib);
+                        push_contrib(&orig, &acc, p, tj, v, &mut a01_contrib);
                     }
                 }
                 zfib.reduce_sum_f64(0, &mut a01_contrib);
@@ -456,22 +470,28 @@ pub(crate) fn rank_program(
         }
 
         // ---- 7. FactorizeA11: layer-local partial Schur update ---------
-        phase(comm, "update_a11");
-        if !last && !my_l10_rows.is_empty() && trail_len > 0 {
-            let mut upd = Matrix::zeros(my_l10_rows.len(), trail_len);
-            gemm(
-                Trans::N,
-                Trans::N,
+        // `cols` indexes into `trail_cols`; splitting the update by column
+        // range is exact (each element of the product is an independent
+        // dot product), so the lookahead split below stays bitwise equal
+        // to the one-shot blocking update.
+        let apply_update = |acc: &mut HashMap<(usize, usize), Matrix>,
+                            cols: std::ops::Range<usize>| {
+            if last || my_l10_rows.is_empty() || cols.is_empty() {
+                return;
+            }
+            let w = cols.len() * v;
+            let mut upd = Matrix::zeros(my_l10_rows.len(), w);
+            par_gemm(
                 1.0,
                 l10_slice.as_ref(),
-                u01_slice.as_ref(),
+                u01_slice.block(0, cols.start * v, ks, w),
                 0.0,
-                upd.as_mut(),
+                &mut upd,
             );
             for (ri, &r) in my_l10_rows.iter().enumerate() {
                 let ti = r / v;
                 let lr = r % v;
-                for (cj, &tj) in trail_cols.iter().enumerate() {
+                for (cj, &tj) in trail_cols[cols.clone()].iter().enumerate() {
                     let tile = acc.entry((ti, tj)).or_insert_with(|| Matrix::zeros(v, v));
                     let urow = &upd.row(ri)[cj * v..(cj + 1) * v];
                     for (x, &u) in tile.row_mut(lr).iter_mut().zip(urow) {
@@ -479,11 +499,171 @@ pub(crate) fn rank_program(
                     }
                 }
             }
+        };
+
+        phase(comm, "update_a11");
+        if cfg.lookahead && !last {
+            // 7a. Update the next panel's tile column first, so its
+            // z-reduction reads the same values it would under the
+            // blocking schedule.
+            let next = step + 1;
+            let head = trail_cols.first() == Some(&next);
+            if head {
+                apply_update(&mut acc, 0..1);
+            }
+            // 7b. Form panel `next` and post its three broadcasts. The
+            // sequence numbers keep concurrent trees on distinct tags.
+            let form = form_panel(
+                comm,
+                g,
+                &til,
+                (pi, pj, pk),
+                v,
+                &zfib,
+                panel_comm.as_ref(),
+                &mask,
+                &orig,
+                &acc,
+                next,
+            );
+            phase(comm, "bcast_a00");
+            let root1 = g.rank_of(0, next % g.py, 0);
+            let seq = 3 * next as u64;
+            let flag = vec![if form.err.is_some() { 1.0 } else { 0.0 }];
+            let status_req = comm.ibcast_f64(root1, seq, flag);
+            let a00_req = comm.ibcast_f64(root1, seq + 1, form.a00_flat);
+            let piv_req = comm.ibcast_u64(root1, seq + 2, form.piv_ids);
+            pending = Some(PendingPanel {
+                rows: form.rows,
+                vals: form.vals,
+                err: form.err,
+                status: status_req,
+                a00: a00_req,
+                piv: piv_req,
+            });
+            // 7c. Bulk trailing update, overlapping the posted broadcasts.
+            phase(comm, "update_a11");
+            apply_update(&mut acc, if head { 1 } else { 0 }..trail_cols.len());
+        } else {
+            apply_update(&mut acc, 0..trail_cols.len());
         }
     }
 
     phase_end(comm);
     Ok((entries, perm))
+}
+
+/// The outcome of forming one panel: the owning ranks' active-row ids and
+/// reduced panel values (empty elsewhere), and the tournament's results on
+/// the panel ranks (`a00_flat`/`piv_ids` empty, `err` set, on failure).
+struct PanelForm {
+    rows: Vec<usize>,
+    vals: Matrix,
+    a00_flat: Vec<f64>,
+    piv_ids: Vec<u64>,
+    err: Option<dense::Error>,
+}
+
+/// Panel broadcasts in flight between two steps (lookahead mode): the
+/// formation outputs plus the three posted broadcast requests.
+struct PendingPanel<'c> {
+    rows: Vec<usize>,
+    vals: Matrix,
+    err: Option<dense::Error>,
+    status: BcastRequest<'c>,
+    a00: BcastRequest<'c>,
+    piv: BcastRequest<'c>,
+}
+
+/// Steps 1–2 of the algorithm for block step `step`: reduce the active rows
+/// of tile column `step` along z onto layer 0, then run the pivot
+/// tournament across the panel ranks. Pure with respect to the schedule —
+/// the blocking path calls it at the top of step `step`, the lookahead path
+/// at the bottom of step `step − 1`; the mask/accumulator state it reads is
+/// identical at both call sites.
+#[allow(clippy::too_many_arguments)]
+fn form_panel(
+    comm: &Comm,
+    g: Grid3,
+    til: &Tiling,
+    (pi, pj, pk): (usize, usize, usize),
+    v: usize,
+    zfib: &Comm,
+    panel_comm: Option<&Comm>,
+    mask: &RowMask,
+    orig: &HashMap<(usize, usize), Matrix>,
+    acc: &HashMap<(usize, usize), Matrix>,
+    step: usize,
+) -> PanelForm {
+    let jt = step % g.py;
+
+    // ---- 1. Reduce next block column ----------------------------------
+    phase(comm, "reduce_col");
+    let mut rows: Vec<usize> = Vec::new();
+    let mut vals = Matrix::zeros(0, v);
+    if pj == jt {
+        let mut row_ids = Vec::new();
+        let mut buf = Vec::new();
+        for ti in til.tile_rows_of(pi) {
+            for r in mask.active_in(til.rows_of_tile(ti)) {
+                row_ids.push(r);
+                push_contrib(orig, acc, r, step, v, &mut buf);
+            }
+        }
+        if !buf.is_empty() {
+            zfib.reduce_sum_f64(0, &mut buf);
+        }
+        if pk == 0 {
+            vals = Matrix::from_vec(row_ids.len(), v, buf);
+            rows = row_ids;
+        }
+    }
+
+    // ---- 2. TournPivot -------------------------------------------------
+    phase(comm, "pivoting");
+    let mut a00_flat: Vec<f64> = Vec::new();
+    let mut piv_ids: Vec<u64> = Vec::new();
+    let mut err: Option<dense::Error> = None;
+    if pj == jt && pk == 0 {
+        let ids: Vec<u64> = rows.iter().map(|&r| r as u64).collect();
+        match tournament(panel_comm.unwrap(), &vals, &ids, v) {
+            Ok(pb) => {
+                a00_flat = pb.a00.into_vec();
+                piv_ids = pb.ids;
+            }
+            // The failing factorization is redundant and deterministic,
+            // so every panel rank lands here together.
+            Err(e) => err = Some(e),
+        }
+    }
+    PanelForm {
+        rows,
+        vals,
+        a00_flat,
+        piv_ids,
+        err,
+    }
+}
+
+/// Appends this rank's up-to-date contribution for global row `r` of tile
+/// column `tj`: original value (layer 0) minus accumulated updates.
+fn push_contrib(
+    orig: &HashMap<(usize, usize), Matrix>,
+    acc: &HashMap<(usize, usize), Matrix>,
+    r: usize,
+    tj: usize,
+    v: usize,
+    buf: &mut Vec<f64>,
+) {
+    let ti = r / v;
+    let lr = r % v;
+    let o = orig.get(&(ti, tj));
+    let ac = acc.get(&(ti, tj));
+    for c in 0..v {
+        let oo = o.map_or(0.0, |m| m[(lr, c)]);
+        let aa = ac.map_or(0.0, |m| m[(lr, c)]);
+        buf.push(oo - aa);
+    }
 }
 
 /// Point-to-point send addressed by *world* rank over the world comm.

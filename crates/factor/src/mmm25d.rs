@@ -10,6 +10,13 @@
 //! by a local `gemm` into the layer's partial `C`; a final z-reduction sums
 //! the layer contributions onto layer 0. With `Pz = 1` this *is* 2D SUMMA —
 //! the baseline the 2.5D analysis compares against.
+//!
+//! With [`Mmm25dConfig::lookahead`] (the default) the broadcasts are
+//! double-buffered: step `K+1`'s `A`/`B` broadcasts are posted as
+//! nonblocking [`xmpi::Comm::ibcast_f64`] operations before step `K`'s
+//! local `gemm`, so the shift exchanges travel while the multiply runs.
+//! Results and per-rank communication volume are identical to the blocking
+//! schedule ([`Mmm25dConfig::blocking`]); only the timing differs.
 
 use crate::common::{phase, phase_end, pick_grid_and_block};
 use dense::gemm::{gemm, Trans};
@@ -28,6 +35,9 @@ pub struct Mmm25dConfig {
     pub grid: Grid3,
     /// Collect the product for host-side validation.
     pub collect: bool,
+    /// Double-buffer the SUMMA broadcasts (post step `K+1`'s exchanges
+    /// before step `K`'s local multiply). See the module docs.
+    pub lookahead: bool,
 }
 
 impl Mmm25dConfig {
@@ -42,6 +52,7 @@ impl Mmm25dConfig {
             v,
             grid,
             collect: true,
+            lookahead: true,
         }
     }
 
@@ -54,6 +65,13 @@ impl Mmm25dConfig {
     /// Disable product collection.
     pub fn volume_only(mut self) -> Self {
         self.collect = false;
+        self
+    }
+
+    /// Disable the double-buffered broadcasts: every exchange blocks where
+    /// it is issued. Results and volume are unchanged.
+    pub fn blocking(mut self) -> Self {
+        self.lookahead = false;
         self
     }
 }
@@ -140,12 +158,10 @@ fn rank_program(comm: &Comm, cfg: &Mmm25dConfig, a: &Matrix, b: &Matrix) -> Tile
         }
     }
 
-    // SUMMA over this layer's inner steps.
-    for &k in &my_ks {
-        phase(comm, "summa_bcast");
-        // A(·, k): owner column k mod py broadcasts along process rows.
-        let a_root = k % g.py;
-        let mut abuf: Vec<f64> = if pj == a_root {
+    // Packs this rank's share of `A(·, k)` / `B(k, ·)` for the SUMMA
+    // broadcasts (empty on non-root ranks).
+    let pack_a = |k: usize| -> Vec<f64> {
+        if pj == k % g.py {
             let mut buf = Vec::with_capacity(my_tis.len() * v * v);
             for &ti in &my_tis {
                 buf.extend_from_slice(a_tiles[&(ti, k)].data());
@@ -153,11 +169,10 @@ fn rank_program(comm: &Comm, cfg: &Mmm25dConfig, a: &Matrix, b: &Matrix) -> Tile
             buf
         } else {
             Vec::new()
-        };
-        yrow.bcast_f64(a_root, &mut abuf);
-        // B(k, ·): owner row k mod px broadcasts along process columns.
-        let b_root = k % g.px;
-        let mut bbuf: Vec<f64> = if pi == b_root {
+        }
+    };
+    let pack_b = |k: usize| -> Vec<f64> {
+        if pi == k % g.px {
             let mut buf = Vec::with_capacity(my_tjs.len() * v * v);
             for &tj in &my_tjs {
                 buf.extend_from_slice(b_tiles[&(k, tj)].data());
@@ -165,8 +180,42 @@ fn rank_program(comm: &Comm, cfg: &Mmm25dConfig, a: &Matrix, b: &Matrix) -> Tile
             buf
         } else {
             Vec::new()
+        }
+    };
+    // Posts step `k`'s pair of broadcasts nonblocking; `seq` is the step's
+    // index within this layer, keeping consecutive trees on distinct tags.
+    let post = |idx: usize| {
+        let k = my_ks[idx];
+        let areq = yrow.ibcast_f64(k % g.py, idx as u64, pack_a(k));
+        let breq = xcol.ibcast_f64(k % g.px, idx as u64, pack_b(k));
+        (areq, breq)
+    };
+
+    // SUMMA over this layer's inner steps, double-buffered when lookahead
+    // is on: step idx+1's broadcasts are in flight during step idx's gemm.
+    let mut inflight = if cfg.lookahead && !my_ks.is_empty() {
+        phase(comm, "summa_bcast");
+        Some(post(0))
+    } else {
+        None
+    };
+    for (idx, &k) in my_ks.iter().enumerate() {
+        phase(comm, "summa_bcast");
+        let (abuf, bbuf) = match inflight.take() {
+            Some((areq, breq)) => (areq.wait_f64(), breq.wait_f64()),
+            None => {
+                // A(·, k): owner column k mod py broadcasts along rows;
+                // B(k, ·): owner row k mod px broadcasts along columns.
+                let mut abuf = pack_a(k);
+                yrow.bcast_f64(k % g.py, &mut abuf);
+                let mut bbuf = pack_b(k);
+                xcol.bcast_f64(k % g.px, &mut bbuf);
+                (abuf, bbuf)
+            }
         };
-        xcol.bcast_f64(b_root, &mut bbuf);
+        if cfg.lookahead && idx + 1 < my_ks.len() {
+            inflight = Some(post(idx + 1));
+        }
 
         phase(comm, "local_gemm");
         let astride = Matrix::from_vec(my_tis.len() * v, v, abuf);

@@ -2,7 +2,8 @@
 //!
 //! This crate is the workspace's substitute for the ScaLAPACK layout
 //! machinery plus the COSTA layout-transformation library the paper uses for
-//! its ScaLAPACK-compatible wrappers: a [`BlockCyclic`] descriptor describes
+//! its ScaLAPACK-compatible wrappers (paper §8, the `pdgetrf`/`pdpotrf`
+//! drop-in interface): a [`BlockCyclic`] descriptor describes
 //! how a global matrix is scattered over a 2D process grid, [`DistMatrix`]
 //! pairs a descriptor with one rank's local storage, and [`redistribute`]
 //! moves a distributed matrix between two arbitrary block-cyclic layouts

@@ -226,6 +226,14 @@ impl Comm {
 
     /// Send an already-owned payload (avoids a copy for large buffers).
     pub fn send_payload(&self, dst: usize, tag: u64, payload: Payload) {
+        self.push_message(dst, tag, payload, false);
+    }
+
+    /// Transport core shared by blocking and nonblocking sends. `posted`
+    /// selects the event flavour ([`Event::SendPost`] vs [`Event::Send`]);
+    /// byte accounting and delivery are identical because sends are buffered
+    /// either way.
+    pub(crate) fn push_message(&self, dst: usize, tag: u64, payload: Payload, posted: bool) {
         assert!(dst < self.size(), "send: destination {dst} out of range");
         let dst_world = self.members[dst];
         let src_world = self.world_rank();
@@ -233,17 +241,27 @@ impl Comm {
         self.shared.counters[src_world].record_send(bytes);
         if let Some(tr) = &self.shared.trace {
             let kind = self.shared.counters[src_world].current_coll();
-            tr.push(
-                src_world,
-                Event::Send {
-                    t: tr.now(),
+            let t = tr.now();
+            let e = if posted {
+                Event::SendPost {
+                    t,
                     peer: dst_world,
                     ctx: self.ctx,
                     tag,
                     bytes,
                     kind,
-                },
-            );
+                }
+            } else {
+                Event::Send {
+                    t,
+                    peer: dst_world,
+                    ctx: self.ctx,
+                    tag,
+                    bytes,
+                    kind,
+                }
+            };
+            tr.push(src_world, e);
         }
         let mbox = &self.shared.mailboxes[dst_world];
         mbox.queue.lock().push(Message {
@@ -349,6 +367,137 @@ impl Comm {
     pub fn sendrecv_f64(&self, partner: usize, tag: u64, data: &[f64]) -> Vec<f64> {
         self.send_f64(partner, tag, data);
         self.recv_f64(partner, tag)
+    }
+
+    /// Nonblocking send of matrix elements (see [`Comm::isend_payload`]).
+    pub fn isend_f64(&self, dst: usize, tag: u64, data: &[f64]) -> crate::request::SendRequest {
+        self.isend_payload(dst, tag, Payload::F64(data.to_vec()))
+    }
+
+    /// Nonblocking send of an index buffer (see [`Comm::isend_payload`]).
+    pub fn isend_u64(&self, dst: usize, tag: u64, data: &[u64]) -> crate::request::SendRequest {
+        self.isend_payload(dst, tag, Payload::U64(data.to_vec()))
+    }
+
+    /// Post a nonblocking send. Sends are buffered, so the payload is
+    /// delivered (and its bytes accounted) at post time and the returned
+    /// request is already complete — it exists so nonblocking code can treat
+    /// sends and receives uniformly through [`crate::request::Request`].
+    /// Emits [`Event::SendPost`] instead of [`Event::Send`] so traces retain
+    /// the schedule's pipelined structure.
+    pub fn isend_payload(
+        &self,
+        dst: usize,
+        tag: u64,
+        payload: Payload,
+    ) -> crate::request::SendRequest {
+        self.push_message(dst, tag, payload, true);
+        crate::request::SendRequest::new()
+    }
+
+    /// Post a nonblocking receive for `(src, tag)` on this communicator.
+    ///
+    /// Matching (and the receive-side byte accounting) happens at
+    /// [`crate::request::RecvRequest::wait`]/`test` time, mirroring MPI
+    /// `Irecv` semantics; the returned handle borrows this communicator.
+    /// Emits [`Event::RecvPost`] now and [`Event::WaitDone`] at completion,
+    /// so analyses can separate overlapped transfer time from true idle
+    /// time. Dropping the handle without waiting cancels the receive and
+    /// leaves any matching message in the mailbox.
+    pub fn irecv(&self, src: usize, tag: u64) -> crate::request::RecvRequest<'_> {
+        assert!(src < self.size(), "irecv: source {src} out of range");
+        let src_world = self.members[src];
+        let my_world = self.world_rank();
+        if let Some(tr) = &self.shared.trace {
+            tr.push(
+                my_world,
+                Event::RecvPost {
+                    t: tr.now(),
+                    peer: src_world,
+                    ctx: self.ctx,
+                    tag,
+                },
+            );
+        }
+        crate::request::RecvRequest::new(self, src, src_world, tag)
+    }
+
+    /// Current trace timestamp, if this world is traced.
+    pub(crate) fn trace_now(&self) -> Option<u64> {
+        self.shared.trace.as_ref().map(Recorder::now)
+    }
+
+    /// Nonblocking mailbox probe: remove and return the first message
+    /// matching `(src_world, ctx, tag)`, if one has already arrived.
+    pub(crate) fn try_take(&self, src_world: usize, tag: u64) -> Option<Payload> {
+        let my_world = self.world_rank();
+        let mut queue = self.shared.mailboxes[my_world].queue.lock();
+        queue
+            .iter()
+            .position(|m| m.src_world == src_world && m.ctx == self.ctx && m.tag == tag)
+            .map(|pos| queue.remove(pos).payload)
+    }
+
+    /// Blocking mailbox take with the deadlock timeout, used by
+    /// [`crate::request::RecvRequest::wait`]. Identical matching to
+    /// [`Comm::recv_payload`] but without the event bookkeeping (the caller
+    /// records the completion).
+    pub(crate) fn block_take(&self, src: usize, src_world: usize, tag: u64) -> Payload {
+        let my_world = self.world_rank();
+        let mbox = &self.shared.mailboxes[my_world];
+        let mut queue = mbox.queue.lock();
+        loop {
+            if let Some(pos) = queue
+                .iter()
+                .position(|m| m.src_world == src_world && m.ctx == self.ctx && m.tag == tag)
+            {
+                return queue.remove(pos).payload;
+            }
+            let timed_out = mbox.arrived.wait_for(&mut queue, RECV_TIMEOUT).timed_out();
+            if timed_out {
+                panic!(
+                    "xmpi deadlock: rank {} (world {}) waited {:?} for nonblocking msg from \
+                     local {} (world {}) tag {} ctx {:#x}; {} unmatched messages pending",
+                    self.rank,
+                    my_world,
+                    RECV_TIMEOUT,
+                    src,
+                    src_world,
+                    tag,
+                    self.ctx,
+                    queue.len()
+                );
+            }
+        }
+    }
+
+    /// Receive-side accounting for a completed nonblocking receive: bump the
+    /// counters and emit [`Event::WaitDone`]. `t_call` is when the rank
+    /// entered the wait/test call (trace time; ignored when untraced).
+    pub(crate) fn finish_nonblocking_recv(
+        &self,
+        src_world: usize,
+        tag: u64,
+        bytes: u64,
+        t_call: u64,
+    ) {
+        let my_world = self.world_rank();
+        self.shared.counters[my_world].record_recv(bytes);
+        if let Some(tr) = &self.shared.trace {
+            let kind = self.shared.counters[my_world].current_coll();
+            tr.push(
+                my_world,
+                Event::WaitDone {
+                    t: tr.now(),
+                    t_call,
+                    peer: src_world,
+                    ctx: self.ctx,
+                    tag,
+                    bytes,
+                    kind,
+                },
+            );
+        }
     }
 
     /// The communicator's context id (RMA windows key their rendezvous on

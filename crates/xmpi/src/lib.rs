@@ -1,5 +1,13 @@
 //! `xmpi` — a thread-backed message-passing runtime.
 //!
+//! **Paper map** (Kwasniewski et al., SC'21, "On the parallel I/O optimality
+//! of linear algebra kernels"): this crate is the stand-in for the paper's
+//! *execution and measurement substrate* — MPI over Cray Aries plus the
+//! Score-P profiler (§8, Experimental setup). The communication-volume
+//! counters correspond to the paper's measured "communication volume per
+//! rank" axis, and the per-phase attribution mirrors its per-routine cost
+//! breakdown (Table 1).
+//!
 //! The paper's implementations run MPI over the Cray Aries interconnect and
 //! measure aggregate communication volume with the Score-P profiler. This
 //! crate substitutes both: every *rank* is an OS thread, point-to-point
@@ -40,16 +48,31 @@
 //! paths, simulated α-β-γ replays, and Chrome-trace exports. Tracing is
 //! opt-in: untraced worlds carry no recorder and pay no locks for it.
 
+//! # Nonblocking operation
+//!
+//! [`Comm::isend_f64`]/[`Comm::irecv`] post operations and return
+//! [`request::Request`] handles completed with `wait`/`test`/
+//! [`request::wait_all`]; [`Comm::ibcast_f64`] is a nonblocking binomial
+//! broadcast. These are what let the factorization schedules overlap panel
+//! communication with the trailing-matrix update while the byte accounting
+//! and event trace stay exact (posts record [`Event::SendPost`]/
+//! [`Event::RecvPost`], completions record [`Event::WaitDone`]).
+
+#![warn(missing_docs)]
+
 pub mod collectives;
 pub mod comm;
 pub mod grid;
+pub mod request;
 pub mod rma;
 pub mod stats;
 pub mod trace;
 pub mod world;
 
-pub use comm::Comm;
+pub use collectives::BcastRequest;
+pub use comm::{Comm, Payload};
 pub use grid::{Grid2, Grid3};
+pub use request::{wait_all, RecvRequest, Request, SendRequest};
 pub use rma::Window;
 pub use stats::{CollCounts, CollKind, RankStats, WorldStats};
 pub use trace::{Event, RankTrace, TraceConfig, WorldTrace};

@@ -1,0 +1,272 @@
+//! Request handles for nonblocking point-to-point operations.
+//!
+//! [`Comm::isend_payload`](crate::Comm::isend_payload) and
+//! [`Comm::irecv`](crate::Comm::irecv) return handles that decouple posting
+//! an operation from completing it, which is what lets a schedule overlap
+//! communication with computation (the lookahead variants of the
+//! factorizations post the next panel's traffic before the current
+//! trailing-matrix update). Semantics mirror MPI requests:
+//!
+//! * a send is buffered, so [`SendRequest`] is complete at creation;
+//! * a receive matches its message at [`RecvRequest::wait`]/
+//!   [`RecvRequest::test`] time, and that is when the receive-side bytes are
+//!   accounted and the [`Event::WaitDone`](crate::Event::WaitDone) trace
+//!   event is emitted — so the recorded idle time is the *residual* wait
+//!   after whatever work the rank overlapped with the transfer;
+//! * [`wait_all`] completes a batch in post order (buffered sends make
+//!   completion order irrelevant for correctness).
+//!
+//! Dropping an incomplete [`RecvRequest`] cancels it: the posted receive is
+//! forgotten and a matching message, if any, stays queued for a later
+//! receive on the same `(src, tag)` channel.
+
+use crate::comm::{Comm, Payload};
+
+/// Handle for a posted nonblocking send. Complete at creation (sends are
+/// buffered); exists so send and receive requests can be driven uniformly.
+#[derive(Debug)]
+pub struct SendRequest {
+    _priv: (),
+}
+
+impl SendRequest {
+    pub(crate) fn new() -> Self {
+        SendRequest { _priv: () }
+    }
+
+    /// Complete the send. A no-op: buffered sends complete at post time.
+    pub fn wait(self) {}
+
+    /// Poll for completion. Always true.
+    pub fn test(&mut self) -> bool {
+        true
+    }
+}
+
+/// Handle for a posted nonblocking receive on `(src, tag)`; borrows the
+/// communicator it was posted on.
+pub struct RecvRequest<'c> {
+    comm: &'c Comm,
+    /// Communicator-local source rank (diagnostics).
+    src: usize,
+    /// World rank of the source.
+    src_world: usize,
+    tag: u64,
+    /// Matched payload, once `test` has succeeded but before the payload is
+    /// taken by `wait`.
+    done: Option<Payload>,
+}
+
+impl<'c> RecvRequest<'c> {
+    pub(crate) fn new(comm: &'c Comm, src: usize, src_world: usize, tag: u64) -> Self {
+        RecvRequest {
+            comm,
+            src,
+            src_world,
+            tag,
+            done: None,
+        }
+    }
+
+    /// Poll for completion without blocking. On the first success the
+    /// message is consumed, its bytes are accounted, and
+    /// [`Event::WaitDone`](crate::Event::WaitDone) is emitted; `wait` then
+    /// returns the payload without further matching.
+    pub fn test(&mut self) -> bool {
+        if self.done.is_some() {
+            return true;
+        }
+        let t_call = self.comm.trace_now().unwrap_or(0);
+        match self.comm.try_take(self.src_world, self.tag) {
+            Some(payload) => {
+                self.comm.finish_nonblocking_recv(
+                    self.src_world,
+                    self.tag,
+                    payload.bytes(),
+                    t_call,
+                );
+                self.done = Some(payload);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Block until the matching message arrives and return its payload.
+    ///
+    /// # Panics
+    /// If no message arrives within the runtime's deadlock timeout.
+    pub fn wait(mut self) -> Payload {
+        if let Some(payload) = self.done.take() {
+            return payload;
+        }
+        let t_call = self.comm.trace_now().unwrap_or(0);
+        let payload = self.comm.block_take(self.src, self.src_world, self.tag);
+        self.comm
+            .finish_nonblocking_recv(self.src_world, self.tag, payload.bytes(), t_call);
+        payload
+    }
+
+    /// [`RecvRequest::wait`], asserting an element payload.
+    ///
+    /// # Panics
+    /// If the matching message carries indices instead of elements.
+    pub fn wait_f64(self) -> Vec<f64> {
+        let (src, tag) = (self.src, self.tag);
+        match self.wait() {
+            Payload::F64(v) => v,
+            Payload::U64(_) => panic!("wait_f64: got index payload from {src} tag {tag}"),
+        }
+    }
+
+    /// [`RecvRequest::wait`], asserting an index payload.
+    ///
+    /// # Panics
+    /// If the matching message carries elements instead of indices.
+    pub fn wait_u64(self) -> Vec<u64> {
+        let (src, tag) = (self.src, self.tag);
+        match self.wait() {
+            Payload::U64(v) => v,
+            Payload::F64(_) => panic!("wait_u64: got element payload from {src} tag {tag}"),
+        }
+    }
+}
+
+/// Either kind of nonblocking request, for heterogeneous batches.
+pub enum Request<'c> {
+    /// A posted send.
+    Send(SendRequest),
+    /// A posted receive.
+    Recv(RecvRequest<'c>),
+}
+
+impl<'c> Request<'c> {
+    /// Poll for completion without blocking.
+    pub fn test(&mut self) -> bool {
+        match self {
+            Request::Send(s) => s.test(),
+            Request::Recv(r) => r.test(),
+        }
+    }
+
+    /// Complete the request; receives yield their payload, sends `None`.
+    pub fn wait(self) -> Option<Payload> {
+        match self {
+            Request::Send(s) => {
+                s.wait();
+                None
+            }
+            Request::Recv(r) => Some(r.wait()),
+        }
+    }
+}
+
+impl From<SendRequest> for Request<'_> {
+    fn from(s: SendRequest) -> Self {
+        Request::Send(s)
+    }
+}
+
+impl<'c> From<RecvRequest<'c>> for Request<'c> {
+    fn from(r: RecvRequest<'c>) -> Self {
+        Request::Recv(r)
+    }
+}
+
+/// Complete every request in the batch, in post order, returning the
+/// received payloads positionally (`None` for sends). Post order is safe
+/// against any completion order because sends are buffered: no wait can
+/// prevent another request's message from arriving.
+pub fn wait_all<'c>(reqs: impl IntoIterator<Item = Request<'c>>) -> Vec<Option<Payload>> {
+    reqs.into_iter().map(Request::wait).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::run;
+
+    #[test]
+    fn isend_irecv_roundtrip() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                let req = c.isend_f64(1, 3, &[1.0, 2.0]);
+                req.wait();
+                vec![]
+            } else {
+                let req = c.irecv(0, 3);
+                req.wait_f64()
+            }
+        });
+        assert_eq!(out.results[1], vec![1.0, 2.0]);
+        assert_eq!(out.stats.ranks[0].bytes_sent, 16);
+        assert_eq!(out.stats.ranks[1].bytes_recv, 16);
+    }
+
+    #[test]
+    fn test_polls_without_blocking() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                // Let rank 1 poll before the message exists, then send.
+                let ready = c.recv_u64(1, 1);
+                assert_eq!(ready, vec![7]);
+                c.isend_u64(1, 2, &[42]).wait();
+                0
+            } else {
+                let mut req = c.irecv(0, 2);
+                assert!(!req.test(), "nothing sent yet");
+                c.send_u64(0, 1, &[7]);
+                let mut spins = 0u64;
+                while !req.test() {
+                    std::thread::yield_now();
+                    spins += 1;
+                    assert!(spins < 1_000_000_000, "test never completed");
+                }
+                match req.wait() {
+                    Payload::U64(v) => v[0],
+                    _ => unreachable!(),
+                }
+            }
+        });
+        assert_eq!(out.results[1], 42);
+    }
+
+    #[test]
+    fn wait_all_preserves_channel_fifo() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..4 {
+                    c.isend_f64(1, 0, &[i as f64]).wait();
+                }
+                vec![]
+            } else {
+                let reqs: Vec<Request> = (0..4).map(|_| c.irecv(0, 0).into()).collect();
+                wait_all(reqs)
+                    .into_iter()
+                    .map(|p| match p {
+                        Some(Payload::F64(v)) => v[0],
+                        _ => unreachable!(),
+                    })
+                    .collect()
+            }
+        });
+        assert_eq!(out.results[1], vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dropped_request_leaves_message_queued() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                c.send_f64(1, 5, &[9.0]);
+                vec![]
+            } else {
+                // Handshake first so the message is queued, then cancel an
+                // irecv for it and pick it up with a blocking receive.
+                let req = c.irecv(0, 5);
+                drop(req);
+                c.recv_f64(0, 5)
+            }
+        });
+        assert_eq!(out.results[1], vec![9.0]);
+    }
+}

@@ -9,7 +9,7 @@
 //!
 //! The record path is lock-free: the active phase is an index into a
 //! preallocated slab of atomic slots, so `record_send`/`record_recv` are a
-//! handful of relaxed `fetch_add`s. Only [`Counters::set_phase`] (cold, a
+//! handful of relaxed `fetch_add`s. Only `Counters::set_phase` (cold, a
 //! few calls per factorization step) takes a lock, to intern the label.
 
 use parking_lot::Mutex;

@@ -10,6 +10,11 @@
 //! Send/receive matching uses the transport's own guarantee: per
 //! `(src, dst, ctx, tag)` channel, messages are FIFO, so the *n*-th receive
 //! completion on a channel matches the *n*-th send.
+//!
+//! Nonblocking receives participate with their *wait call* in place of the
+//! post: a rank that posted early but waited late was only ever blocked from
+//! the wait call onward, so the path hops to the sender only if the message
+//! was still in flight at that point.
 
 use std::collections::HashMap;
 use xmpi::trace::Event;
@@ -49,6 +54,14 @@ pub fn critical_path(trace: &WorldTrace) -> Vec<CpSegment> {
     for (rank, rt) in trace.ranks.iter().enumerate() {
         for (i, e) in rt.events.iter().enumerate() {
             if let Event::Send {
+                t,
+                peer,
+                ctx,
+                tag,
+                kind,
+                ..
+            }
+            | Event::SendPost {
                 t,
                 peer,
                 ctx,
@@ -104,6 +117,38 @@ pub fn critical_path(trace: &WorldTrace) -> Vec<CpSegment> {
                                 send_idx,
                                 send_t,
                                 post_t,
+                            },
+                        );
+                    }
+                    *n += 1;
+                }
+                Event::WaitDone {
+                    t_call,
+                    peer,
+                    ctx,
+                    tag,
+                    kind,
+                    ..
+                } if kind != CollKind::Rma => {
+                    // Nonblocking completion: consume the post to keep the
+                    // channel FIFO aligned, but the rank was only blocked
+                    // from the wait call — that is the "post" for
+                    // sender-limited classification.
+                    if let Some(q) = posts.get_mut(&(peer, ctx, tag)) {
+                        if !q.is_empty() {
+                            q.remove(0);
+                        }
+                    }
+                    let key: Key = (peer, rank, ctx, tag);
+                    let n = consumed.entry(key).or_insert(0);
+                    if let Some(&(send_idx, send_t)) = sends.get(&key).and_then(|q| q.get(*n)) {
+                        by_idx.insert(
+                            i,
+                            MatchedRecv {
+                                send_rank: peer,
+                                send_idx,
+                                send_t,
+                                post_t: t_call,
                             },
                         );
                     }

@@ -10,7 +10,7 @@
 //!   flops, receive-wait (idle) intervals, collective spans;
 //! * [`critpath`] — the critical path through the send/receive
 //!   happens-before graph (which rank was the bottleneck, when);
-//! * [`replay`] — simulated-time replay of the trace under the α-β-γ
+//! * [`mod@replay`] — simulated-time replay of the trace under the α-β-γ
 //!   machine model, predicting time-to-solution on a real machine from the
 //!   recorded event structure rather than wall-clock of the simulation;
 //! * [`chrome`] — Chrome-trace JSON export (loadable in Perfetto /
@@ -18,6 +18,17 @@
 //! * [`profile`] — JSON profile reports with provenance (commit, params,
 //!   seed) whose per-phase and per-collective tables are derived from the
 //!   trace and cross-checkable against [`xmpi::WorldStats`].
+//!
+//! **Paper map**: this crate reproduces the paper's *evaluation
+//! methodology* (§8–9) — Score-P-style profiles, per-routine cost
+//! breakdowns, and time-to-solution prediction under the α-β-γ model the
+//! paper's cost analysis is stated in. The replay's overlap accounting
+//! ([`replay::PhaseOverlap`]) quantifies how much communication a pipelined
+//! schedule hides behind the trailing-matrix update — the property that
+//! turns the paper's near-optimal communication *volume* into near-optimal
+//! *time*.
+
+#![warn(missing_docs)]
 
 pub mod chrome;
 pub mod critpath;
@@ -28,5 +39,5 @@ pub mod timeline;
 pub use chrome::chrome_trace;
 pub use critpath::{critical_path, path_length, CpSegment};
 pub use profile::{profile_report, Provenance};
-pub use replay::{replay, Machine, Replay};
+pub use replay::{replay, Machine, PhaseOverlap, Replay};
 pub use timeline::{CollSpan, RankTimeline, Span, Timeline, Wait};

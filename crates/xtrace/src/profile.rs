@@ -68,8 +68,12 @@ pub fn phase_bytes_from_trace(trace: &WorldTrace) -> BTreeMap<String, (u64, u64)
         for e in &rt.events {
             match *e {
                 Event::Phase { label, .. } => cur = trace.label(label).to_string(),
-                Event::Send { bytes, .. } => totals.entry(cur.clone()).or_default().0 += bytes,
-                Event::RecvDone { bytes, .. } => totals.entry(cur.clone()).or_default().1 += bytes,
+                Event::Send { bytes, .. } | Event::SendPost { bytes, .. } => {
+                    totals.entry(cur.clone()).or_default().0 += bytes
+                }
+                Event::RecvDone { bytes, .. } | Event::WaitDone { bytes, .. } => {
+                    totals.entry(cur.clone()).or_default().1 += bytes
+                }
                 _ => {}
             }
         }
@@ -85,12 +89,12 @@ pub fn coll_bytes_from_trace(trace: &WorldTrace) -> BTreeMap<CollKind, (u64, u64
     for rt in &trace.ranks {
         for e in &rt.events {
             match *e {
-                Event::Send { bytes, kind, .. } => {
+                Event::Send { bytes, kind, .. } | Event::SendPost { bytes, kind, .. } => {
                     let t = totals.entry(kind).or_default();
                     t.0 += bytes;
                     t.2 += 1;
                 }
-                Event::RecvDone { bytes, kind, .. } => {
+                Event::RecvDone { bytes, kind, .. } | Event::WaitDone { bytes, kind, .. } => {
                     let t = totals.entry(kind).or_default();
                     t.1 += bytes;
                     t.3 += 1;
@@ -194,6 +198,10 @@ pub fn profile_report(trace: &WorldTrace, stats: &WorldStats, prov: &Provenance)
             "comp_s": rp.comp.clone(),
             "comm_s": rp.comm.clone(),
             "wait_s": rp.wait.clone(),
+            "hidden_s": rp.hidden.clone(),
+            "phase_overlap": Value::Object(rp.phase_overlap.iter().map(|(label, po)| {
+                (label.clone(), json!({ "exposed_s": po.exposed, "hidden_s": po.hidden }))
+            }).collect()),
         },
     })
 }

@@ -9,7 +9,23 @@
 //! it and the message has arrived, which reproduces the dependency structure
 //! (and hence the critical path) on the modelled machine.
 
-use std::collections::HashMap;
+//!
+//! # Overlap semantics
+//!
+//! Nonblocking schedules are modelled faithfully: a send (blocking or
+//! posted) charges the sender only the injection overhead α and puts the
+//! payload's arrival at `sender_clock + α + s/β`; a receive completion —
+//! [`Event::RecvDone`] or a nonblocking [`Event::WaitDone`] — completes at
+//! `max(receiver_clock, arrival)`, i.e. at max(post-progress, sender-ready),
+//! charging only the *residual* stall rather than the full β term at the
+//! call site. Any compute the receiver performed between posting the receive
+//! and waiting on it has already advanced its clock, so transfer time spent
+//! under that compute is *hidden*. The replay reports it per phase in
+//! [`Replay::phase_overlap`]: for each completion, `exposed` is the stall
+//! actually charged and `hidden` is `max(0, (α + s/β) − exposed)` — what a
+//! fully-serialized receive would have added but this schedule absorbed.
+
+use std::collections::{BTreeMap, HashMap};
 use xmpi::trace::Event;
 use xmpi::WorldTrace;
 
@@ -49,6 +65,28 @@ impl Machine {
     }
 }
 
+/// Exposed vs hidden receive time attributed to one phase label.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseOverlap {
+    /// Modelled receive time ranks actually stalled for, seconds.
+    pub exposed: f64,
+    /// Modelled transfer time hidden behind rank-local progress, seconds.
+    pub hidden: f64,
+}
+
+impl PhaseOverlap {
+    /// Fraction of this phase's modelled transfer time that was hidden
+    /// (0 when the phase moved no data).
+    pub fn hidden_fraction(&self) -> f64 {
+        let total = self.exposed + self.hidden;
+        if total > 0.0 {
+            self.hidden / total
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Result of a replay.
 #[derive(Debug, Clone)]
 pub struct Replay {
@@ -62,8 +100,26 @@ pub struct Replay {
     pub comm: Vec<f64>,
     /// Per-rank modelled blocked-receive time, seconds.
     pub wait: Vec<f64>,
+    /// Per-rank modelled transfer time hidden behind compute (the β·s terms
+    /// the schedule absorbed instead of stalling for), seconds.
+    pub hidden: Vec<f64>,
+    /// World-aggregate exposed/hidden receive time per phase label
+    /// (receives before the first phase marker land under `""`).
+    pub phase_overlap: BTreeMap<String, PhaseOverlap>,
     /// False if the replay stalled (possible only on truncated traces).
     pub complete: bool,
+}
+
+impl Replay {
+    /// Total modelled transfer time hidden across all ranks, seconds.
+    pub fn total_hidden(&self) -> f64 {
+        self.hidden.iter().sum()
+    }
+
+    /// Total modelled stall (blocked-receive) time across all ranks, seconds.
+    pub fn total_wait(&self) -> f64 {
+        self.wait.iter().sum()
+    }
 }
 
 /// Replay `trace` on machine `m`.
@@ -73,32 +129,49 @@ pub fn replay(trace: &WorldTrace, m: &Machine) -> Replay {
     let mut comp = vec![0.0f64; p];
     let mut comm = vec![0.0f64; p];
     let mut wait = vec![0.0f64; p];
+    let mut hidden = vec![0.0f64; p];
     let mut cursor = vec![0usize; p];
     let mut prev_cum = vec![0u64; p];
+    // Phase label each rank is currently in (u32::MAX before the first
+    // marker), for attributing exposed/hidden receive time.
+    let mut cur_label = vec![u32::MAX; p];
+    let mut overlap: HashMap<u32, PhaseOverlap> = HashMap::new();
     // Modelled arrival times per channel, FIFO.
     let mut channel: HashMap<(usize, usize, u64, u64), Vec<f64>> = HashMap::new();
 
-    loop {
+    let complete = loop {
         let mut progressed = false;
         for r in 0..p {
             let events = &trace.ranks[r].events;
             while cursor[r] < events.len() {
                 match events[cursor[r]] {
-                    Event::Phase { cum_flops, .. } => {
+                    Event::Phase {
+                        label, cum_flops, ..
+                    } => {
                         let dt = m.flop_time(cum_flops.saturating_sub(prev_cum[r]));
                         clock[r] += dt;
                         comp[r] += dt;
                         prev_cum[r] = cum_flops;
+                        cur_label[r] = label;
                     }
+                    // A posted send is modelled exactly like a blocking one:
+                    // both are buffered, so the sender pays only the
+                    // injection overhead and the payload arrives α + s/β
+                    // later.
                     Event::Send {
                         peer,
                         ctx,
                         tag,
                         bytes,
                         ..
+                    }
+                    | Event::SendPost {
+                        peer,
+                        ctx,
+                        tag,
+                        bytes,
+                        ..
                     } => {
-                        // Buffered send: the sender pays only the injection
-                        // overhead; the payload arrives α + s/β later.
                         let arrival = clock[r] + m.xfer_time(bytes);
                         channel
                             .entry((r, peer, ctx, tag))
@@ -108,7 +181,25 @@ pub fn replay(trace: &WorldTrace, m: &Machine) -> Replay {
                         comm[r] += m.alpha;
                     }
                     Event::RecvPost { .. } => {}
-                    Event::RecvDone { peer, ctx, tag, .. } => {
+                    // A completion (blocking receive or nonblocking wait)
+                    // finishes at max(receiver progress, arrival); whatever
+                    // part of the transfer the receiver's own progress
+                    // already covered is hidden, the rest is an exposed
+                    // stall.
+                    Event::RecvDone {
+                        peer,
+                        ctx,
+                        tag,
+                        bytes,
+                        ..
+                    }
+                    | Event::WaitDone {
+                        peer,
+                        ctx,
+                        tag,
+                        bytes,
+                        ..
+                    } => {
                         let q = channel.entry((peer, r, ctx, tag)).or_default();
                         if q.is_empty() {
                             // Sender hasn't reached its send yet in modelled
@@ -116,10 +207,16 @@ pub fn replay(trace: &WorldTrace, m: &Machine) -> Replay {
                             break;
                         }
                         let arrival = q.remove(0);
-                        if arrival > clock[r] {
-                            wait[r] += arrival - clock[r];
+                        let exposed = (arrival - clock[r]).max(0.0);
+                        if exposed > 0.0 {
+                            wait[r] += exposed;
                             clock[r] = arrival;
                         }
+                        let hid = (m.xfer_time(bytes) - exposed).max(0.0);
+                        hidden[r] += hid;
+                        let e = overlap.entry(cur_label[r]).or_default();
+                        e.exposed += exposed;
+                        e.hidden += hid;
                     }
                     Event::CollEnter { .. } | Event::CollExit { .. } => {}
                 }
@@ -132,28 +229,34 @@ pub fn replay(trace: &WorldTrace, m: &Machine) -> Replay {
             .enumerate()
             .all(|(r, &c)| c == trace.ranks[r].events.len())
         {
-            let makespan = clock.iter().cloned().fold(0.0, f64::max);
-            return Replay {
-                rank_finish: clock,
-                makespan,
-                comp,
-                comm,
-                wait,
-                complete: true,
-            };
+            break true;
         }
         if !progressed {
             // Stalled: a receive whose send was evicted from a full ring.
-            let makespan = clock.iter().cloned().fold(0.0, f64::max);
-            return Replay {
-                rank_finish: clock,
-                makespan,
-                comp,
-                comm,
-                wait,
-                complete: false,
-            };
+            break false;
         }
+    };
+    let makespan = clock.iter().cloned().fold(0.0, f64::max);
+    let phase_overlap = overlap
+        .into_iter()
+        .map(|(lbl, po)| {
+            let name = if lbl == u32::MAX {
+                String::new()
+            } else {
+                trace.label(lbl).to_string()
+            };
+            (name, po)
+        })
+        .collect();
+    Replay {
+        rank_finish: clock,
+        makespan,
+        comp,
+        comm,
+        wait,
+        hidden,
+        phase_overlap,
+        complete,
     }
 }
 
@@ -273,6 +376,105 @@ mod tests {
         let out = replay(&tr, &Machine::piz_daint());
         assert!(out.complete);
         assert!(out.makespan > 0.0);
+    }
+
+    /// A nonblocking receive whose wait happens after enough local compute
+    /// charges no stall: the transfer is fully hidden, and the modelled
+    /// makespan beats the blocking order of the same events.
+    #[test]
+    fn overlapped_wait_hides_transfer_time() {
+        let k = CollKind::P2p;
+        let s = 50_000u64;
+        let m = Machine::piz_daint();
+        // Enough flops to outlast the transfer.
+        let g = (m.xfer_time(s) * m.gamma * m.epsilon * 2.0) as u64;
+        let sender = RankTrace {
+            events: vec![Event::SendPost {
+                t: 0,
+                peer: 1,
+                ctx: 0,
+                tag: 4,
+                bytes: s,
+                kind: k,
+            }],
+            dropped: 0,
+        };
+        let overlapped = WorldTrace {
+            labels: vec!["update".into()],
+            ranks: vec![
+                sender.clone(),
+                RankTrace {
+                    events: vec![
+                        Event::RecvPost {
+                            t: 1,
+                            peer: 0,
+                            ctx: 0,
+                            tag: 4,
+                        },
+                        Event::Phase {
+                            t: 2,
+                            label: 0,
+                            cum_flops: g,
+                        },
+                        Event::WaitDone {
+                            t: 3,
+                            t_call: 3,
+                            peer: 0,
+                            ctx: 0,
+                            tag: 4,
+                            bytes: s,
+                            kind: k,
+                        },
+                    ],
+                    dropped: 0,
+                },
+            ],
+        };
+        let blocking = WorldTrace {
+            labels: vec!["update".into()],
+            ranks: vec![
+                sender,
+                RankTrace {
+                    events: vec![
+                        Event::RecvPost {
+                            t: 1,
+                            peer: 0,
+                            ctx: 0,
+                            tag: 4,
+                        },
+                        Event::RecvDone {
+                            t: 2,
+                            peer: 0,
+                            ctx: 0,
+                            tag: 4,
+                            bytes: s,
+                            kind: k,
+                        },
+                        Event::Phase {
+                            t: 3,
+                            label: 0,
+                            cum_flops: g,
+                        },
+                    ],
+                    dropped: 0,
+                },
+            ],
+        };
+        let ov = replay(&overlapped, &m);
+        let bl = replay(&blocking, &m);
+        assert!(ov.complete && bl.complete);
+        // Overlapped: zero stall, full transfer hidden, attributed to the
+        // phase the rank was in when it completed the wait.
+        assert_eq!(ov.wait[1], 0.0);
+        assert!((ov.hidden[1] - m.xfer_time(s)).abs() < 1e-12);
+        let po = ov.phase_overlap["update"];
+        assert_eq!(po.exposed, 0.0);
+        assert!((po.hidden - m.xfer_time(s)).abs() < 1e-12);
+        assert_eq!(po.hidden_fraction(), 1.0);
+        // Blocking order: the full transfer is an exposed stall, and the
+        // makespan is longer by exactly that stall.
+        assert!((bl.wait[1] - m.xfer_time(s)).abs() < 1e-12);
+        assert!((bl.makespan - ov.makespan - m.xfer_time(s)).abs() < 1e-12);
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! * **phases** — the span between consecutive phase markers, carrying the
 //!   flops performed in it (first differences of the markers' cumulative
 //!   counts);
-//! * **waits** — receive-wait intervals (post → completion), the rank's
-//!   idle time;
+//! * **waits** — receive-wait intervals, the rank's idle time: post →
+//!   completion for blocking receives, wait-call → completion for
+//!   nonblocking ones (the post → wait-call gap is overlapped work, not
+//!   idleness);
 //! * **collectives** — outermost collective calls (enter → exit).
 
 use xmpi::trace::Event;
@@ -29,7 +31,8 @@ pub struct Span {
 /// A receive-wait (idle) interval.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Wait {
-    /// Wait start = receive post time (ns).
+    /// Wait start (ns): the receive post for blocking receives, the wait
+    /// call for nonblocking ones.
     pub start: u64,
     /// Wait end = message delivery time (ns).
     pub end: u64,
@@ -184,6 +187,32 @@ fn build_rank(trace: &WorldTrace, rank: usize, events: &[Event], makespan: u64) 
                     }
                 }
             }
+            Event::WaitDone {
+                t,
+                t_call,
+                peer,
+                ctx,
+                tag,
+                bytes,
+                ..
+            } => {
+                // Nonblocking completion: consume the matching post, but
+                // idle only spans the wait call — the post → call gap was
+                // overlapped with other work.
+                if let Some(i) = posts
+                    .iter()
+                    .position(|&(p, c, g, _)| (p, c, g) == (peer, ctx, tag))
+                {
+                    posts.remove(i);
+                    tl.waits.push(Wait {
+                        start: t_call,
+                        end: t,
+                        peer,
+                        bytes,
+                        phase: cur_label.clone(),
+                    });
+                }
+            }
             Event::CollEnter { t, kind } => coll_open = Some((kind, t)),
             Event::CollExit { t, kind } => {
                 if let Some((k, start)) = coll_open.take() {
@@ -195,7 +224,7 @@ fn build_rank(trace: &WorldTrace, rank: usize, events: &[Event], makespan: u64) 
                     });
                 }
             }
-            Event::Send { .. } => {}
+            Event::Send { .. } | Event::SendPost { .. } => {}
         }
     }
     // Close the trailing span at the makespan so every rank's timeline
@@ -320,6 +349,48 @@ mod tests {
         assert_eq!(r1.wait_time(), 1000);
         assert_eq!(tl.total_wait(), 1000);
         assert_eq!(r1.total_flops(), 500);
+    }
+
+    /// A nonblocking receive posted at t=100 whose wait is only entered at
+    /// t=900 idles for 200 ns, not 1000: the post → wait-call gap was
+    /// overlapped work.
+    #[test]
+    fn nonblocking_wait_idle_excludes_overlapped_work() {
+        let tr = WorldTrace {
+            labels: vec!["update".into()],
+            ranks: vec![RankTrace {
+                events: vec![
+                    Event::Phase {
+                        t: 0,
+                        label: 0,
+                        cum_flops: 0,
+                    },
+                    Event::RecvPost {
+                        t: 100,
+                        peer: 1,
+                        ctx: 0,
+                        tag: 3,
+                    },
+                    Event::WaitDone {
+                        t: 1100,
+                        t_call: 900,
+                        peer: 1,
+                        ctx: 0,
+                        tag: 3,
+                        bytes: 640,
+                        kind: CollKind::P2p,
+                    },
+                ],
+                dropped: 0,
+            }],
+        };
+        let tl = Timeline::build(&tr);
+        let r = &tl.ranks[0];
+        assert_eq!(r.waits.len(), 1);
+        let w = &r.waits[0];
+        assert_eq!((w.start, w.end, w.peer, w.bytes), (900, 1100, 1, 640));
+        assert_eq!(w.phase, "update");
+        assert_eq!(r.wait_time(), 200);
     }
 
     #[test]
