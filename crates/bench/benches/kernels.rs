@@ -35,7 +35,7 @@ fn bench_gemm(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("par", n), &n, |bench, _| {
             let mut out = Matrix::zeros(n, n);
             bench.iter(|| {
-                par_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, &mut out);
+                par_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, out.as_mut());
                 black_box(out.data()[0])
             });
         });

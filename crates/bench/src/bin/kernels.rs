@@ -1,0 +1,100 @@
+//! Local-kernel throughput report (`bench kernels` mode).
+//!
+//! Measures GFLOP/s for the packed dense kernels (`gemm`, `gemmt`, `trsm`,
+//! `getrf`, `potrf`) plus the naive GEMM reference, writes
+//! `results/BENCH_kernels.json`, and — when `--min-speedup` is given —
+//! exits nonzero if the packed-vs-naive GEMM speedup at the largest size
+//! falls below the threshold (the CI perf-smoke gate).
+//!
+//! ```text
+//! kernels [--sizes 128,256,512] [--reps 3] [--out results] [--min-speedup 2.0]
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+struct Args {
+    sizes: Vec<usize>,
+    reps: usize,
+    out: String,
+    min_speedup: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        sizes: vec![128, 256, 512],
+        reps: 3,
+        out: "results".into(),
+        min_speedup: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--sizes" => {
+                args.sizes = value("--sizes")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad size {s:?}: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if args.sizes.is_empty() {
+                    return Err("--sizes needs at least one size".into());
+                }
+            }
+            "--reps" => {
+                args.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("bad --reps: {e}"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            "--min-speedup" => {
+                args.min_speedup = Some(
+                    value("--min-speedup")?
+                        .parse()
+                        .map_err(|e| format!("bad --min-speedup: {e}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: kernels [--sizes N,N,..] [--reps R] [--out DIR] [--min-speedup X]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = bench::experiments::kernels::kernels(&args.sizes, args.reps);
+    println!("== {} — {} ==\n{}", report.id, report.title, report.text);
+    if let Err(e) = report.save(Path::new(&args.out)) {
+        eprintln!("could not save {}/{}.json: {e}", args.out, report.id);
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(min) = args.min_speedup {
+        let achieved = bench::experiments::kernels::final_speedup(&report);
+        let n = args.sizes.last().copied().unwrap_or(0);
+        if achieved < min {
+            eprintln!(
+                "FAIL: packed gemm speedup {achieved:.2}x at N={n} is below the {min:.2}x gate"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("packed gemm speedup gate: {achieved:.2}x >= {min:.2}x at N={n} — ok");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,285 @@
+//! Local-kernel throughput trajectory: measured GFLOP/s for the packed,
+//! register-blocked dense kernels (`gemm`, `gemmt`, `trsm`, `getrf`,
+//! `potrf`) plus the retained naive triple-loop reference.
+//!
+//! The distributed schedules charge every rank `flops / machine-peak`
+//! seconds per kernel call, so the modeled makespans are only as honest as
+//! the local kernels are fast. This report pins the achieved single-core
+//! rate of each kernel (analytic flop count over best-of-`reps` wall time)
+//! and the packed-vs-naive GEMM speedup that PR gate `--min-speedup`
+//! enforces in CI.
+
+use crate::experiments::Report;
+use crate::table::render;
+use dense::flops::{gemm_flops, gemmt_flops, getrf_flops, potrf_flops, trsm_flops};
+use dense::gemm::{gemm, gemmt, naive_gemm, par_gemm, CUplo, Trans};
+use dense::gen::{random_matrix, random_spd};
+use dense::getrf::getrf;
+use dense::potrf::potrf;
+use dense::trsm::{trsm, Diag, Side, Uplo};
+use dense::Matrix;
+use serde_json::json;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time for `f`, after one untimed warmup call (which
+/// also grows the thread-local packing buffers to their steady-state size).
+fn best_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn gflops(flops: u64, secs: f64) -> f64 {
+    flops as f64 / secs / 1e9
+}
+
+/// One measured kernel at one size.
+struct Sample {
+    kernel: &'static str,
+    n: usize,
+    gflops: f64,
+}
+
+/// Measure every kernel at size `n`, appending to `out`. Returns the
+/// `(naive, packed)` GEMM rates so the caller can form the speedup series.
+fn measure_size(n: usize, reps: usize, out: &mut Vec<Sample>) -> (f64, f64) {
+    let a = random_matrix(n, n, 11);
+    let b = random_matrix(n, n, 12);
+    let fl = gemm_flops(n, n, n);
+
+    let mut c = Matrix::zeros(n, n);
+    // Naive reference gets fewer reps at large n: it is the slow side of the
+    // speedup ratio and one clean repetition is representative.
+    let naive_reps = if n >= 384 { 1 } else { reps };
+    let t_naive = best_secs(naive_reps, || {
+        naive_gemm(
+            Trans::N,
+            Trans::N,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        black_box(c.data()[0]);
+    });
+    let naive = gflops(fl, t_naive);
+    out.push(Sample {
+        kernel: "gemm_naive",
+        n,
+        gflops: naive,
+    });
+
+    let t_packed = best_secs(reps, || {
+        gemm(
+            Trans::N,
+            Trans::N,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        black_box(c.data()[0]);
+    });
+    let packed = gflops(fl, t_packed);
+    out.push(Sample {
+        kernel: "gemm",
+        n,
+        gflops: packed,
+    });
+
+    let t_par = best_secs(reps, || {
+        par_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        black_box(c.data()[0]);
+    });
+    out.push(Sample {
+        kernel: "par_gemm",
+        n,
+        gflops: gflops(fl, t_par),
+    });
+
+    // Symmetric rank-k update with a panel-shaped k, as the factorizations
+    // issue it.
+    let k = 64.min(n);
+    let ak = random_matrix(n, k, 13);
+    let mut sym = Matrix::zeros(n, n);
+    let t_gemmt = best_secs(reps, || {
+        gemmt(
+            CUplo::Lower,
+            Trans::N,
+            Trans::T,
+            -1.0,
+            ak.as_ref(),
+            ak.as_ref(),
+            1.0,
+            sym.as_mut(),
+        );
+        black_box(sym.data()[0]);
+    });
+    out.push(Sample {
+        kernel: "gemmt",
+        n,
+        gflops: gflops(gemmt_flops(n, k), t_gemmt),
+    });
+
+    let tri = {
+        let mut t = random_matrix(n, n, 14);
+        for i in 0..n {
+            t[(i, i)] = 4.0 + t[(i, i)].abs();
+        }
+        t
+    };
+    let rhs = random_matrix(n, n, 15);
+    let mut x = rhs.clone();
+    let t_trsm = best_secs(reps, || {
+        x.data_mut().copy_from_slice(rhs.data());
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::N,
+            Diag::NonUnit,
+            1.0,
+            tri.as_ref(),
+            x.as_mut(),
+        );
+        black_box(x.data()[0]);
+    });
+    out.push(Sample {
+        kernel: "trsm",
+        n,
+        gflops: gflops(trsm_flops(n, n), t_trsm),
+    });
+
+    let square = random_matrix(n, n, 16);
+    let mut w = square.clone();
+    let t_getrf = best_secs(reps, || {
+        w.data_mut().copy_from_slice(square.data());
+        black_box(getrf(&mut w, 0).unwrap().len());
+    });
+    out.push(Sample {
+        kernel: "getrf",
+        n,
+        gflops: gflops(getrf_flops(n, n), t_getrf),
+    });
+
+    let spd = random_spd(n, 17);
+    let mut wc = spd.clone();
+    let t_potrf = best_secs(reps, || {
+        wc.data_mut().copy_from_slice(spd.data());
+        potrf(&mut wc, 0).unwrap();
+        black_box(wc.data()[0]);
+    });
+    out.push(Sample {
+        kernel: "potrf",
+        n,
+        gflops: gflops(potrf_flops(n), t_potrf),
+    });
+
+    (naive, packed)
+}
+
+/// Run the kernel sweep over `sizes` with best-of-`reps` timing.
+pub fn kernels(sizes: &[usize], reps: usize) -> Report {
+    let mut samples = Vec::new();
+    let mut speedups = Vec::new();
+    for &n in sizes {
+        let (naive, packed) = measure_size(n, reps, &mut samples);
+        speedups.push((n, packed / naive));
+    }
+
+    let kernel_order = [
+        "gemm_naive",
+        "gemm",
+        "par_gemm",
+        "gemmt",
+        "trsm",
+        "getrf",
+        "potrf",
+    ];
+    let mut headers = vec!["kernel"];
+    let size_labels: Vec<String> = sizes.iter().map(|n| format!("N={n}")).collect();
+    headers.extend(size_labels.iter().map(|s| s.as_str()));
+    let rows: Vec<Vec<String>> = kernel_order
+        .iter()
+        .map(|&kname| {
+            let mut row = vec![kname.to_string()];
+            for &n in sizes {
+                let s = samples
+                    .iter()
+                    .find(|s| s.kernel == kname && s.n == n)
+                    .expect("sample measured");
+                row.push(format!("{:.2}", s.gflops));
+            }
+            row
+        })
+        .collect();
+    let mut text = format!("GFLOP/s, best of {reps} reps:\n{}", render(&headers, &rows));
+    text.push_str("\npacked gemm speedup over naive triple loop:\n");
+    for &(n, s) in &speedups {
+        text.push_str(&format!("  N={n}: {s:.2}x\n"));
+    }
+
+    Report {
+        id: "BENCH_kernels".into(),
+        title: "local kernel throughput (packed register-blocked path)".into(),
+        json: json!({
+            "reps": reps,
+            "sizes": sizes,
+            "samples": samples.iter().map(|s| json!({
+                "kernel": s.kernel, "n": s.n, "gflops": s.gflops,
+            })).collect::<Vec<_>>(),
+            "gemm_speedup_vs_naive": speedups.iter().map(|&(n, s)| json!({
+                "n": n, "speedup": s,
+            })).collect::<Vec<_>>(),
+        }),
+        text,
+    }
+}
+
+/// Largest-size packed-vs-naive GEMM speedup from a [`kernels`] report, for
+/// the CI `--min-speedup` gate.
+pub fn final_speedup(report: &Report) -> f64 {
+    report.json["gemm_speedup_vs_naive"]
+        .as_array()
+        .and_then(|a| a.last())
+        .and_then(|v| v["speedup"].as_f64())
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_every_kernel_and_size() {
+        let r = kernels(&[24, 40], 1);
+        assert_eq!(r.id, "BENCH_kernels");
+        let samples = r.json["samples"].as_array().unwrap();
+        for kernel in [
+            "gemm_naive",
+            "gemm",
+            "par_gemm",
+            "gemmt",
+            "trsm",
+            "getrf",
+            "potrf",
+        ] {
+            for n in [24u64, 40] {
+                assert!(
+                    samples.iter().any(|s| s["kernel"] == kernel
+                        && s["n"].as_u64() == Some(n)
+                        && s["gflops"].as_f64().unwrap() > 0.0),
+                    "missing {kernel} at n={n}"
+                );
+            }
+        }
+        assert!(final_speedup(&r) > 0.0);
+    }
+}

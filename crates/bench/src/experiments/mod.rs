@@ -8,6 +8,7 @@ pub mod fig1;
 pub mod fig8;
 pub mod fig9;
 pub mod generality;
+pub mod kernels;
 pub mod table1;
 pub mod table2;
 

@@ -126,6 +126,28 @@ mod tests {
     }
 
     #[test]
+    fn par_gemm_credits_full_count_to_calling_thread() {
+        use crate::gemm::par_gemm;
+        use crate::gen::random_matrix;
+        use crate::matrix::Matrix;
+        // Large enough to clear par_gemm's ~1 Mflop sequential-fallback
+        // threshold, so the product really fans out to Rayon workers — the
+        // calling (rank) thread must still be credited the whole count.
+        let n = 160;
+        let a = random_matrix(n, n, 7);
+        let b = random_matrix(n, n, 8);
+        let mut c = Matrix::zeros(n, n);
+        reset_thread_flops();
+        par_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        assert_eq!(
+            thread_flops(),
+            gemm_flops(n, n, n),
+            "rank thread must see the full GEMM count despite Rayon fan-out"
+        );
+        reset_thread_flops();
+    }
+
+    #[test]
     fn gemm_count_is_symmetric_in_m_n() {
         assert_eq!(gemm_flops(3, 5, 7), gemm_flops(5, 3, 7));
         assert_eq!(gemm_flops(10, 10, 10), 2000);

@@ -2,11 +2,19 @@
 //! (`gemmt`).
 //!
 //! The paper's trailing-matrix updates are rank-`v` GEMM calls (LU) and
-//! GEMMT calls (Cholesky, which only updates one triangle). These kernels are
-//! cache-blocked; [`par_gemm`] additionally fans the row panels of `C` out
-//! over Rayon workers for large local domains.
+//! GEMMT calls (Cholesky, which only updates one triangle). Both route
+//! through the packed, register-blocked engine in [`crate::pack`]: operands
+//! are copied once per KC/MC/NC cache block into microkernel-ordered
+//! buffers (absorbing either transpose case), and every flop runs in an
+//! `MR×NR` register tile. [`par_gemm`] additionally fans MC-row blocks of
+//! `C` out over Rayon workers — bitwise identically to [`gemm`], because
+//! row-slicing `C` does not change any element's accumulation order.
+//!
+//! [`naive_gemm`] retains the textbook triple loop as the reference the
+//! packed path is validated and benchmarked against (`bench --bin kernels`).
 
 use crate::matrix::{MatMut, MatRef, Matrix};
+use crate::pack::{self, MC};
 use rayon::prelude::*;
 
 /// Transposition selector, as in BLAS.
@@ -20,7 +28,7 @@ pub enum Trans {
 
 impl Trans {
     #[inline]
-    fn dims(self, m: MatRef<'_>) -> (usize, usize) {
+    pub(crate) fn dims(self, m: MatRef<'_>) -> (usize, usize) {
         match self {
             Trans::N => (m.rows(), m.cols()),
             Trans::T => (m.cols(), m.rows()),
@@ -28,21 +36,36 @@ impl Trans {
     }
 
     #[inline]
-    fn at(self, m: MatRef<'_>, i: usize, j: usize) -> f64 {
+    pub(crate) fn at(self, m: MatRef<'_>, i: usize, j: usize) -> f64 {
         match self {
             Trans::N => m.get(i, j),
             Trans::T => m.get(j, i),
         }
     }
-}
 
-/// Blocking factor for the cache-blocked kernels. 64×64 f64 tiles (32 KiB)
-/// fit comfortably in L1/L2 on commodity CPUs.
-const NB: usize = 64;
+    /// The stored block of `op(M)` covering op-rows `r0..r0+nr` and
+    /// op-columns `c0..c0+nc`, as a view plus the trans flag to use with it.
+    #[inline]
+    pub(crate) fn op_block(
+        self,
+        m: MatRef<'_>,
+        r0: usize,
+        c0: usize,
+        nr: usize,
+        nc: usize,
+    ) -> MatRef<'_> {
+        match self {
+            Trans::N => m.block(r0, c0, nr, nc),
+            Trans::T => m.block(c0, r0, nc, nr),
+        }
+    }
+}
 
 /// `C ← α·op(A)·op(B) + β·C`.
 ///
 /// Shapes must conform: `op(A)` is `m×k`, `op(B)` is `k×n`, `C` is `m×n`.
+/// When `β = 0`, `C` is overwritten without being read (BLAS semantics:
+/// NaN/Inf garbage in an uninitialized `C` is ignored).
 ///
 /// # Panics
 /// On shape mismatch.
@@ -67,65 +90,52 @@ pub fn gemm(
         return;
     }
     crate::flops::tally(crate::flops::gemm_flops(m, n, k));
+    pack::gemm_packed(ta, tb, alpha, a, b, c);
+}
 
-    // Fast path: no transposes — walk A and C rows contiguously and stream B
-    // rows, the classic ikj order on row-major data.
-    if ta == Trans::N && tb == Trans::N {
-        gemm_nn(alpha, a, b, c);
-        return;
-    }
-
-    // Generic blocked path for transposed operands.
-    for i0 in (0..m).step_by(NB) {
-        let ib = NB.min(m - i0);
-        for k0 in (0..k).step_by(NB) {
-            let kb = NB.min(k - k0);
-            for j0 in (0..n).step_by(NB) {
-                let jb = NB.min(n - j0);
-                for i in i0..i0 + ib {
-                    for kk in k0..k0 + kb {
-                        let aik = alpha * ta.at(a, i, kk);
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        for j in j0..j0 + jb {
-                            c.add(i, j, aik * tb.at(b, kk, j));
-                        }
-                    }
-                }
+/// The retained triple-loop reference kernel: `C ← α·op(A)·op(B) + β·C`
+/// computed one dot product at a time, with per-element transpose dispatch.
+///
+/// This is deliberately the slow, obviously-correct formulation. It is what
+/// the packed path is property-tested against, and what `bench --bin
+/// kernels` measures the packed speedup relative to. It does not credit the
+/// flop tally (it is a test/benchmark oracle, not a production kernel).
+pub fn naive_gemm(
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+) {
+    let (m, ka) = ta.dims(a);
+    let (kb, n) = tb.dims(b);
+    assert_eq!(ka, kb, "naive_gemm: inner dimensions must match");
+    assert_eq!(c.rows(), m, "naive_gemm: C row count mismatch");
+    assert_eq!(c.cols(), n, "naive_gemm: C column count mismatch");
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for kk in 0..ka {
+                acc += ta.at(a, i, kk) * tb.at(b, kk, j);
             }
+            let old = if beta == 0.0 { 0.0 } else { beta * c.get(i, j) };
+            c.set(i, j, alpha * acc + old);
         }
     }
 }
 
-/// Non-transposed blocked kernel: `C += α·A·B` on row-major views.
-fn gemm_nn(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
-    let m = c.rows();
-    let k = a.cols();
-    for i0 in (0..m).step_by(NB) {
-        let ib = NB.min(m - i0);
-        for k0 in (0..k).step_by(NB) {
-            let kb = NB.min(k - k0);
-            for i in i0..i0 + ib {
-                let arow = a.row(i);
-                let crow = c.row_mut(i);
-                for (kk, &aik) in arow[k0..k0 + kb].iter().enumerate() {
-                    let aik = alpha * aik;
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let brow = b.row(k0 + kk);
-                    for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
-                        *cj += aik * bj;
-                    }
-                }
-            }
-        }
-    }
-}
-
+/// `C ← β·C` with BLAS `β = 0` semantics: zero is *stored*, not multiplied,
+/// so NaN/Inf garbage in an uninitialized `C` never propagates.
 fn scale(c: &mut MatMut<'_>, beta: f64) {
     if beta == 1.0 {
+        return;
+    }
+    if beta == 0.0 {
+        for i in 0..c.rows() {
+            c.row_mut(i).fill(0.0);
+        }
         return;
     }
     for i in 0..c.rows() {
@@ -152,6 +162,12 @@ pub enum CUplo {
 /// exactly the observation behind Table 1 of the paper (same communication,
 /// half the computation).
 ///
+/// Implementation: the output is cut into diagonal blocks. Everything
+/// strictly inside the triangle is a rectangular product that goes straight
+/// through the packed engine; only the small blocks straddling the diagonal
+/// are computed into a scratch tile and clipped to the triangle on
+/// write-back.
+///
 /// # Panics
 /// If `C` is not square or shapes do not conform.
 #[allow(clippy::too_many_arguments)] // mirrors the BLAS gemmt signature
@@ -173,28 +189,69 @@ pub fn gemmt(
     assert_eq!(c.cols(), n);
     crate::flops::tally(crate::flops::gemmt_flops(n, ka));
 
-    for i in 0..m {
-        let (lo, hi) = match uplo {
-            CUplo::Lower => (0, i + 1),
-            CUplo::Upper => (i, n),
+    let k = ka;
+    // Diagonal block size: one MC row-block, so the rectangular parts hand
+    // the packed engine full-height slabs.
+    let db_step = MC;
+    for d0 in (0..n).step_by(db_step) {
+        let db = db_step.min(n - d0);
+        // Rectangular part of this block-row strictly inside the triangle.
+        let (rect_j0, rect_w) = match uplo {
+            CUplo::Lower => (0, d0),
+            CUplo::Upper => (d0 + db, n - d0 - db),
         };
-        for j in lo..hi {
-            let mut acc = 0.0;
-            for kk in 0..ka {
-                acc += ta.at(a, i, kk) * tb.at(b, kk, j);
+        if rect_w > 0 {
+            let mut crect = c.rb_mut().block(d0, rect_j0, db, rect_w);
+            scale(&mut crect, beta);
+            pack::gemm_packed(
+                ta,
+                tb,
+                alpha,
+                ta.op_block(a, d0, 0, db, k),
+                tb.op_block(b, 0, rect_j0, k, rect_w),
+                crect,
+            );
+        }
+        // Diagonal block: compute the full db×db product into scratch, then
+        // write back only the triangle half.
+        let mut tmp = Matrix::zeros(db, db);
+        pack::gemm_packed(
+            ta,
+            tb,
+            alpha,
+            ta.op_block(a, d0, 0, db, k),
+            tb.op_block(b, 0, d0, k, db),
+            tmp.as_mut(),
+        );
+        for i in 0..db {
+            let (lo, hi) = match uplo {
+                CUplo::Lower => (0, i + 1),
+                CUplo::Upper => (i, db),
+            };
+            for j in lo..hi {
+                let old = if beta == 0.0 {
+                    0.0
+                } else {
+                    beta * c.get(d0 + i, d0 + j)
+                };
+                c.set(d0 + i, d0 + j, tmp[(i, j)] + old);
             }
-            let old = c.get(i, j);
-            c.set(i, j, alpha * acc + beta * old);
         }
     }
 }
 
-/// Parallel `C ← α·A·B + β·C` (no transposes): row panels of `C` are
-/// distributed over the Rayon thread pool.
+/// Parallel `C ← α·A·B + β·C` (no transposes): MC-row blocks of `C` are
+/// distributed over the Rayon thread pool, each worker packing into its own
+/// thread-local buffers.
 ///
-/// Falls back to the sequential kernel for small products where the fork/join
-/// overhead would dominate.
-pub fn par_gemm(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, c: &mut Matrix) {
+/// Bitwise identical to the sequential [`gemm`]: every element of `C`
+/// accumulates its k-products in the same order whichever worker computes
+/// it. Falls back to the sequential kernel for small products where the
+/// fork/join overhead would dominate.
+///
+/// The full product's flops are credited to the *calling* (rank) thread's
+/// tally, not the Rayon workers' — see the contract in [`crate::flops`].
+pub fn par_gemm(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, c: MatMut<'_>) {
     let m = c.rows();
     let n = c.cols();
     assert_eq!(a.rows(), m);
@@ -203,7 +260,7 @@ pub fn par_gemm(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, c: &mut Mat
 
     // ~1 Mflop threshold: below this the sequential kernel wins.
     if m * n * a.cols() < (1 << 20) {
-        gemm(Trans::N, Trans::N, alpha, a, b, beta, c.as_mut());
+        gemm(Trans::N, Trans::N, alpha, a, b, beta, c);
         return;
     }
 
@@ -211,19 +268,15 @@ pub fn par_gemm(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, c: &mut Mat
     // Credit the whole product to the calling (rank) thread: the Rayon
     // workers below have their own tallies, which nobody reads.
     crate::flops::tally(crate::flops::gemm_flops(m, n, k));
-    let stride = n;
-    c.data_mut()
-        .par_chunks_mut(NB * stride)
+    c.split_into_row_chunks(MC)
+        .into_par_iter()
         .enumerate()
-        .for_each(|(chunk, cdata)| {
-            let i0 = chunk * NB;
-            let ib = NB.min(m - i0);
-            let cm = MatMut::from_slice(cdata, ib, n, stride);
-            let ablk = a.block(i0, 0, ib, k);
-            let mut cm = cm;
-            scale(&mut cm, beta);
+        .for_each(|(chunk, mut cblk)| {
+            let i0 = chunk * MC;
+            let ib = cblk.rows();
+            scale(&mut cblk, beta);
             if alpha != 0.0 {
-                gemm_nn(alpha, ablk, b, cm);
+                pack::gemm_packed(Trans::N, Trans::N, alpha, a.block(i0, 0, ib, k), b, cblk);
             }
         });
 }
@@ -234,7 +287,8 @@ mod tests {
     use crate::gen::random_matrix;
     use crate::norms::max_abs_diff;
 
-    /// Straightforward triple-loop reference.
+    /// Straightforward triple-loop reference (owned-matrix wrapper around
+    /// [`naive_gemm`]).
     fn naive(
         ta: Trans,
         tb: Trans,
@@ -244,15 +298,13 @@ mod tests {
         beta: f64,
         c: &Matrix,
     ) -> Matrix {
-        let (m, k) = ta.dims(a.as_ref());
+        let mut out = c.clone();
+        let (m, _) = ta.dims(a.as_ref());
         let (_, n) = tb.dims(b.as_ref());
-        Matrix::from_fn(m, n, |i, j| {
-            let mut acc = 0.0;
-            for kk in 0..k {
-                acc += ta.at(a.as_ref(), i, kk) * tb.at(b.as_ref(), kk, j);
-            }
-            alpha * acc + beta * c[(i, j)]
-        })
+        assert_eq!(out.rows(), m);
+        assert_eq!(out.cols(), n);
+        naive_gemm(ta, tb, alpha, a.as_ref(), b.as_ref(), beta, out.as_mut());
+        out
     }
 
     #[test]
@@ -283,7 +335,15 @@ mod tests {
     fn gemm_beta_zero_ignores_garbage_c() {
         let a = random_matrix(8, 8, 10);
         let b = random_matrix(8, 8, 11);
-        let mut c = Matrix::from_fn(8, 8, |_, _| f64::MAX / 4.0);
+        // NaN garbage: `0.0 * NaN` is NaN, so a multiplying scale would
+        // poison the output — β = 0 must *store* zeros, never read C.
+        let mut c = Matrix::from_fn(8, 8, |i, j| {
+            if (i + j) % 2 == 0 {
+                f64::NAN
+            } else {
+                f64::INFINITY
+            }
+        });
         gemm(
             Trans::N,
             Trans::N,
@@ -293,8 +353,30 @@ mod tests {
             0.0,
             c.as_mut(),
         );
+        assert!(c.data().iter().all(|x| x.is_finite()));
         let expect = naive(Trans::N, Trans::N, 1.0, &a, &b, 0.0, &Matrix::zeros(8, 8));
         assert!(max_abs_diff(&c, &expect) < 1e-10);
+    }
+
+    #[test]
+    fn gemmt_beta_zero_ignores_garbage_c_triangle() {
+        let a = random_matrix(9, 4, 40);
+        let mut c = Matrix::from_fn(9, 9, |_, _| f64::NAN);
+        gemmt(
+            CUplo::Lower,
+            Trans::N,
+            Trans::T,
+            1.0,
+            a.as_ref(),
+            a.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        for i in 0..9 {
+            for j in 0..=i {
+                assert!(c[(i, j)].is_finite(), "({i},{j}) must ignore NaN old C");
+            }
+        }
     }
 
     #[test]
@@ -308,6 +390,35 @@ mod tests {
         let bn = b.to_owned();
         let expect = naive(Trans::N, Trans::N, 1.0, &an, &bn, 0.0, &Matrix::zeros(5, 4));
         assert!(max_abs_diff(&c, &expect) < 1e-12);
+    }
+
+    #[test]
+    fn gemm_sizes_straddling_every_block_boundary() {
+        use crate::pack::{KC, MR, NR};
+        for &m in &[1, MR - 1, MR, MR + 1, MC - 1, MC + 1] {
+            for &n in &[1, NR - 1, NR + 1] {
+                for &k in &[1, KC - 1, KC + 3] {
+                    let a = random_matrix(m, k, (m * n + k) as u64);
+                    let b = random_matrix(k, n, (m + n * k) as u64);
+                    let c0 = random_matrix(m, n, 3);
+                    let expect = naive(Trans::N, Trans::N, 1.0, &a, &b, 1.0, &c0);
+                    let mut c = c0.clone();
+                    gemm(
+                        Trans::N,
+                        Trans::N,
+                        1.0,
+                        a.as_ref(),
+                        b.as_ref(),
+                        1.0,
+                        c.as_mut(),
+                    );
+                    assert!(
+                        max_abs_diff(&c, &expect) < 1e-9,
+                        "mismatch at m={m} n={n} k={k}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -373,12 +484,52 @@ mod tests {
     }
 
     #[test]
+    fn gemmt_spanning_multiple_diagonal_blocks() {
+        // n > MC so the blocked gemmt exercises rectangle + diagonal parts.
+        let n = MC + 37;
+        let k = 19;
+        for &uplo in &[CUplo::Lower, CUplo::Upper] {
+            let a = random_matrix(n, k, 50);
+            let b = random_matrix(n, k, 51);
+            let c0 = random_matrix(n, n, 52);
+            let mut c = c0.clone();
+            gemmt(
+                uplo,
+                Trans::N,
+                Trans::T,
+                -1.5,
+                a.as_ref(),
+                b.as_ref(),
+                0.5,
+                c.as_mut(),
+            );
+            let full = naive(Trans::N, Trans::T, -1.5, &a, &b, 0.5, &c0);
+            for i in 0..n {
+                for j in 0..n {
+                    let in_tri = match uplo {
+                        CUplo::Lower => j <= i,
+                        CUplo::Upper => j >= i,
+                    };
+                    if in_tri {
+                        assert!(
+                            (c[(i, j)] - full[(i, j)]).abs() < 1e-9,
+                            "{uplo:?} ({i},{j})"
+                        );
+                    } else {
+                        assert_eq!(c[(i, j)], c0[(i, j)], "{uplo:?} ({i},{j}) untouched");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn par_gemm_matches_sequential() {
         let a = random_matrix(130, 120, 30);
         let b = random_matrix(120, 110, 31);
         let c0 = random_matrix(130, 110, 32);
         let mut c_par = c0.clone();
-        par_gemm(2.0, a.as_ref(), b.as_ref(), 0.25, &mut c_par);
+        par_gemm(2.0, a.as_ref(), b.as_ref(), 0.25, c_par.as_mut());
         let mut c_seq = c0.clone();
         gemm(
             Trans::N,
@@ -389,7 +540,7 @@ mod tests {
             0.25,
             c_seq.as_mut(),
         );
-        assert!(max_abs_diff(&c_par, &c_seq) < 1e-9);
+        assert_eq!(c_par.data(), c_seq.data(), "must be bitwise identical");
     }
 
     #[test]
@@ -398,7 +549,7 @@ mod tests {
         let a = random_matrix(160, 160, 40);
         let b = random_matrix(160, 160, 41);
         let mut c = Matrix::zeros(160, 160);
-        par_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, &mut c);
+        par_gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
         let expect = naive(
             Trans::N,
             Trans::N,

@@ -58,12 +58,14 @@ pub fn getrf_unblocked(mut a: MatMut<'_>, ipiv: &mut Vec<usize>) -> Result<()> {
 
 /// Blocked right-looking LU with partial pivoting on a square matrix.
 ///
-/// `nb` is the panel width; `nb = 0` selects a default. Returns the pivot
-/// sequence in LAPACK convention (see [`getrf_unblocked`]).
+/// `nb` is the panel width; `nb = 0` selects a default (64, wide enough
+/// that the packed-GEMM trailing update `A11 −= L10·U01` dominates the
+/// scalar panel work). Returns the pivot sequence in LAPACK convention
+/// (see [`getrf_unblocked`]).
 pub fn getrf(a: &mut Matrix, nb: usize) -> Result<Vec<usize>> {
     let n = a.rows();
     assert_eq!(n, a.cols(), "getrf: matrix must be square");
-    let nb = if nb == 0 { 32.min(n.max(1)) } else { nb };
+    let nb = if nb == 0 { 64.min(n.max(1)) } else { nb };
     let mut ipiv = Vec::with_capacity(n);
     let mut panel_piv = Vec::new();
 

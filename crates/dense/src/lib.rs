@@ -19,10 +19,19 @@
 //! row-major storage, so distributed codes can apply them directly to tiles
 //! of a larger local buffer without copying.
 //!
-//! The kernels favour clarity and testability over peak machine efficiency
-//! (this substrate is a simulator component, not a BLAS contender), but the
-//! compute-heavy ones are blocked for locality and `gemm` can parallelize
-//! across Rayon worker threads via [`par_gemm`].
+//! # Packed, register-blocked GEMM
+//!
+//! The compute path follows the Goto/BLIS decomposition (the structure MKL
+//! itself uses, see [`pack`]): three levels of cache blocking
+//! (`KC`/`MC`/`NC`), operands packed once per block into thread-local
+//! microkernel-ordered buffers, and an `MR×NR` register-tile microkernel
+//! whose fixed-size accumulator array LLVM autovectorizes. `gemmt`, the
+//! blocked `trsm`, and the `getrf`/`potrf` trailing updates all route their
+//! inner products through the same engine, and [`par_gemm`] fans MC-row
+//! blocks of `C` over Rayon workers *bitwise identically* to the sequential
+//! kernel. [`gemm::naive_gemm`] retains the scalar triple loop as the
+//! correctness and performance reference (`bench --bin kernels` reports
+//! both as a GFLOP/s trajectory in `results/BENCH_kernels.json`).
 
 pub mod flops;
 pub mod gemm;
@@ -30,12 +39,13 @@ pub mod gen;
 pub mod getrf;
 pub mod matrix;
 pub mod norms;
+pub mod pack;
 pub mod potrf;
 pub mod refine;
 pub mod solve;
 pub mod trsm;
 
-pub use gemm::{gemm, gemmt, par_gemm, Trans};
+pub use gemm::{gemm, gemmt, naive_gemm, par_gemm, Trans};
 pub use gen::{random_matrix, random_spd, well_conditioned};
 pub use getrf::{apply_row_pivots, getrf, getrf_unblocked, permutation_vector};
 pub use matrix::{MatMut, MatRef, Matrix};

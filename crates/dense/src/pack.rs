@@ -1,0 +1,311 @@
+//! Operand packing and the register-blocked microkernel behind [`crate::gemm()`].
+//!
+//! This module implements the Goto/BLIS decomposition of matrix multiply
+//! ("Anatomy of High-Performance Matrix Multiplication"): the operands are
+//! copied once per cache block into contiguous, microkernel-ordered buffers,
+//! and all flops run in an `MR×NR` register tile with a fixed-size
+//! accumulator array whose inner loop LLVM autovectorizes.
+//!
+//! ```text
+//!        jc ∈ 0..n step NC           pc ∈ 0..k step KC        ic ∈ 0..m step MC
+//!  ┌───────────────────────┐   ┌───────────────────────┐   ┌──────────────────┐
+//!  │ C column slab (NC)    │ × │ pack_b: KC×NC slab of │ × │ pack_a: MC×KC    │
+//!  │                       │   │ op(B) → NR-col panels │   │ slab of op(A) →  │
+//!  │                       │   │ (streamed from L2/L3) │   │ MR-row panels    │
+//!  └───────────────────────┘   └───────────────────────┘   └──────────────────┘
+//!                                         │                        │
+//!                                         └────────┬───────────────┘
+//!                                                  ▼
+//!                              microkernel: MR×NR accumulator array,
+//!                              k-loop over packed panels, C += α·acc
+//! ```
+//!
+//! Packing zero-pads ragged edges up to the next `MR`/`NR` multiple, so the
+//! microkernel never branches on tile shape; the write-back clips to the
+//! valid sub-tile. Both transpose cases of either operand are absorbed by
+//! the packing routines — after packing there is no per-element transpose
+//! dispatch anywhere on the flop path.
+//!
+//! Pack buffers are thread-local and reused across calls, so steady-state
+//! GEMMs allocate nothing. Rayon workers (see [`crate::par_gemm`]) each get
+//! their own buffers via the same thread-local.
+
+use crate::gemm::Trans;
+use crate::matrix::{MatMut, MatRef};
+use std::cell::RefCell;
+
+/// Microkernel tile rows: each microkernel call produces an `MR×NR` block of
+/// `C`. 4×8 f64 accumulators fit the register budget of SSE2..AVX2 targets.
+pub const MR: usize = 4;
+/// Microkernel tile columns (a multiple of the f64 SIMD width on all x86-64
+/// targets, so the inner loop vectorizes cleanly).
+pub const NR: usize = 8;
+/// K-dimension cache block: one `KC×NR` slice of packed B (16 KiB) stays in
+/// L1 while a microkernel runs; `MC×KC` of packed A (256 KiB) targets L2.
+pub const KC: usize = 256;
+/// M-dimension cache block (rows of packed A per inner loop); a multiple of
+/// [`MR`].
+pub const MC: usize = 128;
+/// N-dimension cache block (columns of packed B per outer loop); a multiple
+/// of [`NR`].
+pub const NC: usize = 512;
+
+const _: () = assert!(MC.is_multiple_of(MR), "MC must be a multiple of MR");
+const _: () = assert!(NC.is_multiple_of(NR), "NC must be a multiple of NR");
+
+thread_local! {
+    /// Reused (packed A, packed B) scratch, grown on demand and kept for the
+    /// life of the thread.
+    static PACK_BUFS: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+#[inline]
+fn round_up(x: usize, to: usize) -> usize {
+    x.div_ceil(to) * to
+}
+
+/// Pack the `mc×kc` block of `op(A)` whose top-left op-coordinate is
+/// `(i0, k0)` into MR-row panels: `buf[p·MR·kc + k·MR + r]` holds
+/// `op(A)(i0 + p·MR + r, k0 + k)`, zero-padded for `r` past `mc`.
+fn pack_a(ta: Trans, a: MatRef<'_>, i0: usize, mc: usize, k0: usize, kc: usize, buf: &mut [f64]) {
+    let panels = mc.div_ceil(MR);
+    for p in 0..panels {
+        let pbase = p * MR * kc;
+        let rows = MR.min(mc - p * MR);
+        match ta {
+            // op(A) = A: read MR contiguous source rows, write strided.
+            Trans::N => {
+                for r in 0..rows {
+                    let src = &a.row(i0 + p * MR + r)[k0..k0 + kc];
+                    for (k, &v) in src.iter().enumerate() {
+                        buf[pbase + k * MR + r] = v;
+                    }
+                }
+            }
+            // op(A) = Aᵀ: op-rows are stored columns; read each stored row
+            // (one k) contiguously, write one MR group at a time.
+            Trans::T => {
+                for k in 0..kc {
+                    let src = &a.row(k0 + k)[i0 + p * MR..i0 + p * MR + rows];
+                    let dst = &mut buf[pbase + k * MR..pbase + k * MR + rows];
+                    dst.copy_from_slice(src);
+                }
+            }
+        }
+        if rows < MR {
+            for k in 0..kc {
+                for r in rows..MR {
+                    buf[pbase + k * MR + r] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Pack the `kc×nc` block of `op(B)` whose top-left op-coordinate is
+/// `(k0, j0)` into NR-column panels: `buf[q·NR·kc + k·NR + c]` holds
+/// `op(B)(k0 + k, j0 + q·NR + c)`, zero-padded for `c` past `nc`.
+fn pack_b(tb: Trans, b: MatRef<'_>, k0: usize, kc: usize, j0: usize, nc: usize, buf: &mut [f64]) {
+    let panels = nc.div_ceil(NR);
+    for q in 0..panels {
+        let qbase = q * NR * kc;
+        let cols = NR.min(nc - q * NR);
+        match tb {
+            // op(B) = B: each packed k-group is a contiguous slice of a
+            // stored row.
+            Trans::N => {
+                for k in 0..kc {
+                    let src = &b.row(k0 + k)[j0 + q * NR..j0 + q * NR + cols];
+                    let dst = &mut buf[qbase + k * NR..qbase + k * NR + cols];
+                    dst.copy_from_slice(src);
+                }
+            }
+            // op(B) = Bᵀ: op-columns are stored rows; read each contiguously,
+            // write strided.
+            Trans::T => {
+                for c in 0..cols {
+                    let src = &b.row(j0 + q * NR + c)[k0..k0 + kc];
+                    for (k, &v) in src.iter().enumerate() {
+                        buf[qbase + k * NR + c] = v;
+                    }
+                }
+            }
+        }
+        if cols < NR {
+            for k in 0..kc {
+                for c in cols..NR {
+                    buf[qbase + k * NR + c] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// The register tile: multiply one MR-row panel of packed A by one NR-column
+/// panel of packed B over `kc` steps. Every `acc[r][c]` is an independent
+/// sum (no reduction across lanes), so LLVM vectorizes the inner pair of
+/// loops without needing float reassociation.
+#[inline(always)]
+fn microkernel(kc: usize, pa: &[f64], pb: &[f64]) -> [[f64; NR]; MR] {
+    let mut acc = [[0.0f64; NR]; MR];
+    let pa = &pa[..kc * MR];
+    let pb = &pb[..kc * NR];
+    for (ak, bk) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)) {
+        for r in 0..MR {
+            let ar = ak[r];
+            for c in 0..NR {
+                acc[r][c] += ar * bk[c];
+            }
+        }
+    }
+    acc
+}
+
+/// Multiply the packed `mc×kc` A block by the packed `kc×nc` B block and
+/// accumulate `α·(A·B)` into `c` (an `mc×nc` view). The `jr` loop is outer
+/// so one NR-panel of packed B stays L1-resident across all row panels.
+fn macro_kernel(
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    alpha: f64,
+    pa: &[f64],
+    pb: &[f64],
+    mut c: MatMut<'_>,
+) {
+    for q in 0..nc.div_ceil(NR) {
+        let j0 = q * NR;
+        let nsub = NR.min(nc - j0);
+        let pbq = &pb[q * NR * kc..(q + 1) * NR * kc];
+        for p in 0..mc.div_ceil(MR) {
+            let i0 = p * MR;
+            let msub = MR.min(mc - i0);
+            let pap = &pa[p * MR * kc..(p + 1) * MR * kc];
+            let acc = microkernel(kc, pap, pbq);
+            for (r, accrow) in acc.iter().enumerate().take(msub) {
+                let crow = &mut c.row_mut(i0 + r)[j0..j0 + nsub];
+                for (dst, &v) in crow.iter_mut().zip(accrow.iter()) {
+                    *dst += alpha * v;
+                }
+            }
+        }
+    }
+}
+
+/// Packed three-level-blocked `C += α·op(A)·op(B)` (no β handling, no flop
+/// tally): the shared engine behind [`crate::gemm`], [`crate::gemmt`],
+/// [`crate::par_gemm`] and the blocked [`crate::trsm`] updates.
+///
+/// Deterministic by construction: each element of `C` accumulates its
+/// k-products in ascending order regardless of how callers slice `C` by
+/// rows, which is what makes `par_gemm` bitwise equal to `gemm`.
+pub(crate) fn gemm_packed(
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    mut c: MatMut<'_>,
+) {
+    let (m, k) = ta.dims(a);
+    let (_, n) = tb.dims(b);
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+    PACK_BUFS.with(|bufs| {
+        let mut bufs = bufs.borrow_mut();
+        let (pa_buf, pb_buf) = &mut *bufs;
+        for jc in (0..n).step_by(NC) {
+            let ncb = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kcb = KC.min(k - pc);
+                let need_b = round_up(ncb, NR) * kcb;
+                if pb_buf.len() < need_b {
+                    pb_buf.resize(need_b, 0.0);
+                }
+                pack_b(tb, b, pc, kcb, jc, ncb, pb_buf);
+                for ic in (0..m).step_by(MC) {
+                    let mcb = MC.min(m - ic);
+                    let need_a = round_up(mcb, MR) * kcb;
+                    if pa_buf.len() < need_a {
+                        pa_buf.resize(need_a, 0.0);
+                    }
+                    pack_a(ta, a, ic, mcb, pc, kcb, pa_buf);
+                    macro_kernel(
+                        mcb,
+                        ncb,
+                        kcb,
+                        alpha,
+                        pa_buf,
+                        pb_buf,
+                        c.rb_mut().block(ic, jc, mcb, ncb),
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_matrix;
+
+    #[test]
+    fn pack_a_layout_and_padding() {
+        // 5×3 op(A) block with MR=4: two panels, second padded to MR rows.
+        let a = crate::Matrix::from_fn(6, 4, |i, j| (10 * i + j) as f64);
+        let kc = 3;
+        let mc = 5;
+        let mut buf = vec![f64::NAN; round_up(mc, MR) * kc];
+        pack_a(Trans::N, a.as_ref(), 1, mc, 1, kc, &mut buf);
+        // Panel 0, k=0, r=0 → op(A)(1,1) = 11.
+        assert_eq!(buf[0], 11.0);
+        // Panel 0, k=2, r=3 → op(A)(4,3) = 43.
+        assert_eq!(buf[2 * MR + 3], 43.0);
+        // Panel 1 holds op-row 5 then zero padding.
+        assert_eq!(buf[MR * kc], 51.0);
+        assert_eq!(buf[MR * kc + 1], 0.0, "padded rows must be zero");
+    }
+
+    #[test]
+    fn pack_b_transpose_matches_direct() {
+        let b = random_matrix(9, 7, 3);
+        let bt = b.transposed();
+        let (kc, nc) = (7, 9);
+        let mut direct = vec![0.0; round_up(nc, NR) * kc];
+        let mut viat = vec![1.0; round_up(nc, NR) * kc];
+        pack_b(Trans::N, bt.as_ref(), 0, kc, 0, nc, &mut direct);
+        pack_b(Trans::T, b.as_ref(), 0, kc, 0, nc, &mut viat);
+        assert_eq!(direct, viat);
+    }
+
+    #[test]
+    fn pack_a_transpose_matches_direct() {
+        let a = random_matrix(6, 10, 4);
+        let at = a.transposed();
+        let (mc, kc) = (6, 10);
+        let mut direct = vec![0.0; round_up(mc, MR) * kc];
+        let mut viat = vec![1.0; round_up(mc, MR) * kc];
+        pack_a(Trans::N, a.as_ref(), 0, mc, 0, kc, &mut direct);
+        pack_a(Trans::T, at.as_ref(), 0, mc, 0, kc, &mut viat);
+        assert_eq!(direct, viat);
+    }
+
+    #[test]
+    fn microkernel_is_a_plain_outer_product_sum() {
+        let kc = 5;
+        let pa: Vec<f64> = (0..kc * MR).map(|x| x as f64 * 0.5).collect();
+        let pb: Vec<f64> = (0..kc * NR).map(|x| x as f64 * 0.25).collect();
+        let acc = microkernel(kc, &pa, &pb);
+        for r in 0..MR {
+            for c in 0..NR {
+                let mut want = 0.0;
+                for k in 0..kc {
+                    want += pa[k * MR + r] * pb[k * NR + c];
+                }
+                assert_eq!(acc[r][c], want);
+            }
+        }
+    }
+}

@@ -486,7 +486,7 @@ pub(crate) fn rank_program(
                 l10_slice.as_ref(),
                 u01_slice.block(0, cols.start * v, ks, w),
                 0.0,
-                &mut upd,
+                upd.as_mut(),
             );
             for (ri, &r) in my_l10_rows.iter().enumerate() {
                 let ti = r / v;

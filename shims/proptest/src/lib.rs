@@ -11,9 +11,9 @@
 use std::ops::{Range, RangeInclusive};
 
 pub mod prelude {
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestRunner};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 pub mod test_runner {
@@ -115,6 +115,61 @@ pub mod strategy {
             Self: Sized,
         {
             Map { inner: self, f }
+        }
+
+        /// Type-erase the strategy (stand-in for `Strategy::boxed`), so
+        /// heterogeneous strategies can share one type, e.g. in
+        /// [`prop_oneof!`](crate::prop_oneof) arms.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Type-erased strategy (stand-in for `proptest::strategy::BoxedStrategy`).
+    pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Weighted choice between strategies — what
+    /// [`prop_oneof!`](crate::prop_oneof) expands to (stand-in for
+    /// `proptest::strategy::Union`).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Build from `(weight, strategy)` arms.
+        ///
+        /// # Panics
+        /// If `arms` is empty or all weights are zero.
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof requires a positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick out of range")
         }
     }
 
@@ -333,6 +388,23 @@ macro_rules! prop_assert_eq {
 #[macro_export]
 macro_rules! prop_assert_ne {
     ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+/// Choose between strategies, optionally weighted (`weight => strategy`).
+/// Stand-in for `proptest::prop_oneof!`; arms are type-erased via
+/// [`Strategy::boxed`], so each arm must be `'static`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
 }
 
 #[cfg(test)]

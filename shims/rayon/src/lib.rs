@@ -1,15 +1,17 @@
 //! Offline stand-in for the `rayon` crate.
 //!
 //! The build container has no network access, so the real crate cannot be
-//! fetched. This shim reproduces the slice-parallelism subset the workspace
-//! uses (`par_chunks_mut(..).enumerate().for_each(..)`) with genuine
-//! data-parallel execution: chunks are distributed over scoped OS threads
-//! pulling work from a shared atomic cursor, one thread per available core.
+//! fetched. This shim reproduces the data-parallelism subset the workspace
+//! uses (`par_chunks_mut(..).enumerate().for_each(..)` on slices and
+//! `into_par_iter().enumerate().for_each(..)` on vectors) with genuine
+//! parallel execution: work items are distributed over scoped OS threads
+//! pulling from a shared atomic cursor, one thread per available core.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod prelude {
     //! Traits imported by `use rayon::prelude::*`.
+    pub use crate::IntoParallelIterator;
     pub use crate::ParallelSliceMut;
 }
 
@@ -66,6 +68,58 @@ impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
     }
 }
 
+/// Owned parallel iteration, mirroring `rayon::iter::IntoParallelIterator`
+/// for the `Vec` case the workspace uses (`par_gemm` hands each worker an
+/// owned `MatMut` row block).
+pub trait IntoParallelIterator {
+    /// Item type yielded to the closure.
+    type Item: Send;
+    /// Convert into a pending parallel iteration.
+    fn into_par_iter(self) -> ParVec<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+/// Pending parallel iteration over owned items.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+/// [`ParVec`] with item indices attached.
+pub struct EnumeratedParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParVec<T> {
+    /// Attach the item index, mirroring `IndexedParallelIterator::enumerate`.
+    pub fn enumerate(self) -> EnumeratedParVec<T> {
+        EnumeratedParVec { items: self.items }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_items(self.items, |_, c| f(c));
+    }
+}
+
+impl<T: Send> EnumeratedParVec<T> {
+    /// Run `f` on every `(index, item)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, T)) + Sync,
+    {
+        run_items(self.items, |i, c| f((i, c)));
+    }
+}
+
 /// Available parallelism, honouring `RAYON_NUM_THREADS` like the real crate.
 fn num_threads() -> usize {
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
@@ -80,11 +134,20 @@ fn num_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Distribute `items` over worker threads via an atomic work-stealing cursor.
+/// Distribute mutable slice chunks over worker threads.
 fn run_indexed<'a, T, F>(items: Vec<&'a mut [T]>, f: F)
 where
     T: Send,
     F: Fn(usize, &'a mut [T]) + Sync,
+{
+    run_items(items, f);
+}
+
+/// Distribute owned `items` over worker threads via an atomic work cursor.
+fn run_items<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
 {
     let workers = num_threads().min(items.len());
     if workers <= 1 {
@@ -93,8 +156,8 @@ where
         }
         return;
     }
-    // Wrap each chunk in an Option cell so any worker can take any chunk.
-    let cells: Vec<std::sync::Mutex<Option<&'a mut [T]>>> = items
+    // Wrap each item in an Option cell so any worker can take any item.
+    let cells: Vec<std::sync::Mutex<Option<T>>> = items
         .into_iter()
         .map(|c| std::sync::Mutex::new(Some(c)))
         .collect();
