@@ -1,0 +1,199 @@
+//! Randomized perturbation soak for the simulated runtime.
+//!
+//! Runs the three kernels (COnfLUX, COnfCHOX, 2.5D MMM) across a matrix of
+//! schedule-perturbation seeds, checking the full conformance contract per
+//! seed: bitwise-identical factors and pivots vs the unperturbed baseline,
+//! bitwise-identical per-rank/per-phase byte counts, and clean
+//! `xtrace::invariants` on a traced run. On the first failing seed it
+//! writes `results/stress_failure.json` — the seed, the perturbation
+//! preset, and the failure message — and exits nonzero, so CI can upload
+//! the artifact and a developer can replay with
+//! `XHARNESS_SEEDS=list:<seed>`.
+//!
+//! Usage:
+//!   stress [--seeds N] [--n N] [--preset light|aggressive] [--out FILE]
+//!
+//! `XHARNESS_SEEDS` overrides `--seeds` (same syntax as the test suite).
+
+use dense::gen::{random_matrix, random_spd};
+use dense::norms::{lu_residual_perm, po_residual};
+use dense::Matrix;
+use factor::{confchox_cholesky, conflux_lu, mmm25d, ConfchoxConfig, ConfluxConfig, Mmm25dConfig};
+use serde_json::json;
+use xharness::{run_perturbed_traced, seeds, PerturbConfig};
+use xmpi::{Grid3, TraceConfig};
+use xtrace::invariants::{check_stats_equal, check_trace};
+
+struct Args {
+    seeds: u64,
+    n: usize,
+    preset: String,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 32,
+        n: 64,
+        preset: "aggressive".to_string(),
+        out: "results/stress_failure.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = val("--seeds").parse().expect("--seeds: not a number"),
+            "--n" => args.n = val("--n").parse().expect("--n: not a number"),
+            "--preset" => args.preset = val("--preset"),
+            "--out" => args.out = val("--out"),
+            other => panic!("unknown flag {other}; see the module docs"),
+        }
+    }
+    args
+}
+
+/// A kernel run distilled to what the soak compares: the collected result
+/// matrix (if any), the pivot sequence (empty when the kernel has none),
+/// and the world's traffic counters.
+type KernelRun = (Option<Matrix>, Vec<usize>, xmpi::WorldStats);
+
+/// A named kernel driver the soak can rerun under perturbation.
+type Kernel<'a> = (&'a str, Box<dyn Fn() -> KernelRun + Sync + 'a>);
+
+fn bitwise_eq(a: &Matrix, b: &Matrix) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// One kernel's soak: baseline once, then every seed under perturbation.
+/// Returns the failure message for the first bad seed, if any.
+fn soak(
+    label: &str,
+    seed_list: &[u64],
+    preset: &str,
+    baseline: &(dyn Fn() -> KernelRun + Sync),
+) -> Result<(), (u64, String)> {
+    let (base_m, base_perm, base_stats) = baseline();
+    for &seed in seed_list {
+        let cfg = match preset {
+            "light" => PerturbConfig::new(seed),
+            _ => PerturbConfig::aggressive(seed),
+        };
+        let ((m, perm, stats), traces) =
+            run_perturbed_traced(&cfg, TraceConfig::default(), baseline);
+        if perm != base_perm {
+            return Err((seed, format!("{label}: pivots diverged from baseline")));
+        }
+        match (&m, &base_m) {
+            (Some(a), Some(b)) if !bitwise_eq(a, b) => {
+                return Err((seed, format!("{label}: factor bits diverged from baseline")));
+            }
+            _ => {}
+        }
+        let drift = check_stats_equal(&base_stats, &stats);
+        if !drift.is_empty() {
+            return Err((seed, format!("{label}: traffic drifted: {drift:?}")));
+        }
+        for (i, trace) in traces.iter().enumerate() {
+            let report = check_trace(trace);
+            if !report.is_clean() {
+                return Err((
+                    seed,
+                    format!(
+                        "{label}: world {i} violated invariants: {:?}",
+                        report.violations
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+    let seed_list = seeds(args.seeds);
+    let n = args.n;
+    let grid = Grid3::new(2, 2, 2);
+    let v = 8.min(n / 4).max(1);
+
+    let a = random_matrix(n, n, 1001);
+    let spd = random_spd(n, 1002);
+    let b = random_matrix(n, n, 1003);
+
+    // Sanity: the baselines themselves must be numerically sound before the
+    // soak means anything.
+    let lu = conflux_lu(&ConfluxConfig::new(n, v, grid), &a).expect("baseline LU");
+    let resid = lu_residual_perm(&a, lu.packed.as_ref().unwrap(), &lu.perm);
+    assert!(resid < 1e-10, "baseline LU residual {resid:e}");
+    let ch = confchox_cholesky(&ConfchoxConfig::new(n, v, grid), &spd).expect("baseline Cholesky");
+    let chres = po_residual(&spd, ch.l.as_ref().unwrap());
+    assert!(chres < 1e-10, "baseline Cholesky residual {chres:e}");
+
+    println!(
+        "stress: {} seeds × 3 kernels, n={n}, grid 2x2x2, preset {}",
+        seed_list.len(),
+        args.preset
+    );
+
+    let kernels: Vec<Kernel> = vec![
+        (
+            "conflux",
+            Box::new(|| {
+                let out = conflux_lu(&ConfluxConfig::new(n, v, grid), &a).expect("conflux");
+                (out.packed, out.perm, out.stats)
+            }),
+        ),
+        (
+            "confchox",
+            Box::new(|| {
+                let out =
+                    confchox_cholesky(&ConfchoxConfig::new(n, v, grid), &spd).expect("confchox");
+                (out.l, Vec::new(), out.stats)
+            }),
+        ),
+        (
+            "mmm25d",
+            Box::new(|| {
+                let out = mmm25d(&Mmm25dConfig::new(n, v.min(n / 4).max(1), grid), &a, &b);
+                (out.c, Vec::new(), out.stats)
+            }),
+        ),
+    ];
+
+    for (label, baseline) in &kernels {
+        match soak(label, &seed_list, &args.preset, baseline.as_ref()) {
+            Ok(()) => println!("  {label}: {} seeds clean", seed_list.len()),
+            Err((seed, msg)) => {
+                let failure = json!({
+                    "kernel": label,
+                    "seed": seed,
+                    "preset": args.preset,
+                    "n": n,
+                    "grid": [2, 2, 2],
+                    "error": msg,
+                    "replay": format!("XHARNESS_SEEDS=list:{seed} cargo test -p factor --test conformance --release"),
+                });
+                if let Some(dir) = std::path::Path::new(&args.out).parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                std::fs::write(
+                    &args.out,
+                    serde_json::to_string_pretty(&failure).unwrap() + "\n",
+                )
+                .unwrap_or_else(|e| panic!("write {}: {e}", args.out));
+                eprintln!("stress FAILURE at seed {seed}: {msg}");
+                eprintln!("details written to {}", args.out);
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("stress: all kernels clean over {} seeds", seed_list.len());
+}

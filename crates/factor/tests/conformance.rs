@@ -1,0 +1,317 @@
+//! Paper-conformance suite under adversarial schedule perturbation.
+//!
+//! Each factorization runs once unperturbed (the baseline) and then across
+//! a matrix of perturbation seeds (`XHARNESS_SEEDS`, default `0..4` here;
+//! CI's stress job sweeps 32). For every seed the schedule sees injected
+//! message delays, dropped-then-retransmitted transmissions, completion
+//! stalls, and phase skews — and must still produce:
+//!
+//! * **bitwise-identical factors** (and pivots) to the baseline — the
+//!   schedules are deterministic dataflow programs; any timing sensitivity
+//!   is a bug, not noise;
+//! * **bitwise-identical per-rank and per-phase byte counts** — the paper's
+//!   measured-volume methodology assumes traffic is a function of
+//!   `(N, P, M)` only;
+//! * **residuals below the `dense::norms` thresholds** — numerical quality
+//!   must not depend on message timing;
+//! * **measured per-rank volume between the `pebbles::bounds` lower bound
+//!   and its `N³` term plus `O(N²/P)` slack** — near-optimality, measured.
+//!
+//! A perturbed *traced* run must additionally satisfy the
+//! `xtrace::invariants` runtime contract, and — the negative control — a
+//! deliberately injected unwaited-request bug must be *caught* by that
+//! checker.
+
+use dense::gen::{random_matrix, random_spd};
+use dense::norms::{lu_residual_perm, po_residual};
+use dense::Matrix;
+use factor::{confchox_cholesky, conflux_lu, mmm25d, ConfchoxConfig, ConfluxConfig, Mmm25dConfig};
+use pebbles::bounds::{cholesky_io_lower_bound, lu_io_lower_bound, mmm_io_lower_bound};
+use xharness::{run_perturbed, run_perturbed_traced, seeds, PerturbConfig};
+use xmpi::{Grid3, TraceConfig, WorldStats};
+use xtrace::invariants::{check_stats_equal, check_trace, Violation};
+
+/// Backward-error ceiling for the factorizations at these sizes: the
+/// schedules are backward stable, so residuals sit at ~1e-15; 1e-12 leaves
+/// three orders of headroom without admitting a real defect.
+const RESIDUAL_TOL: f64 = 1e-12;
+
+fn assert_bitwise_equal(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.rows(), b.rows(), "{what}: row mismatch");
+    assert_eq!(a.cols(), b.cols(), "{what}: col mismatch");
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            assert_eq!(
+                a[(r, c)].to_bits(),
+                b[(r, c)].to_bits(),
+                "{what}: element ({r}, {c}) differs"
+            );
+        }
+    }
+}
+
+/// Average words (8-byte elements) transferred per rank: (sent+recv)/2/8.
+fn words_per_rank(stats: &WorldStats) -> f64 {
+    stats.avg_rank_bytes() / 16.0
+}
+
+/// Assert the measured volume is *near-optimal*: at or above the analytic
+/// lower bound, and within the bound's `N³` term plus `slack_c · N²/P`
+/// words (the paper's lower-order allowance — panel broadcasts, pivot
+/// distribution, reductions all cost `O(N²/P·√(P/c))`-ish terms that a
+/// small fixed grid cannot amortize).
+fn assert_near_optimal(
+    label: &str,
+    measured: f64,
+    lower: f64,
+    n3_term: f64,
+    n: usize,
+    p: usize,
+    slack_c: f64,
+) {
+    assert!(
+        measured >= lower,
+        "{label}: measured {measured:.0} words/rank below the lower bound {lower:.0}"
+    );
+    let slack = slack_c * (n * n) as f64 / p as f64;
+    assert!(
+        measured <= n3_term + slack,
+        "{label}: measured {measured:.0} words/rank exceeds N³ term {n3_term:.0} + slack {slack:.0}"
+    );
+}
+
+#[test]
+fn conflux_conformance_over_seed_matrix() {
+    let (n, v, grid) = (64usize, 8usize, Grid3::new(2, 2, 2));
+    let p = grid.size();
+    let a = random_matrix(n, n, 101);
+    let cfg = ConfluxConfig::new(n, v, grid);
+    let base = conflux_lu(&cfg, &a).unwrap();
+
+    // Numerical quality of the baseline.
+    let resid = lu_residual_perm(&a, base.packed.as_ref().unwrap(), &base.perm);
+    assert!(resid < RESIDUAL_TOL, "baseline residual {resid:e}");
+
+    // Near-optimality of the measured volume (M = c·N²/P, c = pz = 2).
+    let m = (grid.pz * n * n) as f64 / p as f64;
+    let nf = n as f64;
+    let n3_term = 2.0 * nf * nf * nf / (3.0 * p as f64 * m.sqrt());
+    assert_near_optimal(
+        "conflux",
+        words_per_rank(&base.stats),
+        lu_io_lower_bound(n, p, m),
+        n3_term,
+        n,
+        p,
+        30.0,
+    );
+
+    for seed in seeds(4) {
+        let cfg_seed = PerturbConfig::aggressive(seed);
+        let out = run_perturbed(&cfg_seed, || conflux_lu(&cfg, &a).unwrap());
+        assert_eq!(out.perm, base.perm, "seed {seed}: pivots diverged");
+        assert_bitwise_equal(
+            out.packed.as_ref().unwrap(),
+            base.packed.as_ref().unwrap(),
+            &format!("conflux factor, seed {seed}"),
+        );
+        let drift = check_stats_equal(&base.stats, &out.stats);
+        assert!(drift.is_empty(), "seed {seed}: traffic drifted: {drift:?}");
+    }
+}
+
+#[test]
+fn confchox_conformance_over_seed_matrix() {
+    let (n, v, grid) = (64usize, 8usize, Grid3::new(2, 2, 2));
+    let p = grid.size();
+    let a = random_spd(n, 202);
+    let cfg = ConfchoxConfig::new(n, v, grid);
+    let base = confchox_cholesky(&cfg, &a).unwrap();
+
+    let resid = po_residual(&a, base.l.as_ref().unwrap());
+    assert!(resid < RESIDUAL_TOL, "baseline residual {resid:e}");
+
+    let m = (grid.pz * n * n) as f64 / p as f64;
+    let nf = n as f64;
+    let n3_term = nf * nf * nf / (3.0 * p as f64 * m.sqrt());
+    assert_near_optimal(
+        "confchox",
+        words_per_rank(&base.stats),
+        cholesky_io_lower_bound(n, p, m),
+        n3_term,
+        n,
+        p,
+        30.0,
+    );
+
+    for seed in seeds(4) {
+        let cfg_seed = PerturbConfig::aggressive(seed);
+        let out = run_perturbed(&cfg_seed, || confchox_cholesky(&cfg, &a).unwrap());
+        assert_bitwise_equal(
+            out.l.as_ref().unwrap(),
+            base.l.as_ref().unwrap(),
+            &format!("confchox factor, seed {seed}"),
+        );
+        let drift = check_stats_equal(&base.stats, &out.stats);
+        assert!(drift.is_empty(), "seed {seed}: traffic drifted: {drift:?}");
+    }
+}
+
+#[test]
+fn mmm25d_conformance_over_seed_matrix() {
+    let (n, v, grid) = (48usize, 4usize, Grid3::new(2, 2, 2));
+    let p = grid.size();
+    let a = random_matrix(n, n, 303);
+    let b = random_matrix(n, n, 304);
+    let cfg = Mmm25dConfig::new(n, v, grid);
+    let base = mmm25d(&cfg, &a, &b);
+
+    // The distributed product must match a dense reference multiply to
+    // rounding (the summation orders differ, so not bitwise vs dense —
+    // bitwise identity is asserted *across seeds* below).
+    let mut reference = Matrix::zeros(n, n);
+    dense::gemm::gemm(
+        dense::gemm::Trans::N,
+        dense::gemm::Trans::N,
+        1.0,
+        a.as_ref(),
+        b.as_ref(),
+        0.0,
+        reference.as_mut(),
+    );
+    let diff = dense::norms::max_abs_diff(base.c.as_ref().unwrap(), &reference);
+    let scale = dense::norms::max_abs(&reference).max(1.0);
+    assert!(diff / scale < RESIDUAL_TOL, "product off by {diff:e}");
+
+    // MMM's working set is A, B, C shares plus broadcast buffers — the
+    // repo-wide convention is M = 3cN²/P (see `examples/matmul_25d.rs`),
+    // unlike the factorizations' single-matrix M = cN²/P.
+    let m = 3.0 * (grid.pz * n * n) as f64 / p as f64;
+    let nf = n as f64;
+    // The MMM bound is all N³ term: 2N³/(P√M).
+    let n3_term = 2.0 * nf * nf * nf / (p as f64 * m.sqrt());
+    assert_near_optimal(
+        "mmm25d",
+        words_per_rank(&base.stats),
+        mmm_io_lower_bound(n, p, m),
+        n3_term,
+        n,
+        p,
+        30.0,
+    );
+
+    for seed in seeds(4) {
+        let cfg_seed = PerturbConfig::aggressive(seed);
+        let out = run_perturbed(&cfg_seed, || mmm25d(&cfg, &a, &b));
+        assert_bitwise_equal(
+            out.c.as_ref().unwrap(),
+            base.c.as_ref().unwrap(),
+            &format!("mmm25d product, seed {seed}"),
+        );
+        let drift = check_stats_equal(&base.stats, &out.stats);
+        assert!(drift.is_empty(), "seed {seed}: traffic drifted: {drift:?}");
+    }
+}
+
+/// Fault-injected *traced* runs must uphold the runtime contract: every
+/// byte conserved per channel, every posted receive completed, every
+/// collective bracketed — for all three kernels.
+#[test]
+fn perturbed_traces_uphold_runtime_invariants() {
+    let grid = Grid3::new(2, 2, 2);
+    let a = random_matrix(48, 48, 404);
+    let spd = random_spd(48, 405);
+    for seed in seeds(2) {
+        let cfg_seed = PerturbConfig::aggressive(seed);
+        let (_, traces) = run_perturbed_traced(&cfg_seed, TraceConfig::default(), || {
+            conflux_lu(&ConfluxConfig::new(48, 8, grid), &a).unwrap();
+            confchox_cholesky(&ConfchoxConfig::new(48, 8, grid), &spd).unwrap();
+            mmm25d(&Mmm25dConfig::new(48, 4, grid), &a, &a);
+        });
+        assert_eq!(traces.len(), 3, "one trace per kernel world");
+        for (i, trace) in traces.iter().enumerate() {
+            let report = check_trace(trace);
+            assert!(
+                report.is_clean(),
+                "seed {seed}, world {i}: {:?} (truncated: {})",
+                report.violations,
+                report.truncated
+            );
+        }
+    }
+}
+
+/// Negative control: a schedule with a deliberately injected
+/// unwaited-request bug — a lookahead-style panel prefetch that is posted
+/// and then silently abandoned on a config flag — must be *caught* by the
+/// invariant checker. If this test ever fails, the checker has gone blind.
+#[test]
+fn invariant_checker_catches_injected_unwaited_request() {
+    // A miniature lookahead pipeline: each step prefetches the next panel
+    // with irecv while updating with the current one. The injected bug:
+    // the *last* prefetch is posted but never completed (the classic
+    // off-by-one a real lookahead refactor can introduce).
+    fn pipeline(buggy: bool) -> Vec<xmpi::WorldTrace> {
+        let (_, traces) = xmpi::trace::capture(TraceConfig::default(), || {
+            xmpi::run(2, |c| {
+                let steps = 4u64;
+                if c.rank() == 0 {
+                    for s in 0..steps {
+                        c.send_f64(1, s, &[s as f64; 8]);
+                    }
+                } else {
+                    let mut pending = Some(c.irecv(0, 0));
+                    for s in 0..steps {
+                        let panel = pending.take().unwrap().wait_f64();
+                        assert_eq!(panel[0], s as f64);
+                        let next = s + 1;
+                        if next < steps {
+                            pending = Some(c.irecv(0, next));
+                        } else {
+                            // Injected bug: prefetch one step too far and
+                            // abandon it. The message for it never exists,
+                            // and the posted request is dropped on exit.
+                            if buggy {
+                                pending = Some(c.irecv(0, next));
+                            }
+                        }
+                    }
+                    drop(pending);
+                    // Drain nothing: rank 0 sent exactly `steps` panels.
+                }
+            });
+        });
+        traces
+    }
+
+    // The correct pipeline is clean…
+    let clean = pipeline(false);
+    check_trace(&clean[0]).assert_clean();
+
+    // …and the buggy one is flagged with the exact channel.
+    let buggy = pipeline(true);
+    let report = check_trace(&buggy[0]);
+    let lost: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| {
+            matches!(
+                v,
+                Violation::LostRequest {
+                    rank: 1,
+                    peer: 0,
+                    tag: 4,
+                    posted: 1,
+                    completed: 0,
+                    ..
+                }
+            )
+        })
+        .collect();
+    assert_eq!(
+        lost.len(),
+        1,
+        "unwaited request not caught; violations: {:?}",
+        report.violations
+    );
+}

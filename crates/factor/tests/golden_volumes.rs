@@ -1,0 +1,87 @@
+//! Golden-volume regression: the measured per-rank / per-phase traffic of
+//! fixed `(N, v, grid)` runs is pinned to `results/golden_volumes.json`.
+//!
+//! The paper's volume claims are exact byte counts, so any schedule change
+//! that alters traffic — an extra broadcast, a widened panel, a swapped
+//! collective — must show up as an explicit diff of the committed golden
+//! file, never as silent drift in the measured curves. To accept an
+//! intentional change:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p factor --test golden_volumes
+//! git diff results/golden_volumes.json   # review, then commit
+//! ```
+
+use dense::gen::{random_matrix, random_spd};
+use factor::{confchox_cholesky, conflux_lu, mmm25d, ConfchoxConfig, ConfluxConfig, Mmm25dConfig};
+use std::path::PathBuf;
+use xharness::{check_golden, golden_mode};
+use xmpi::Grid3;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/golden_volumes.json")
+}
+
+#[test]
+fn conflux_volume_is_golden() {
+    let (n, v, grid) = (64usize, 8usize, Grid3::new(2, 2, 2));
+    let a = random_matrix(n, n, 101);
+    let cfg = ConfluxConfig::new(n, v, grid).volume_only();
+    let out = conflux_lu(&cfg, &a).unwrap();
+    check_golden(
+        &golden_path(),
+        "conflux-n64-v8-g2x2x2",
+        &out.stats,
+        golden_mode(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn confchox_volume_is_golden() {
+    let (n, v, grid) = (64usize, 8usize, Grid3::new(2, 2, 2));
+    let a = random_spd(n, 202);
+    let cfg = ConfchoxConfig::new(n, v, grid).volume_only();
+    let out = confchox_cholesky(&cfg, &a).unwrap();
+    check_golden(
+        &golden_path(),
+        "confchox-n64-v8-g2x2x2",
+        &out.stats,
+        golden_mode(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn mmm25d_volume_is_golden() {
+    let (n, v, grid) = (48usize, 4usize, Grid3::new(2, 2, 2));
+    let a = random_matrix(n, n, 303);
+    let b = random_matrix(n, n, 304);
+    let cfg = Mmm25dConfig::new(n, v, grid).volume_only();
+    let out = mmm25d(&cfg, &a, &b);
+    check_golden(
+        &golden_path(),
+        "mmm25d-n48-v4-g2x2x2",
+        &out.stats,
+        golden_mode(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// A flat (c = 1) grid pins the 2D-equivalent schedule too, so a
+/// regression in the replication-specific paths (z-broadcast, layered
+/// reduction) is distinguishable from one in the base schedule.
+#[test]
+fn conflux_flat_grid_volume_is_golden() {
+    let (n, v, grid) = (64usize, 8usize, Grid3::new(2, 2, 1));
+    let a = random_matrix(n, n, 101);
+    let cfg = ConfluxConfig::new(n, v, grid).volume_only();
+    let out = conflux_lu(&cfg, &a).unwrap();
+    check_golden(
+        &golden_path(),
+        "conflux-n64-v8-g2x2x1",
+        &out.stats,
+        golden_mode(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+}

@@ -1,0 +1,147 @@
+//! Tournament-pivoting oracle tests: COnfLUX's distributed tournament
+//! pivoting (CA-pivoting over 2v×v blocks, §5.2 of the paper) checked
+//! against the sequential partial-pivoting oracle `dense::getrf`.
+//!
+//! Tournament pivoting selects *different* pivot rows than partial
+//! pivoting in general, so the factors are not comparable entry-wise; what
+//! must agree is the *quality*: backward error at machine precision and
+//! bounded element growth on adversarial inputs, plus identical behavior
+//! at the edges — exact singularity is an error on both sides, near
+//! singularity is not.
+
+use dense::gen::{needs_pivoting, random_matrix, well_conditioned};
+use dense::getrf::getrf;
+use dense::norms::{lu_residual, lu_residual_perm, max_abs, unpack_lu};
+use dense::Matrix;
+use factor::{conflux_lu, ConfluxConfig};
+use xmpi::Grid3;
+
+const RESIDUAL_TOL: f64 = 1e-12;
+
+/// Element growth `max|U| / max|A|` — the stability figure of merit that
+/// distinguishes a good pivoting strategy from a bad one.
+fn growth(a: &Matrix, packed: &Matrix) -> f64 {
+    let (_, u) = unpack_lu(packed);
+    max_abs(&u) / max_abs(a).max(f64::MIN_POSITIVE)
+}
+
+/// Factor `a` both ways and return
+/// `(tournament residual, tournament growth, oracle residual, oracle growth)`.
+fn both_ways(a: &Matrix, n: usize, v: usize) -> (f64, f64, f64, f64) {
+    let cfg = ConfluxConfig::new(n, v, Grid3::new(2, 2, 2));
+    let tourn = conflux_lu(&cfg, a).expect("tournament LU");
+    let packed = tourn.packed.as_ref().unwrap();
+    let t_resid = lu_residual_perm(a, packed, &tourn.perm);
+    let t_growth = growth(a, packed);
+
+    let mut lu = a.clone();
+    let ipiv = getrf(&mut lu, v).expect("oracle LU");
+    let o_resid = lu_residual(a, &lu, &ipiv);
+    let o_growth = growth(a, &lu);
+    (t_resid, t_growth, o_resid, o_growth)
+}
+
+/// On generic and adversarial (tiny-diagonal) inputs, tournament pivoting
+/// must match the oracle's backward error and stay within a small constant
+/// factor of its element growth. The paper's tournament blocks are 2v×v,
+/// so growth can exceed partial pivoting's — but boundedly, not
+/// catastrophically (that is the difference between CA-pivoting and no
+/// pivoting at all).
+#[test]
+fn tournament_quality_matches_partial_pivoting_oracle() {
+    let n = 48;
+    let v = 8;
+    for (label, a) in [
+        ("random", random_matrix(n, n, 71)),
+        ("needs_pivoting", needs_pivoting(n, 72)),
+        ("well_conditioned", well_conditioned(n, 73)),
+    ] {
+        let (t_resid, t_growth, o_resid, o_growth) = both_ways(&a, n, v);
+        assert!(
+            o_resid < RESIDUAL_TOL,
+            "{label}: oracle residual {o_resid:e}"
+        );
+        assert!(
+            t_resid < RESIDUAL_TOL,
+            "{label}: tournament residual {t_resid:e} (oracle {o_resid:e})"
+        );
+        assert!(
+            t_growth <= 32.0 * o_growth.max(1.0),
+            "{label}: tournament growth {t_growth:.1} vs oracle {o_growth:.1}"
+        );
+    }
+}
+
+/// A rank-deficient matrix — column 1 an exact copy of column 0, with
+/// power-of-two entries so the elimination cancels *exactly* in floating
+/// point — must be reported as singular by both the oracle and the
+/// distributed tournament, and the tournament must not deadlock on the
+/// error path (every rank sees the failure).
+#[test]
+fn rank_deficient_input_is_singular_for_both() {
+    let n = 16;
+    let mut a = random_matrix(n, n, 81);
+    for i in 0..n {
+        // Dyadic column: the pivot quotient and the trailing update are
+        // exact, so the eliminated duplicate column is exactly zero.
+        a[(i, 0)] = f64::from(1u32 << (i % 4));
+        a[(i, 1)] = a[(i, 0)];
+    }
+
+    let mut lu = a.clone();
+    match getrf(&mut lu, 4) {
+        Err(dense::Error::SingularAt(k)) => assert!(k <= 1, "oracle flagged step {k}"),
+        other => panic!("oracle: expected SingularAt, got {:?}", other.map(|_| ())),
+    }
+
+    let cfg = ConfluxConfig::new(n, 4, Grid3::new(2, 2, 2));
+    match conflux_lu(&cfg, &a) {
+        Err(dense::Error::SingularAt(_)) => {}
+        other => panic!(
+            "tournament: expected SingularAt, got {:?}",
+            other.map(|_| ())
+        ),
+    }
+}
+
+/// A *near*-singular matrix — column 1 a copy of column 0 plus 1e-10 noise
+/// — is numerically nasty but full rank: both factorizations must complete
+/// (pivoting rescues the tiny column) and keep the backward error small.
+/// The residual bound is looser than the generic one because the growth on
+/// this matrix is legitimately larger.
+#[test]
+fn near_singular_input_completes_with_small_residual() {
+    let n = 32;
+    let mut a = random_matrix(n, n, 91);
+    let noise = random_matrix(n, 1, 92);
+    for i in 0..n {
+        a[(i, 1)] = a[(i, 0)] + 1e-10 * noise[(i, 0)];
+    }
+
+    let mut lu = a.clone();
+    let ipiv = getrf(&mut lu, 4).expect("oracle must complete on full-rank input");
+    let o_resid = lu_residual(&a, &lu, &ipiv);
+    assert!(o_resid < 1e-10, "oracle residual {o_resid:e}");
+
+    let cfg = ConfluxConfig::new(n, 4, Grid3::new(2, 2, 2));
+    let out = conflux_lu(&cfg, &a).expect("tournament must complete on full-rank input");
+    let t_resid = lu_residual_perm(&a, out.packed.as_ref().unwrap(), &out.perm);
+    assert!(t_resid < 1e-10, "tournament residual {t_resid:e}");
+}
+
+/// The tournament's pivot choice must actually *be* a pivot choice: on the
+/// `needs_pivoting` construction every diagonal entry is ~1e-12 with the
+/// large entry below the diagonal, so an identity permutation would mean
+/// pivoting silently did nothing.
+#[test]
+fn adversarial_input_forces_nontrivial_permutation() {
+    let n = 24;
+    let a = needs_pivoting(n, 77);
+    let cfg = ConfluxConfig::new(n, 4, Grid3::new(2, 2, 2));
+    let out = conflux_lu(&cfg, &a).unwrap();
+    let identity: Vec<usize> = (0..n).collect();
+    assert_ne!(
+        out.perm, identity,
+        "tournament chose the identity permutation"
+    );
+}

@@ -381,7 +381,14 @@ impl BcastRequest<'_> {
     /// to this rank's subtree, and return the root's payload.
     pub fn wait(self) -> Payload {
         match self.state {
-            IbcastState::Done(payload) => payload,
+            IbcastState::Done(payload) => {
+                // Completion-point hook even though the payload is already
+                // in hand, so a perturbed root is held back the same way a
+                // perturbed interior node is (the receive path gets its
+                // stall inside `RecvRequest::wait`).
+                self.comm.wait_point();
+                payload
+            }
             IbcastState::Pending { req, mask } => {
                 let comm = self.comm;
                 let _scope = comm.coll_scope(CollKind::Bcast);

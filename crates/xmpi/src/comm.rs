@@ -12,17 +12,18 @@
 //! columns, z-fibres, layers) get isolated message streams over the shared
 //! mailboxes, mirroring MPI communicator semantics.
 
+use crate::hooks::{self, SchedHooks};
 use crate::stats::{CollKind, Counters};
-use crate::trace::{Event, Recorder, TraceConfig};
+use crate::trace::{Event, Recorder};
 use parking_lot::{Condvar, Mutex};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a receive may wait before the runtime declares a deadlock and
 /// panics with a diagnostic (a hung test is useless; a loud failure is not).
-const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+pub(crate) const RECV_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// Message payloads. Both variants count 8 bytes per element, matching the
 /// double-precision element size the paper uses when scaling its models.
@@ -49,6 +50,38 @@ pub(crate) struct Message {
     ctx: u64,
     tag: u64,
     payload: Payload,
+    /// Earliest instant the message may be *matched* by a receive — the
+    /// fault-injection hook's in-flight delay or simulated retransmission
+    /// timeout ([`crate::hooks::SendFate`]). `None` = matchable now.
+    /// Matching still scans in arrival order per channel, so a delayed
+    /// message holds back its channel successors instead of being overtaken
+    /// (per-channel FIFO is preserved under any perturbation).
+    visible_at: Option<Instant>,
+}
+
+/// Outcome of scanning a mailbox for a `(src, ctx, tag)` match.
+enum Scan {
+    /// A matchable message was removed from the queue.
+    Ready(Payload),
+    /// The channel's next message exists but is still in flight.
+    InFlight(Instant),
+    /// No matching message has arrived.
+    Absent,
+}
+
+/// Remove and return the first message matching `(src_world, ctx, tag)` in
+/// arrival order, respecting visibility.
+fn scan_mailbox(queue: &mut Vec<Message>, src_world: usize, ctx: u64, tag: u64) -> Scan {
+    match queue
+        .iter()
+        .position(|m| m.src_world == src_world && m.ctx == ctx && m.tag == tag)
+    {
+        Some(pos) => match queue[pos].visible_at {
+            Some(t) if t > Instant::now() => Scan::InFlight(t),
+            _ => Scan::Ready(queue.remove(pos).payload),
+        },
+        None => Scan::Absent,
+    }
 }
 
 #[derive(Default)]
@@ -66,23 +99,23 @@ pub(crate) struct Shared {
     /// path pays one branch and no extra synchronization when tracing is
     /// off.
     pub trace: Option<Recorder>,
+    /// Schedule-perturbation hooks; `None` for unperturbed worlds (one
+    /// branch per hook point, no other cost).
+    pub hooks: Option<Arc<dyn SchedHooks>>,
 }
 
 impl Shared {
-    pub(crate) fn new(p: usize) -> Arc<Self> {
-        Shared::build(p, None)
-    }
-
-    pub(crate) fn new_traced(p: usize, cfg: &TraceConfig) -> Arc<Self> {
-        Shared::build(p, Some(Recorder::new(p, cfg)))
-    }
-
-    fn build(p: usize, trace: Option<Recorder>) -> Arc<Self> {
+    pub(crate) fn build(
+        p: usize,
+        trace: Option<Recorder>,
+        hooks: Option<Arc<dyn SchedHooks>>,
+    ) -> Arc<Self> {
         Arc::new(Shared {
             mailboxes: (0..p).map(|_| Mailbox::default()).collect(),
             counters: (0..p).map(|_| Counters::default()).collect(),
             windows: crate::rma::WindowRegistry::default(),
             trace,
+            hooks,
         })
     }
 }
@@ -149,6 +182,9 @@ impl Comm {
     /// worlds ignore the count.
     pub fn set_phase_with_flops(&self, name: &str, cum_flops: u64) {
         let w = self.world_rank();
+        if let Some(h) = &self.shared.hooks {
+            hooks::stall(h.phase_stall(w, name));
+        }
         self.shared.counters[w].set_phase(name);
         if let Some(tr) = &self.shared.trace {
             let label = tr.intern(name);
@@ -263,12 +299,26 @@ impl Comm {
             };
             tr.push(src_world, e);
         }
+        // Fault injection: the hook may hold the message in flight (delay)
+        // or lose the first transmission (visible only after the simulated
+        // retransmission timeout). The payload is enqueued either way — the
+        // sender never blocks and bytes are counted exactly once.
+        let visible_at = self
+            .shared
+            .hooks
+            .as_ref()
+            .and_then(|h| {
+                h.send_fate(src_world, dst_world, self.ctx, tag, bytes)
+                    .delay()
+            })
+            .map(|d| Instant::now() + d);
         let mbox = &self.shared.mailboxes[dst_world];
         mbox.queue.lock().push(Message {
             src_world,
             ctx: self.ctx,
             tag,
             payload,
+            visible_at,
         });
         mbox.arrived.notify_all();
     }
@@ -316,16 +366,12 @@ impl Comm {
                 },
             );
         }
-        let mbox = &self.shared.mailboxes[my_world];
-        let mut queue = mbox.queue.lock();
-        loop {
-            if let Some(pos) = queue
-                .iter()
-                .position(|m| m.src_world == src_world && m.ctx == self.ctx && m.tag == tag)
-            {
-                let msg = queue.remove(pos);
-                drop(queue);
-                let bytes = msg.payload.bytes();
+        match self.take_deadline(src_world, tag, RECV_TIMEOUT) {
+            Ok(payload) => {
+                if let Some(h) = &self.shared.hooks {
+                    hooks::stall(h.recv_delay(my_world, src_world, self.ctx, tag));
+                }
+                let bytes = payload.bytes();
                 self.shared.counters[my_world].record_recv(bytes);
                 if let Some(tr) = &self.shared.trace {
                     let kind = self.shared.counters[my_world].current_coll();
@@ -341,23 +387,44 @@ impl Comm {
                         },
                     );
                 }
-                return msg.payload;
+                payload
             }
-            let timed_out = mbox.arrived.wait_for(&mut queue, RECV_TIMEOUT).timed_out();
-            if timed_out {
-                panic!(
-                    "xmpi deadlock: rank {} (world {}) waited {:?} for msg from local {} \
-                     (world {}) tag {} ctx {:#x}; {} unmatched messages pending",
-                    self.rank,
-                    my_world,
-                    RECV_TIMEOUT,
-                    src,
-                    src_world,
-                    tag,
-                    self.ctx,
-                    queue.len()
-                );
+            Err(pending) => panic!(
+                "xmpi deadlock: rank {} (world {}) waited {:?} for msg from local {} \
+                 (world {}) tag {} ctx {:#x}; {} unmatched messages pending",
+                self.rank, my_world, RECV_TIMEOUT, src, src_world, tag, self.ctx, pending
+            ),
+        }
+    }
+
+    /// Core matching loop: block until the channel's next `(src, ctx, tag)`
+    /// message (arrival order) is matchable, or `timeout` elapses. Returns
+    /// `Err(pending)` — the number of unmatched messages in the mailbox —
+    /// on timeout.
+    fn take_deadline(
+        &self,
+        src_world: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Payload, usize> {
+        let my_world = self.world_rank();
+        let mbox = &self.shared.mailboxes[my_world];
+        let deadline = Instant::now() + timeout;
+        let mut queue = mbox.queue.lock();
+        loop {
+            let wake_at = match scan_mailbox(&mut queue, src_world, self.ctx, tag) {
+                Scan::Ready(p) => return Ok(p),
+                Scan::InFlight(t) => t.min(deadline),
+                Scan::Absent => deadline,
+            };
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(queue.len());
             }
+            // Result deliberately ignored: an in-flight visibility deadline
+            // wakes by timeout, a fresh arrival wakes by notification, and
+            // either way the loop re-scans.
+            let _ = mbox.arrived.wait_for(&mut queue, wake_at - now);
         }
     }
 
@@ -428,14 +495,16 @@ impl Comm {
     }
 
     /// Nonblocking mailbox probe: remove and return the first message
-    /// matching `(src_world, ctx, tag)`, if one has already arrived.
+    /// matching `(src_world, ctx, tag)`, if one has already arrived *and*
+    /// become matchable (an in-flight message is not yet takeable, so a
+    /// `test()` poll observes injected delays the same way a receive does).
     pub(crate) fn try_take(&self, src_world: usize, tag: u64) -> Option<Payload> {
         let my_world = self.world_rank();
         let mut queue = self.shared.mailboxes[my_world].queue.lock();
-        queue
-            .iter()
-            .position(|m| m.src_world == src_world && m.ctx == self.ctx && m.tag == tag)
-            .map(|pos| queue.remove(pos).payload)
+        match scan_mailbox(&mut queue, src_world, self.ctx, tag) {
+            Scan::Ready(p) => Some(p),
+            Scan::InFlight(_) | Scan::Absent => None,
+        }
     }
 
     /// Blocking mailbox take with the deadlock timeout, used by
@@ -443,31 +512,41 @@ impl Comm {
     /// [`Comm::recv_payload`] but without the event bookkeeping (the caller
     /// records the completion).
     pub(crate) fn block_take(&self, src: usize, src_world: usize, tag: u64) -> Payload {
-        let my_world = self.world_rank();
-        let mbox = &self.shared.mailboxes[my_world];
-        let mut queue = mbox.queue.lock();
-        loop {
-            if let Some(pos) = queue
-                .iter()
-                .position(|m| m.src_world == src_world && m.ctx == self.ctx && m.tag == tag)
-            {
-                return queue.remove(pos).payload;
-            }
-            let timed_out = mbox.arrived.wait_for(&mut queue, RECV_TIMEOUT).timed_out();
-            if timed_out {
-                panic!(
-                    "xmpi deadlock: rank {} (world {}) waited {:?} for nonblocking msg from \
-                     local {} (world {}) tag {} ctx {:#x}; {} unmatched messages pending",
-                    self.rank,
-                    my_world,
-                    RECV_TIMEOUT,
-                    src,
-                    src_world,
-                    tag,
-                    self.ctx,
-                    queue.len()
-                );
-            }
+        match self.take_deadline(src_world, tag, RECV_TIMEOUT) {
+            Ok(p) => p,
+            Err(pending) => panic!(
+                "xmpi deadlock: rank {} (world {}) waited {:?} for nonblocking msg from \
+                 local {} (world {}) tag {} ctx {:#x}; {} unmatched messages pending",
+                self.rank,
+                self.world_rank(),
+                RECV_TIMEOUT,
+                src,
+                src_world,
+                tag,
+                self.ctx,
+                pending
+            ),
+        }
+    }
+
+    /// [`Comm::block_take`] under a caller-supplied timeout: `Err` carries
+    /// the number of unmatched mailbox messages at expiry. Backs the
+    /// configurable [`crate::request::WaitPolicy`].
+    pub(crate) fn block_take_timeout(
+        &self,
+        src_world: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Payload, usize> {
+        self.take_deadline(src_world, tag, timeout)
+    }
+
+    /// Stall at a request-completion point if wait-delay hooks are armed
+    /// (called by `request`/`collectives` before completing a posted
+    /// operation).
+    pub(crate) fn wait_point(&self) {
+        if let Some(h) = &self.shared.hooks {
+            hooks::stall(h.wait_delay(self.world_rank()));
         }
     }
 

@@ -1,0 +1,205 @@
+//! Schedule-perturbation and fault-injection hook points.
+//!
+//! The factorization schedules are only ever observed under whatever thread
+//! interleaving the OS happens to produce; the paper-conformance machinery
+//! (the `xharness` crate) needs to *adversarially* explore interleavings and
+//! message timings. This module provides the transport-level hook surface it
+//! drives: a [`SchedHooks`] implementation installed on a world is consulted
+//!
+//! * at every **send** ([`SchedHooks::send_fate`]) — it may delay when the
+//!   message becomes *matchable* at the destination, or drop the first
+//!   transmission entirely and let the (simulated) retransmission surface it
+//!   later. Either way the payload is enqueued immediately and the sender
+//!   never blocks, so buffered-send semantics, per-channel FIFO order, and
+//!   the byte accounting (one MPI-level message, counted once, like Score-P
+//!   over a reliable transport) are all preserved — only the *schedule*
+//!   changes;
+//! * at every **receive match** ([`SchedHooks::recv_delay`]) — an artificial
+//!   stall inserted after a blocking receive matches its message;
+//! * at every **request-completion point** ([`SchedHooks::wait_delay`]) —
+//!   `RecvRequest::wait`/`test` and `BcastRequest::wait` stall before
+//!   completing, perturbing the order in which pipelined schedules drain
+//!   their posted operations;
+//! * at every **phase boundary** ([`SchedHooks::phase_stall`]) — a rank
+//!   entering a named phase can be held back, skewing ranks against each
+//!   other at exactly the points the schedules synchronize.
+//!
+//! Hooks are installed per world via [`crate::run_hooked`] /
+//! [`crate::run_traced_hooked`], or ambiently with [`with_hooks`], which
+//! arms a thread-local slot that [`crate::run`] consults — the way to
+//! perturb an existing driver (e.g. `factor::conflux_lu`) that launches its
+//! world internally, mirroring [`crate::trace::capture`]. Un-hooked worlds
+//! carry `None` and pay one branch per hook point.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What happens to a posted message's *visibility* at the destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendFate {
+    /// Deliver normally: matchable as soon as it is enqueued.
+    Deliver,
+    /// In-flight delay: matchable only after `Duration` has elapsed.
+    /// Messages of the *same* channel `(src, ctx, tag)` still match in
+    /// program order — a delayed message delays its channel successors'
+    /// matching, never reorders them.
+    Delay(Duration),
+    /// First transmission is lost; the retransmission makes the payload
+    /// matchable after the given timeout. Byte counters and the event trace
+    /// see one message (MPI-level accounting over a reliable transport);
+    /// only the completion schedule shifts.
+    Drop {
+        /// Simulated retransmission timeout until the payload surfaces.
+        retransmit_after: Duration,
+    },
+}
+
+impl SendFate {
+    /// The visibility delay this fate imposes (`None` for immediate).
+    pub fn delay(self) -> Option<Duration> {
+        match self {
+            SendFate::Deliver => None,
+            SendFate::Delay(d) => Some(d),
+            SendFate::Drop { retransmit_after } => Some(retransmit_after),
+        }
+    }
+}
+
+/// Transport-level perturbation callbacks. All methods default to no-ops so
+/// an implementation only overrides the points it wants to perturb.
+///
+/// Implementations must be deterministic functions of their own state and
+/// the arguments if replayability is desired — the `xharness` perturbator
+/// derives every decision from a seed and a per-channel sequence number, so
+/// a failing seed replays the exact same injected faults.
+pub trait SchedHooks: Send + Sync {
+    /// Fate of a message from world rank `src` to world rank `dst` on
+    /// channel `(ctx, tag)` carrying `bytes` payload bytes.
+    fn send_fate(&self, src: usize, dst: usize, ctx: u64, tag: u64, bytes: u64) -> SendFate {
+        let _ = (src, dst, ctx, tag, bytes);
+        SendFate::Deliver
+    }
+
+    /// Stall inserted on world rank `rank` right after a blocking receive
+    /// matches a message from `src` on `(ctx, tag)`.
+    fn recv_delay(&self, rank: usize, src: usize, ctx: u64, tag: u64) -> Option<Duration> {
+        let _ = (rank, src, ctx, tag);
+        None
+    }
+
+    /// Stall inserted on world rank `rank` when it enters a request
+    /// completion point (`wait`/`test` of a posted operation).
+    fn wait_delay(&self, rank: usize) -> Option<Duration> {
+        let _ = rank;
+        None
+    }
+
+    /// Stall inserted on world rank `rank` as it declares phase `name`.
+    fn phase_stall(&self, rank: usize, name: &str) -> Option<Duration> {
+        let _ = (rank, name);
+        None
+    }
+}
+
+/// Sleep for a hook-requested stall, if any. Zero-duration stalls still
+/// yield, so even a "0 delay" decision perturbs the interleaving slightly.
+pub(crate) fn stall(d: Option<Duration>) {
+    match d {
+        Some(d) if d > Duration::ZERO => std::thread::sleep(d),
+        Some(_) => std::thread::yield_now(),
+        None => {}
+    }
+}
+
+// Thread-local ambient hooks: `with_hooks` arms the slot, `crate::run`
+// (called on the same thread, typically deep inside a factorization driver)
+// installs the hooks into the world it launches.
+thread_local! {
+    static ARMED: RefCell<Option<Arc<dyn SchedHooks>>> = const { RefCell::new(None) };
+}
+
+/// Install `hooks` on every world launched by `f` on this thread, without
+/// changing `f`'s signature — the way to perturb an existing driver like
+/// `factor::conflux_lu` that calls [`crate::run`] internally. Composes with
+/// [`crate::trace::capture`] (arm both to get a perturbed *and* traced run).
+///
+/// # Panics
+/// If hooks are already armed on this thread (nested arming is ambiguous).
+pub fn with_hooks<R>(hooks: Arc<dyn SchedHooks>, f: impl FnOnce() -> R) -> R {
+    ARMED.with(|slot| {
+        let mut s = slot.borrow_mut();
+        assert!(
+            s.is_none(),
+            "xmpi::hooks::with_hooks: hooks already armed on this thread"
+        );
+        *s = Some(hooks);
+    });
+    // Disarm even if `f` panics so the thread stays reusable.
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            ARMED.with(|slot| slot.borrow_mut().take());
+        }
+    }
+    let _disarm = Disarm;
+    f()
+}
+
+/// The hooks armed on this thread, if any (checked by [`crate::run`]).
+pub(crate) fn armed() -> Option<Arc<dyn SchedHooks>> {
+    ARMED.with(|slot| slot.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl SchedHooks for Nop {}
+
+    #[test]
+    fn defaults_are_noops() {
+        let h = Nop;
+        assert_eq!(h.send_fate(0, 1, 0, 0, 8), SendFate::Deliver);
+        assert!(h.recv_delay(0, 1, 0, 0).is_none());
+        assert!(h.wait_delay(0).is_none());
+        assert!(h.phase_stall(0, "x").is_none());
+    }
+
+    #[test]
+    fn fate_delay_views() {
+        assert_eq!(SendFate::Deliver.delay(), None);
+        assert_eq!(
+            SendFate::Delay(Duration::from_micros(5)).delay(),
+            Some(Duration::from_micros(5))
+        );
+        assert_eq!(
+            SendFate::Drop {
+                retransmit_after: Duration::from_micros(7)
+            }
+            .delay(),
+            Some(Duration::from_micros(7))
+        );
+    }
+
+    #[test]
+    fn with_hooks_arms_and_disarms() {
+        assert!(armed().is_none());
+        let out = with_hooks(Arc::new(Nop), || {
+            assert!(armed().is_some());
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(armed().is_none());
+    }
+
+    #[test]
+    fn with_hooks_disarms_on_panic() {
+        let r = std::panic::catch_unwind(|| {
+            with_hooks(Arc::new(Nop), || panic!("boom"));
+        });
+        assert!(r.is_err());
+        assert!(armed().is_none());
+    }
+}

@@ -60,9 +60,20 @@
 
 #![warn(missing_docs)]
 
+//! # Schedule perturbation & fault injection
+//!
+//! For adversarial testing, a [`hooks::SchedHooks`] implementation can be
+//! installed on a world ([`run_hooked`], [`run_traced_hooked`], or ambiently
+//! via [`hooks::with_hooks`]) to delay or drop-and-retransmit messages,
+//! stall request completions, and skew ranks at phase boundaries — all
+//! without changing the bytes moved or their per-channel order. The
+//! `xharness` crate drives these hooks from a single seed so any failing
+//! schedule replays exactly.
+
 pub mod collectives;
 pub mod comm;
 pub mod grid;
+pub mod hooks;
 pub mod request;
 pub mod rma;
 pub mod stats;
@@ -72,8 +83,9 @@ pub mod world;
 pub use collectives::BcastRequest;
 pub use comm::{Comm, Payload};
 pub use grid::{Grid2, Grid3};
-pub use request::{wait_all, RecvRequest, Request, SendRequest};
+pub use hooks::{with_hooks, SchedHooks, SendFate};
+pub use request::{wait_all, RecvRequest, Request, SendRequest, WaitPolicy, WaitTimeout};
 pub use rma::Window;
 pub use stats::{CollCounts, CollKind, RankStats, WorldStats};
 pub use trace::{Event, RankTrace, TraceConfig, WorldTrace};
-pub use world::{run, run_traced, TracedResult, WorldResult};
+pub use world::{run, run_hooked, run_traced, run_traced_hooked, TracedResult, WorldResult};

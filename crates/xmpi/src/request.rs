@@ -20,7 +20,78 @@
 //! forgotten and a matching message, if any, stays queued for a later
 //! receive on the same `(src, tag)` channel.
 
-use crate::comm::{Comm, Payload};
+use crate::comm::{Comm, Payload, RECV_TIMEOUT};
+use std::fmt;
+use std::time::Duration;
+
+/// Retry/timeout policy for completing a posted receive
+/// ([`RecvRequest::wait_timeout`]).
+///
+/// The default policy matches the runtime's built-in deadlock detection: one
+/// attempt bounded by the global receive timeout. Fault-injection tests
+/// tighten `timeout` (so an injected stall surfaces as an `Err` instead of a
+/// 120 s deadlock panic) and add `retries` to model retransmission-style
+/// recovery: each retry re-enters the matching loop for another full
+/// `timeout`, which is exactly what lets a `Drop`-fated message
+/// ([`crate::hooks::SendFate::Drop`]) complete once its simulated
+/// retransmission surfaces it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitPolicy {
+    /// Per-attempt bound on how long matching may block.
+    pub timeout: Duration,
+    /// Additional attempts after the first times out.
+    pub retries: u32,
+}
+
+impl Default for WaitPolicy {
+    fn default() -> Self {
+        WaitPolicy {
+            timeout: RECV_TIMEOUT,
+            retries: 0,
+        }
+    }
+}
+
+impl WaitPolicy {
+    /// Policy with a per-attempt `timeout` and no retries.
+    pub fn timeout(timeout: Duration) -> Self {
+        WaitPolicy {
+            timeout,
+            retries: 0,
+        }
+    }
+
+    /// Builder: allow `retries` additional attempts after the first.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+}
+
+/// A posted receive failed to complete within its [`WaitPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeout {
+    /// Communicator-local source rank the receive was posted on.
+    pub src: usize,
+    /// Message tag the receive was posted on.
+    pub tag: u64,
+    /// Matching attempts made (1 + retries).
+    pub attempts: u32,
+    /// Unmatched messages pending in the mailbox at the final expiry.
+    pub pending: usize,
+}
+
+impl fmt::Display for WaitTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "receive from {} tag {} timed out after {} attempt(s); {} unmatched message(s) pending",
+            self.src, self.tag, self.attempts, self.pending
+        )
+    }
+}
+
+impl std::error::Error for WaitTimeout {}
 
 /// Handle for a posted nonblocking send. Complete at creation (sends are
 /// buffered); exists so send and receive requests can be driven uniformly.
@@ -76,6 +147,7 @@ impl<'c> RecvRequest<'c> {
         if self.done.is_some() {
             return true;
         }
+        self.comm.wait_point();
         let t_call = self.comm.trace_now().unwrap_or(0);
         match self.comm.try_take(self.src_world, self.tag) {
             Some(payload) => {
@@ -100,11 +172,52 @@ impl<'c> RecvRequest<'c> {
         if let Some(payload) = self.done.take() {
             return payload;
         }
+        self.comm.wait_point();
         let t_call = self.comm.trace_now().unwrap_or(0);
         let payload = self.comm.block_take(self.src, self.src_world, self.tag);
         self.comm
             .finish_nonblocking_recv(self.src_world, self.tag, payload.bytes(), t_call);
         payload
+    }
+
+    /// [`RecvRequest::wait`] under an explicit retry/timeout [`WaitPolicy`]:
+    /// each attempt blocks for at most `policy.timeout`, and up to
+    /// `policy.retries` further attempts re-enter the matching loop. On
+    /// `Err` the request is consumed and the posted receive is cancelled
+    /// (like dropping it) — a late message stays queued for a later receive
+    /// on the same channel, and *no* completion is accounted, which is what
+    /// the lost-request invariant checker keys on.
+    pub fn wait_timeout(mut self, policy: WaitPolicy) -> Result<Payload, WaitTimeout> {
+        if let Some(payload) = self.done.take() {
+            return Ok(payload);
+        }
+        self.comm.wait_point();
+        let t_call = self.comm.trace_now().unwrap_or(0);
+        let attempts = policy.retries.saturating_add(1);
+        let mut pending = 0;
+        for _ in 0..attempts {
+            match self
+                .comm
+                .block_take_timeout(self.src_world, self.tag, policy.timeout)
+            {
+                Ok(payload) => {
+                    self.comm.finish_nonblocking_recv(
+                        self.src_world,
+                        self.tag,
+                        payload.bytes(),
+                        t_call,
+                    );
+                    return Ok(payload);
+                }
+                Err(p) => pending = p,
+            }
+        }
+        Err(WaitTimeout {
+            src: self.src,
+            tag: self.tag,
+            attempts,
+            pending,
+        })
     }
 
     /// [`RecvRequest::wait`], asserting an element payload.

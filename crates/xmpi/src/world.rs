@@ -2,8 +2,9 @@
 //! traffic statistics.
 
 use crate::comm::{Comm, Shared};
+use crate::hooks::{self, SchedHooks};
 use crate::stats::WorldStats;
-use crate::trace::{self, TraceConfig, WorldTrace};
+use crate::trace::{self, Recorder, TraceConfig, WorldTrace};
 use std::sync::Arc;
 
 /// Results of a finished world: each rank's return value plus the traffic
@@ -33,8 +34,10 @@ pub struct TracedResult<R> {
 /// panic is propagated to the caller after the world is torn down.
 ///
 /// If [`crate::trace::capture`] is armed on the calling thread the world is
-/// recorded and its trace stashed with the capture; otherwise no recorder
-/// exists and the transport pays no tracing cost.
+/// recorded and its trace stashed with the capture, and if
+/// [`crate::hooks::with_hooks`] is armed the schedule-perturbation hooks are
+/// installed on the world; otherwise no recorder or hooks exist and the
+/// transport pays no tracing or perturbation cost.
 ///
 /// # Panics
 /// If `p == 0`, or if any rank panics.
@@ -51,12 +54,31 @@ where
             stats: out.stats,
         };
     }
-    let (results, stats, _) = launch(Shared::new(p), f);
+    let (results, stats, _) = launch(Shared::build(p, None, hooks::armed()), f);
+    WorldResult { results, stats }
+}
+
+/// [`run`] with explicit schedule-perturbation hooks installed on the world
+/// (see [`crate::hooks`]). Equivalent to arming the hooks with
+/// [`crate::hooks::with_hooks`] around a [`run`] call, for callers that own
+/// the launch site.
+///
+/// # Panics
+/// If `p == 0`, or if any rank panics.
+pub fn run_hooked<R, F>(p: usize, hooks: Arc<dyn SchedHooks>, f: F) -> WorldResult<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    let (results, stats, _) = launch(Shared::build(p, None, Some(hooks)), f);
     WorldResult { results, stats }
 }
 
 /// [`run`] with event tracing enabled: every rank records sends, receive
-/// waits, collectives, and phase markers (see [`crate::trace`]).
+/// waits, collectives, and phase markers (see [`crate::trace`]). Hooks armed
+/// via [`crate::hooks::with_hooks`] are installed on the world, so a run can
+/// be perturbed *and* traced (how the invariant checkers observe a
+/// fault-injected schedule).
 ///
 /// # Panics
 /// If `p == 0`, or if any rank panics.
@@ -65,7 +87,39 @@ where
     R: Send,
     F: Fn(&Comm) -> R + Sync,
 {
-    let (results, stats, shared) = launch(Shared::new_traced(p, cfg), f);
+    run_traced_with(p, cfg, hooks::armed(), f)
+}
+
+/// [`run_traced`] with explicit schedule-perturbation hooks installed on the
+/// world, for callers that own the launch site.
+///
+/// # Panics
+/// If `p == 0`, or if any rank panics.
+pub fn run_traced_hooked<R, F>(
+    p: usize,
+    cfg: &TraceConfig,
+    hooks: Arc<dyn SchedHooks>,
+    f: F,
+) -> TracedResult<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    run_traced_with(p, cfg, Some(hooks), f)
+}
+
+fn run_traced_with<R, F>(
+    p: usize,
+    cfg: &TraceConfig,
+    hooks: Option<Arc<dyn SchedHooks>>,
+    f: F,
+) -> TracedResult<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    let shared = Shared::build(p, Some(Recorder::new(p, cfg)), hooks);
+    let (results, stats, shared) = launch(shared, f);
     let shared = Arc::into_inner(shared)
         .expect("traced world: shared state must be exclusively owned after join");
     let trace = shared

@@ -15,6 +15,11 @@
 //!   recorded event structure rather than wall-clock of the simulation;
 //! * [`chrome`] — Chrome-trace JSON export (loadable in Perfetto /
 //!   `chrome://tracing`);
+//! * [`invariants`] — runtime-contract checkers over a finished trace
+//!   (byte conservation per channel, no lost requests, collective
+//!   bracketing) and cross-run communication-equality checks — what the
+//!   schedule-perturbation harness (`xharness`) asserts after every
+//!   fault-injected run;
 //! * [`profile`] — JSON profile reports with provenance (commit, params,
 //!   seed) whose per-phase and per-collective tables are derived from the
 //!   trace and cross-checkable against [`xmpi::WorldStats`].
@@ -32,12 +37,14 @@
 
 pub mod chrome;
 pub mod critpath;
+pub mod invariants;
 pub mod profile;
 pub mod replay;
 pub mod timeline;
 
 pub use chrome::chrome_trace;
 pub use critpath::{critical_path, path_length, CpSegment};
+pub use invariants::{check_stats_equal, check_trace, Report, Violation};
 pub use profile::{profile_report, Provenance};
 pub use replay::{replay, Machine, PhaseOverlap, Replay};
 pub use timeline::{CollSpan, RankTimeline, Span, Timeline, Wait};
