@@ -14,6 +14,7 @@
 //!   stress [--seeds N] [--n N] [--preset light|aggressive] [--out FILE]
 //!
 //! `XHARNESS_SEEDS` overrides `--seeds` (same syntax as the test suite).
+//! See `stress --help` for the failure-replay and golden re-bless flow.
 
 use dense::gen::{random_matrix, random_spd};
 use dense::norms::{lu_residual_perm, po_residual};
@@ -23,6 +24,33 @@ use serde_json::json;
 use xharness::{run_perturbed_traced, seeds, PerturbConfig};
 use xmpi::{Grid3, TraceConfig};
 use xtrace::invariants::{check_stats_equal, check_trace};
+
+const HELP: &str = "\
+usage: stress [--seeds N] [--n N] [--preset light|aggressive] [--out FILE]
+
+Randomized schedule-perturbation soak over COnfLUX, COnfCHOX and 2.5D MMM.
+Every seed must reproduce the unperturbed baseline bitwise (factors, pivots,
+per-rank/per-phase byte counts) and pass the xtrace invariant checks.
+
+  --seeds N    number of perturbation seeds per kernel (default 32);
+               the XHARNESS_SEEDS env var overrides this and also accepts
+               a comma list or `list:N` (same syntax as the test suite)
+  --n N        matrix dimension (default 64, grid fixed at 2x2x2)
+  --preset P   `light` (timing jitter only) or `aggressive` (default:
+               jitter + reordering stress)
+  --out FILE   failure artifact path (default results/stress_failure.json)
+
+On the first failing seed, the seed/preset/error triple is written to the
+--out file, a replay command of the form
+  XHARNESS_SEEDS=list:<seed> cargo test -p factor --test conformance --release
+is included in it, and the process exits nonzero so CI uploads the artifact.
+
+If a failure is an *intended* traffic change (a schedule edit that legitimately
+shifts per-phase byte counts), the golden baselines in results/golden_volumes.json
+are stale, not the code. Re-bless them with
+  GOLDEN_BLESS=1 cargo test -p factor --test golden_volumes
+and commit the resulting diff alongside the schedule change; never bless to
+paper over a bitwise or invariant divergence.";
 
 struct Args {
     seeds: u64,
@@ -49,7 +77,11 @@ fn parse_args() -> Args {
             "--n" => args.n = val("--n").parse().expect("--n: not a number"),
             "--preset" => args.preset = val("--preset"),
             "--out" => args.out = val("--out"),
-            other => panic!("unknown flag {other}; see the module docs"),
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
         }
     }
     args

@@ -33,6 +33,7 @@
 //! correctness and performance reference (`bench --bin kernels` reports
 //! both as a GFLOP/s trajectory in `results/BENCH_kernels.json`).
 
+pub mod checksum;
 pub mod flops;
 pub mod gemm;
 pub mod gen;

@@ -1,0 +1,126 @@
+//! Property-based tests of the ABFT checksum layer: any single-element
+//! corruption of any block shape must be detected, located, and corrected;
+//! crafted cancelling double-corruptions must be flagged as unlocatable,
+//! never mislocated or silently accepted.
+
+use dense::checksum::{augment, augmented_len, correct, strip, verify, Verdict};
+use dense::gen::random_matrix;
+use proptest::prelude::*;
+
+fn block(r: usize, c: usize, seed: u64) -> Vec<f64> {
+    random_matrix(r, c, seed).data().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// A clean augmented block verifies clean, for every shape.
+    #[test]
+    fn clean_blocks_verify_clean(r in 1usize..12, c in 1usize..12, seed in 0u64..1000) {
+        let data = block(r, c, seed);
+        let aug = augment(&data, r, c);
+        prop_assert_eq!(aug.len(), augmented_len(r, c));
+        prop_assert_eq!(verify(&aug, r, c), Verdict::Clean);
+    }
+
+    /// Any single corrupted data element is detected, located exactly, and
+    /// corrected back to the original block.
+    #[test]
+    fn single_corruption_is_located_and_corrected(
+        r in 1usize..12, c in 1usize..12, seed in 0u64..1000,
+        pos in 0usize..144, mag in 1u32..60,
+    ) {
+        let data = block(r, c, seed);
+        let mut aug = augment(&data, r, c);
+        let (ci, cj) = (pos % r, (pos / r) % c);
+        // Corruption magnitudes from ~1e-5 up to ~1e+0: everything that
+        // could plausibly matter numerically.
+        let delta = 10f64.powf(mag as f64 / 10.0 - 5.0);
+        aug[ci * c + cj] += delta;
+        match verify(&aug, r, c) {
+            Verdict::Data { row, col, delta: d } => {
+                prop_assert_eq!((row, col), (ci, cj));
+                prop_assert!((d - delta).abs() <= 1e-7 * (1.0 + delta.abs()));
+            }
+            v => prop_assert!(false, "corruption of {delta:e} at ({ci},{cj}) gave {v:?}"),
+        }
+        prop_assert!(matches!(correct(&mut aug, r, c), Verdict::Data { .. }));
+        for (a, b) in strip(&aug, r, c).iter().zip(&data) {
+            prop_assert!((a - b).abs() <= 1e-7 * (1.0 + b.abs()));
+        }
+    }
+
+    /// A corrupted sum entry is classified as a sum fault (data intact),
+    /// never as a data fault.
+    #[test]
+    fn sum_corruption_never_blames_data(
+        r in 1usize..10, c in 1usize..10, seed in 0u64..1000,
+        which in 0usize..18, row_side in proptest::bool::ANY,
+    ) {
+        let data = block(r, c, seed);
+        let mut aug = augment(&data, r, c);
+        if row_side {
+            let i = which % r;
+            aug[r * c + c + i] += 0.25;
+            prop_assert_eq!(verify(&aug, r, c), Verdict::RowSum { row: i });
+        } else {
+            let j = which % c;
+            aug[r * c + j] += 0.25;
+            prop_assert_eq!(verify(&aug, r, c), Verdict::ColSum { col: j });
+        }
+        // Either way the data prefix is untouched.
+        prop_assert_eq!(strip(&aug, r, c), &data[..]);
+    }
+
+    /// Cancelling double-corruption in one row (±d in two columns): the row
+    /// sums balance, so the fault is *not* locatable — the verdict must
+    /// abstain rather than invent a location or accept the block.
+    #[test]
+    fn cancelling_double_in_a_row_abstains(
+        r in 1usize..10, c in 2usize..10, seed in 0u64..1000,
+        i in 0usize..10, j1 in 0usize..10, dj in 1usize..9,
+    ) {
+        let data = block(r, c, seed);
+        let mut aug = augment(&data, r, c);
+        let i = i % r;
+        let j1 = j1 % c;
+        // Offset in 1..c, so j2 != j1 by construction.
+        let j2 = (j1 + 1 + dj % (c - 1)) % c;
+        aug[i * c + j1] += 1e-2;
+        aug[i * c + j2] -= 1e-2;
+        prop_assert_eq!(verify(&aug, r, c), Verdict::Undetectable);
+    }
+
+    /// Cancelling double-corruption in one column abstains symmetrically.
+    #[test]
+    fn cancelling_double_in_a_column_abstains(
+        r in 2usize..10, c in 1usize..10, seed in 0u64..1000,
+        j in 0usize..10, i1 in 0usize..10, di in 1usize..9,
+    ) {
+        let data = block(r, c, seed);
+        let mut aug = augment(&data, r, c);
+        let j = j % c;
+        let i1 = i1 % r;
+        // Offset in 1..r, so i2 != i1 by construction.
+        let i2 = (i1 + 1 + di % (r - 1)) % r;
+        aug[i1 * c + j] += 1e-2;
+        aug[i2 * c + j] -= 1e-2;
+        prop_assert_eq!(verify(&aug, r, c), Verdict::Undetectable);
+    }
+
+    /// Two corruptions at distinct rows *and* distinct columns (±d, so the
+    /// residual pattern is 2 rows × 2 cols) are unlocatable as well.
+    #[test]
+    fn diagonal_double_corruption_abstains(
+        r in 2usize..10, c in 2usize..10, seed in 0u64..1000,
+        i1 in 0usize..10, j1 in 0usize..10,
+    ) {
+        let data = block(r, c, seed);
+        let mut aug = augment(&data, r, c);
+        let (i1, j1) = (i1 % r, j1 % c);
+        let (i2, j2) = ((i1 + 1) % r, (j1 + 1) % c);
+        aug[i1 * c + j1] += 3e-3;
+        aug[i2 * c + j2] -= 3e-3;
+        prop_assert_eq!(verify(&aug, r, c), Verdict::Undetectable);
+    }
+}

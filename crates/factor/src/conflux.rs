@@ -647,7 +647,7 @@ fn form_panel(
 
 /// Appends this rank's up-to-date contribution for global row `r` of tile
 /// column `tj`: original value (layer 0) minus accumulated updates.
-fn push_contrib(
+pub(crate) fn push_contrib(
     orig: &HashMap<(usize, usize), Matrix>,
     acc: &HashMap<(usize, usize), Matrix>,
     r: usize,

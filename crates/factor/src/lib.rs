@@ -30,6 +30,7 @@ pub mod cholqr;
 pub mod common;
 pub mod confchox;
 pub mod conflux;
+pub mod ft;
 pub mod lu25d_swap;
 pub mod mmm25d;
 pub mod models;
@@ -40,6 +41,9 @@ pub mod twod;
 pub use cholqr::{cholesky_qr, CholQrConfig};
 pub use confchox::{confchox_cholesky, ConfchoxConfig};
 pub use conflux::{conflux_lu, ConfluxConfig, LuOutput};
+pub use ft::{
+    confchox_cholesky_ft, conflux_lu_ft, CkptStore, FtCholOutput, FtConfig, FtLuOutput, FtReport,
+};
 pub use mmm25d::{mmm25d, Mmm25dConfig};
 pub use scalapack::{pdgetrf, pdpotrf, ScalapackOutput};
 pub use twod::{twod_cholesky, twod_lu, TwodConfig};

@@ -36,7 +36,7 @@ pub mod perturb;
 pub mod rng;
 
 pub use golden::{check_golden, golden_mode, snapshot, GoldenMode};
-pub use perturb::{PerturbConfig, Perturbator};
+pub use perturb::{CorruptPlan, CrashPlan, PerturbConfig, Perturbator};
 
 use std::sync::Arc;
 use xmpi::trace::{capture, TraceConfig, WorldTrace};
@@ -47,6 +47,55 @@ use xmpi::trace::{capture, TraceConfig, WorldTrace};
 /// seed — that is the property the conformance suite exists to check.
 pub fn run_perturbed<R>(cfg: &PerturbConfig, f: impl FnOnce() -> R) -> R {
     xmpi::with_hooks(Arc::new(Perturbator::new(cfg.clone())), f)
+}
+
+/// [`run_perturbed`] with a caller-built perturbator — the entry point for
+/// fault-injection runs, where the instance matters: its one-shot crash and
+/// corruption latches span every world `f` launches, so a fault-tolerant
+/// driver that crashes one world and restarts another gets exactly one
+/// injected fault across the whole attempt sequence.
+///
+/// # Replaying a failing crash seed locally
+///
+/// The `faults` CI job prints the failing seed; replay it by pinning the
+/// seed and re-arming the same crash preset:
+///
+/// ```
+/// use std::sync::Arc;
+/// use xharness::{CrashPlan, PerturbConfig, Perturbator, run_armed};
+///
+/// let seed = 17; // the failing seed from CI / results/faults_failure.json
+/// let p = 4; // world size of the failing test
+/// // The crash preset: the seed derives a non-root victim and the send
+/// // index it dies at (the conformance suite uses the same construction,
+/// // so the kill replays exactly — same victim, same logical instant).
+/// let plan = CrashPlan::from_seed(seed, p, 8);
+/// let perturbator =
+///     Arc::new(Perturbator::new(PerturbConfig::new(seed)).with_crash(plan));
+/// let out = run_armed(&perturbator, || {
+///     xmpi::run_ft(p, |c| {
+///         // ... the failing driver; `factor::conflux_lu_ft` in the real
+///         // test. Here: everyone streams ten messages to the root.
+///         if c.rank() > 0 {
+///             for i in 0..10 {
+///                 c.send_f64(0, i, &[c.rank() as f64]);
+///             }
+///         } else {
+///             for src in 1..c.size() {
+///                 for i in 0..10 {
+///                     if c.try_recv_f64(src, i).is_err() {
+///                         break;
+///                     }
+///                 }
+///             }
+///         }
+///     })
+/// });
+/// assert_eq!(out.crashed, vec![plan.victim]);
+/// assert!(perturbator.crash_fired());
+/// ```
+pub fn run_armed<R>(perturbator: &Arc<Perturbator>, f: impl FnOnce() -> R) -> R {
+    xmpi::with_hooks(perturbator.clone(), f)
 }
 
 /// [`run_perturbed`] with event tracing: returns `f`'s result plus one

@@ -22,18 +22,24 @@
 
 use crate::rng::{hash, unit_f64};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
-use xmpi::{SchedHooks, SendFate};
+use xmpi::{CrashFate, SchedHooks, SendFate};
 
 /// Decision-domain tags, hashed into every decision so the same sequence
-/// number in different domains draws independent randomness.
+/// number in different domains draws independent randomness. Crash and
+/// corruption plans live in domains of their own, so arming them leaves
+/// every existing seeded decision stream (fates, delays, stalls) bitwise
+/// unchanged.
 mod domain {
     pub const SEND_FATE: u64 = 1;
     pub const SEND_DELAY: u64 = 2;
     pub const RECV: u64 = 3;
     pub const WAIT: u64 = 4;
     pub const PHASE: u64 = 5;
+    pub const CRASH: u64 = 6;
+    pub const CORRUPT: u64 = 7;
 }
 
 /// Injection rates and magnitudes for a [`Perturbator`].
@@ -112,6 +118,64 @@ impl PerturbConfig {
     }
 }
 
+/// A deterministic one-shot rank kill: `victim` dies at its
+/// `after_sends`-th send attempt (program order on the victim's thread, so
+/// the same logical instant in every run of the same program).
+///
+/// The plan fires **once per perturbator instance**: a fault-tolerant driver
+/// reuses the instance across the crashed world and its restart, and the
+/// restarted world must run fault-free to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// World rank to kill.
+    pub victim: usize,
+    /// Zero-based index of the victim's send attempt at which it dies.
+    pub after_sends: u64,
+}
+
+impl CrashPlan {
+    /// Seed-derived plan: a non-root victim (rank 0 usually owns staging and
+    /// assembly, so killing it tests the driver, not the recovery protocol)
+    /// killed at a send drawn from `0..max_after_sends`.
+    pub fn from_seed(seed: u64, p: usize, max_after_sends: u64) -> CrashPlan {
+        assert!(p > 1, "crash plan needs a non-root rank to kill");
+        CrashPlan {
+            victim: 1 + (hash(&[seed, domain::CRASH, 0]) as usize) % (p - 1),
+            after_sends: hash(&[seed, domain::CRASH, 1]) % max_after_sends.max(1),
+        }
+    }
+}
+
+/// A deterministic one-shot in-flight corruption: the `on_send`-th *element*
+/// payload of at least `min_len` elements sent by `victim` has one element
+/// (seed-drawn index) perturbed by `delta`. `min_len` is how a test targets
+/// only the big checksum-protected panel/tile messages and leaves small
+/// control traffic alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptPlan {
+    /// World rank whose outgoing payload is corrupted.
+    pub victim: usize,
+    /// Zero-based index among the victim's qualifying sends.
+    pub on_send: u64,
+    /// Only payloads of at least this many elements qualify.
+    pub min_len: usize,
+    /// Value added to the chosen element.
+    pub delta: f64,
+}
+
+impl CorruptPlan {
+    /// Seed-derived plan against payloads of at least `min_len` elements.
+    pub fn from_seed(seed: u64, p: usize, min_len: usize, max_on_send: u64) -> CorruptPlan {
+        assert!(p > 1, "corrupt plan needs a sending peer");
+        CorruptPlan {
+            victim: 1 + (hash(&[seed, domain::CORRUPT, 0]) as usize) % (p - 1),
+            on_send: hash(&[seed, domain::CORRUPT, 1]) % max_on_send.max(1),
+            min_len,
+            delta: 1.0 + unit_f64(hash(&[seed, domain::CORRUPT, 2])),
+        }
+    }
+}
+
 /// Per-channel monotone sequence counters (the deterministic part of a
 /// decision's identity).
 #[derive(Default)]
@@ -140,6 +204,14 @@ pub struct Perturbator {
     recv_seq: SeqTable<(usize, usize, u64, u64)>,
     wait_seq: SeqTable<usize>,
     phase_seq: SeqTable<usize>,
+    /// Armed crash plan plus its fired latch (one shot per instance).
+    crash: Option<(CrashPlan, AtomicBool)>,
+    /// Victim's program-ordered send-attempt counter for the crash plan.
+    crash_seq: SeqTable<usize>,
+    /// Armed corruption plan plus its fired latch.
+    corrupt: Option<(CorruptPlan, AtomicBool)>,
+    /// Victim's counter of qualifying element sends for the corruption plan.
+    corrupt_seq: SeqTable<usize>,
 }
 
 impl Perturbator {
@@ -151,7 +223,41 @@ impl Perturbator {
             recv_seq: SeqTable::default(),
             wait_seq: SeqTable::default(),
             phase_seq: SeqTable::default(),
+            crash: None,
+            crash_seq: SeqTable::default(),
+            corrupt: None,
+            corrupt_seq: SeqTable::default(),
         }
+    }
+
+    /// Arm a one-shot [`CrashPlan`]. Crash decisions draw from their own
+    /// domain, so arming one leaves the seeded delay/drop/stall streams
+    /// untouched — a crash run differs from its fault-free twin *only* by
+    /// the kill.
+    pub fn with_crash(mut self, plan: CrashPlan) -> Self {
+        self.crash = Some((plan, AtomicBool::new(false)));
+        self
+    }
+
+    /// Arm a one-shot [`CorruptPlan`] (same isolation as
+    /// [`Perturbator::with_crash`]).
+    pub fn with_corrupt(mut self, plan: CorruptPlan) -> Self {
+        self.corrupt = Some((plan, AtomicBool::new(false)));
+        self
+    }
+
+    /// Has the armed crash plan fired yet?
+    pub fn crash_fired(&self) -> bool {
+        self.crash
+            .as_ref()
+            .is_some_and(|(_, fired)| fired.load(Ordering::SeqCst))
+    }
+
+    /// Has the armed corruption plan fired yet?
+    pub fn corrupt_fired(&self) -> bool {
+        self.corrupt
+            .as_ref()
+            .is_some_and(|(_, fired)| fired.load(Ordering::SeqCst))
     }
 
     /// The config this perturbator draws from.
@@ -219,6 +325,50 @@ impl SchedHooks for Perturbator {
         (self.roll(&id) < self.cfg.phase_stall_prob)
             .then(|| self.draw_us(&id, self.cfg.max_phase_stall_us))
     }
+
+    fn crash_fate(&self, src: usize, _dst: usize, _ctx: u64, _tag: u64) -> CrashFate {
+        let Some((plan, fired)) = self.crash.as_ref() else {
+            return CrashFate::Survive;
+        };
+        if src != plan.victim {
+            return CrashFate::Survive;
+        }
+        // The counter keeps advancing after the kill so a restarted world's
+        // send indices stay well-defined; the latch makes the plan one-shot.
+        let seq = self.crash_seq.next(src);
+        if seq == plan.after_sends && !fired.swap(true, Ordering::SeqCst) {
+            return CrashFate::Crash;
+        }
+        CrashFate::Survive
+    }
+
+    fn corrupt_send(
+        &self,
+        src: usize,
+        dst: usize,
+        ctx: u64,
+        tag: u64,
+        len: usize,
+    ) -> Option<(usize, f64)> {
+        let (plan, fired) = self.corrupt.as_ref()?;
+        if src != plan.victim || len < plan.min_len {
+            return None;
+        }
+        let seq = self.corrupt_seq.next(src);
+        if seq != plan.on_send || fired.swap(true, Ordering::SeqCst) {
+            return None;
+        }
+        let idx = hash(&[
+            self.cfg.seed,
+            domain::CORRUPT,
+            src as u64,
+            dst as u64,
+            ctx,
+            tag,
+        ]) as usize
+            % len;
+        Some((idx, plan.delta))
+    }
 }
 
 #[cfg(test)]
@@ -277,6 +427,83 @@ mod tests {
         assert!(fates.iter().any(|f| matches!(f, SendFate::Deliver)));
         assert!(fates.iter().any(|f| matches!(f, SendFate::Delay(_))));
         assert!(fates.iter().any(|f| matches!(f, SendFate::Drop { .. })));
+    }
+
+    #[test]
+    fn crash_plan_fires_exactly_once_at_the_planned_send() {
+        let p = Perturbator::new(PerturbConfig::new(9)).with_crash(CrashPlan {
+            victim: 2,
+            after_sends: 3,
+        });
+        assert!(!p.crash_fired());
+        // Other ranks never crash and never advance the victim's counter.
+        for i in 0..10 {
+            assert_eq!(p.crash_fate(0, 1, 0, i), CrashFate::Survive);
+        }
+        for expect_crash in [false, false, false, true, false, false] {
+            let fate = p.crash_fate(2, 0, 0, 0);
+            assert_eq!(fate == CrashFate::Crash, expect_crash);
+        }
+        assert!(p.crash_fired());
+        // A "restarted world" reusing the instance sees only survivals.
+        for _ in 0..20 {
+            assert_eq!(p.crash_fate(2, 0, 0, 0), CrashFate::Survive);
+        }
+    }
+
+    #[test]
+    fn corrupt_plan_targets_one_qualifying_send() {
+        let p = Perturbator::new(PerturbConfig::new(4)).with_corrupt(CorruptPlan {
+            victim: 1,
+            on_send: 1,
+            min_len: 100,
+            delta: 2.5,
+        });
+        // Small payloads never qualify and never advance the counter.
+        assert!(p.corrupt_send(1, 0, 0, 0, 8).is_none());
+        assert!(p.corrupt_send(1, 0, 0, 0, 99).is_none());
+        // Qualifying send 0: not yet.
+        assert!(p.corrupt_send(1, 0, 0, 0, 100).is_none());
+        // Qualifying send 1: fires, with an in-range index and the delta.
+        let (idx, delta) = p.corrupt_send(1, 0, 0, 0, 128).expect("plan fires");
+        assert!(idx < 128);
+        assert_eq!(delta, 2.5);
+        assert!(p.corrupt_fired());
+        // One-shot thereafter.
+        for _ in 0..10 {
+            assert!(p.corrupt_send(1, 0, 0, 0, 128).is_none());
+        }
+    }
+
+    #[test]
+    fn seed_derived_plans_replay_and_avoid_root() {
+        for seed in 0..50 {
+            let a = CrashPlan::from_seed(seed, 8, 200);
+            let b = CrashPlan::from_seed(seed, 8, 200);
+            assert_eq!(a, b);
+            assert!(a.victim >= 1 && a.victim < 8);
+            assert!(a.after_sends < 200);
+            let c = CorruptPlan::from_seed(seed, 8, 64, 40);
+            assert!(c.victim >= 1 && c.victim < 8);
+            assert!(c.delta >= 1.0 && c.delta < 2.0);
+        }
+    }
+
+    #[test]
+    fn arming_plans_leaves_seeded_streams_unchanged() {
+        // The golden-volume suite depends on this: a crash-armed perturbator
+        // must draw identical send fates to a plain one under the same seed.
+        let plain = Perturbator::new(PerturbConfig::aggressive(13));
+        let armed = Perturbator::new(PerturbConfig::aggressive(13)).with_crash(CrashPlan {
+            victim: 3,
+            after_sends: 1_000_000, // never actually fires
+        });
+        for i in 0..300 {
+            assert_eq!(
+                plain.send_fate(3, 1, 1, i % 5, 64),
+                armed.send_fate(3, 1, 1, i % 5, 64)
+            );
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! forwards down the tree when it completes the returned [`BcastRequest`].
 
 use crate::comm::{Comm, Payload};
+use crate::error::XmpiError;
 use crate::request::RecvRequest;
 use crate::stats::CollKind;
 
@@ -45,6 +46,23 @@ impl Comm {
         }
     }
 
+    /// [`Comm::barrier`] as a typed-error collective: returns `Err` instead
+    /// of unwinding when a participant has crashed. The same dissemination
+    /// pattern, so a *successful* `try_barrier` moves exactly the bytes the
+    /// infallible one does.
+    pub fn try_barrier(&self) -> Result<(), XmpiError> {
+        let _scope = self.coll_scope(CollKind::Barrier);
+        let p = self.size();
+        let r = self.rank();
+        let mut k = 1;
+        while k < p {
+            self.try_send_f64((r + k) % p, TAG_BARRIER, &[])?;
+            self.try_recv_f64((r + p - k) % p, TAG_BARRIER)?;
+            k <<= 1;
+        }
+        Ok(())
+    }
+
     /// Binomial-tree broadcast of an element buffer from `root`. Non-root
     /// ranks' buffers are overwritten (and resized) with the root's data.
     pub fn bcast_f64(&self, root: usize, buf: &mut Vec<f64>) {
@@ -73,6 +91,38 @@ impl Comm {
             }
             mask >>= 1;
         }
+    }
+
+    /// [`Comm::bcast_f64`] as a typed-error collective over the same
+    /// binomial tree. A rank that cannot reach its parent (or a child)
+    /// reports the failure instead of unwinding; ranks *above* the break
+    /// still complete, mirroring how a real fault-tolerant broadcast
+    /// degrades.
+    pub fn try_bcast_f64(&self, root: usize, buf: &mut Vec<f64>) -> Result<(), XmpiError> {
+        let _scope = self.coll_scope(CollKind::Bcast);
+        let p = self.size();
+        if p == 1 {
+            return Ok(());
+        }
+        let vr = (self.rank() + p - root) % p;
+        let mut mask = 1;
+        while mask < p {
+            if vr & mask != 0 {
+                let src = (vr - mask + root) % p;
+                *buf = self.try_recv_f64(src, TAG_BCAST)?;
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if vr & mask == 0 && vr + mask < p {
+                let dst = (vr + mask + root) % p;
+                self.try_send_f64(dst, TAG_BCAST, buf)?;
+            }
+            mask >>= 1;
+        }
+        Ok(())
     }
 
     /// Binomial-tree broadcast of an index buffer from `root`.
@@ -520,7 +570,7 @@ mod tests {
     #[test]
     fn gather_collects_in_rank_order() {
         let out = run(5, |c| c.gather_f64(3, &[c.rank() as f64]));
-        let gathered = out.results[3].as_ref().unwrap();
+        let gathered = out.results[3].as_ref().expect("root rank holds the gather");
         for (i, g) in gathered.iter().enumerate() {
             assert_eq!(g, &vec![i as f64]);
         }

@@ -12,7 +12,9 @@
 //! columns, z-fibres, layers) get isolated message streams over the shared
 //! mailboxes, mirroring MPI communicator semantics.
 
-use crate::hooks::{self, SchedHooks};
+use crate::error::XmpiError;
+use crate::hooks::{self, CrashFate, SchedHooks};
+use crate::liveness::{CrashUnwind, Liveness, PoisonUnwind};
 use crate::stats::{CollKind, Counters};
 use crate::trace::{Event, Recorder};
 use parking_lot::{Condvar, Mutex};
@@ -59,6 +61,24 @@ pub(crate) struct Message {
     visible_at: Option<Instant>,
 }
 
+/// Why a blocking take gave up (the caller decides whether that is a panic,
+/// a sentinel unwind, or a typed error).
+pub(crate) enum TakeErr {
+    /// The deadline elapsed; `pending` unmatched messages sat in the
+    /// mailbox.
+    Timeout {
+        /// Unmatched messages in the mailbox at expiry.
+        pending: usize,
+    },
+    /// The awaited source rank crashed.
+    Dead {
+        /// World rank of the dead source.
+        rank: usize,
+    },
+    /// Some other rank crashed; the world is tearing down.
+    Poisoned,
+}
+
 /// Outcome of scanning a mailbox for a `(src, ctx, tag)` match.
 enum Scan {
     /// A matchable message was removed from the queue.
@@ -102,6 +122,9 @@ pub(crate) struct Shared {
     /// Schedule-perturbation hooks; `None` for unperturbed worlds (one
     /// branch per hook point, no other cost).
     pub hooks: Option<Arc<dyn SchedHooks>>,
+    /// Crash liveness registry (two relaxed atomic loads per receive in a
+    /// healthy world).
+    pub liveness: Liveness,
 }
 
 impl Shared {
@@ -116,6 +139,7 @@ impl Shared {
             windows: crate::rma::WindowRegistry::default(),
             trace,
             hooks,
+            liveness: Liveness::new(p),
         })
     }
 }
@@ -265,14 +289,67 @@ impl Comm {
         self.push_message(dst, tag, payload, false);
     }
 
+    /// [`Comm::send_f64`] that fails fast instead of unwinding when the
+    /// destination has crashed or the world is poisoned.
+    pub fn try_send_f64(&self, dst: usize, tag: u64, data: &[f64]) -> Result<(), XmpiError> {
+        self.try_send_payload(dst, tag, Payload::F64(data.to_vec()))
+    }
+
+    /// [`Comm::send_u64`] that fails fast instead of unwinding when the
+    /// destination has crashed or the world is poisoned.
+    pub fn try_send_u64(&self, dst: usize, tag: u64, data: &[u64]) -> Result<(), XmpiError> {
+        self.try_send_payload(dst, tag, Payload::U64(data.to_vec()))
+    }
+
+    /// [`Comm::send_payload`] returning [`XmpiError::RankDead`] when the
+    /// destination has crashed — the typed-error entry point fault-tolerant
+    /// drivers use on paths where a dead peer is survivable.
+    pub fn try_send_payload(
+        &self,
+        dst: usize,
+        tag: u64,
+        payload: Payload,
+    ) -> Result<(), XmpiError> {
+        self.push_message_inner(dst, tag, payload, false)
+    }
+
+    /// Infallible transport wrapper: a send to a dead rank unwinds this
+    /// thread with a poison sentinel (caught by [`crate::run_ft`]; a loud
+    /// panic under plain [`crate::run`]).
+    pub(crate) fn push_message(&self, dst: usize, tag: u64, payload: Payload, posted: bool) {
+        if let Err(e) = self.push_message_inner(dst, tag, payload, posted) {
+            std::panic::panic_any(PoisonUnwind(e));
+        }
+    }
+
     /// Transport core shared by blocking and nonblocking sends. `posted`
     /// selects the event flavour ([`Event::SendPost`] vs [`Event::Send`]);
     /// byte accounting and delivery are identical because sends are buffered
     /// either way.
-    pub(crate) fn push_message(&self, dst: usize, tag: u64, payload: Payload, posted: bool) {
+    ///
+    /// Fault-injection order matters here: the crash hook fires *before any
+    /// accounting* (a crashed send never happened), the dead-destination
+    /// check *before* counting (a refused send is not traffic), and the
+    /// corruption hook *after* counting (the wire size is unchanged, only a
+    /// value is wrong).
+    pub(crate) fn push_message_inner(
+        &self,
+        dst: usize,
+        tag: u64,
+        mut payload: Payload,
+        posted: bool,
+    ) -> Result<(), XmpiError> {
         assert!(dst < self.size(), "send: destination {dst} out of range");
         let dst_world = self.members[dst];
         let src_world = self.world_rank();
+        if let Some(h) = &self.shared.hooks {
+            if h.crash_fate(src_world, dst_world, self.ctx, tag) == CrashFate::Crash {
+                self.crash_self(src_world);
+            }
+        }
+        if self.shared.liveness.is_dead(dst_world) {
+            return Err(XmpiError::RankDead { rank: dst_world });
+        }
         let bytes = payload.bytes();
         self.shared.counters[src_world].record_send(bytes);
         if let Some(tr) = &self.shared.trace {
@@ -299,6 +376,20 @@ impl Comm {
             };
             tr.push(src_world, e);
         }
+        // In-flight corruption: element payloads only, applied after the
+        // byte accounting (the wire size is unchanged; only a value is
+        // wrong — the fault an ABFT checksum layer must detect).
+        if let Payload::F64(v) = &mut payload {
+            if let Some(h) = &self.shared.hooks {
+                if let Some((i, delta)) =
+                    h.corrupt_send(src_world, dst_world, self.ctx, tag, v.len())
+                {
+                    if let Some(x) = v.get_mut(i) {
+                        *x += delta;
+                    }
+                }
+            }
+        }
         // Fault injection: the hook may hold the message in flight (delay)
         // or lose the first transmission (visible only after the simulated
         // retransmission timeout). The payload is enqueued either way — the
@@ -321,6 +412,25 @@ impl Comm {
             visible_at,
         });
         mbox.arrived.notify_all();
+        Ok(())
+    }
+
+    /// Execute an injected crash of this rank: mark it dead, poison the
+    /// world, wake every blocked receiver (the mailbox lock is taken around
+    /// each notify so a waiter between its poison check and its park cannot
+    /// miss the wakeup), record the trace event, and unwind with the crash
+    /// sentinel that [`crate::run_ft`] maps to [`XmpiError::RankDead`].
+    fn crash_self(&self, src_world: usize) -> ! {
+        self.shared.liveness.kill(src_world);
+        if let Some(tr) = &self.shared.trace {
+            tr.push(src_world, Event::RankCrash { t: tr.now() });
+        }
+        for mbox in &self.shared.mailboxes {
+            let guard = mbox.queue.lock();
+            mbox.arrived.notify_all();
+            drop(guard);
+        }
+        std::panic::panic_any(CrashUnwind { rank: src_world });
     }
 
     /// Receive matrix elements from local rank `src` with `tag` (blocking).
@@ -350,8 +460,146 @@ impl Comm {
     }
 
     /// Receive any payload type from `(src, tag)` (blocking, with deadlock
-    /// timeout).
+    /// timeout). A dead source or a poisoned world unwinds with a poison
+    /// sentinel ([`crate::run_ft`] catches it; plain [`crate::run`] panics).
     pub fn recv_payload(&self, src: usize, tag: u64) -> Payload {
+        match self.try_recv_payload(src, tag) {
+            Ok(p) => p,
+            Err(XmpiError::Timeout { pending, .. }) => panic!(
+                "xmpi deadlock: rank {} (world {}) waited {:?} for msg from local {} \
+                 (world {}) tag {} ctx {:#x}; {} unmatched messages pending",
+                self.rank,
+                self.world_rank(),
+                RECV_TIMEOUT,
+                src,
+                self.members[src],
+                tag,
+                self.ctx,
+                pending
+            ),
+            Err(e) => std::panic::panic_any(PoisonUnwind(e)),
+        }
+    }
+
+    /// Map a non-timeout [`TakeErr`] to its typed error.
+    fn take_err(e: TakeErr, src_world: usize, tag: u64) -> XmpiError {
+        match e {
+            TakeErr::Dead { rank } => XmpiError::RankDead { rank },
+            TakeErr::Poisoned => XmpiError::WorldPoisoned,
+            TakeErr::Timeout { pending } => XmpiError::Timeout {
+                src: src_world,
+                tag,
+                attempts: 1,
+                pending,
+            },
+        }
+    }
+
+    /// Core matching loop: block until the channel's next `(src, ctx, tag)`
+    /// message (arrival order) is matchable, the world is poisoned, or
+    /// `timeout` elapses.
+    ///
+    /// Already-delivered messages stay consumable in a poisoned world — the
+    /// scan runs *before* the liveness check, so a survivor draining its
+    /// mailbox during teardown or recovery sees everything that actually
+    /// arrived; only a wait that would *block* observes the poison.
+    fn take_deadline(
+        &self,
+        src_world: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Payload, TakeErr> {
+        let my_world = self.world_rank();
+        let mbox = &self.shared.mailboxes[my_world];
+        let deadline = Instant::now() + timeout;
+        let mut queue = mbox.queue.lock();
+        loop {
+            let wake_at = match scan_mailbox(&mut queue, src_world, self.ctx, tag) {
+                Scan::Ready(p) => return Ok(p),
+                Scan::InFlight(t) => t.min(deadline),
+                Scan::Absent => deadline,
+            };
+            if self.shared.liveness.is_poisoned() {
+                return Err(if self.shared.liveness.is_dead(src_world) {
+                    TakeErr::Dead { rank: src_world }
+                } else {
+                    TakeErr::Poisoned
+                });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(TakeErr::Timeout {
+                    pending: queue.len(),
+                });
+            }
+            // Result deliberately ignored: an in-flight visibility deadline
+            // wakes by timeout, a fresh arrival (or a crash notification)
+            // wakes by notify, and either way the loop re-scans.
+            let _ = mbox.arrived.wait_for(&mut queue, wake_at - now);
+        }
+    }
+
+    /// [`Comm::recv_f64`] as a typed-error operation: `Err` on a dead
+    /// source, a poisoned world, or deadline expiry, instead of a panic.
+    pub fn try_recv_f64(&self, src: usize, tag: u64) -> Result<Vec<f64>, XmpiError> {
+        match self.try_recv_payload(src, tag)? {
+            Payload::F64(v) => Ok(v),
+            Payload::U64(v) => Err(XmpiError::Truncated {
+                expected: 0,
+                got: v.len(),
+                src: self.members[src],
+                tag,
+            }),
+        }
+    }
+
+    /// [`Comm::try_recv_f64`] that additionally enforces the element count:
+    /// a payload of any other length (or an index payload) is
+    /// [`XmpiError::Truncated`] — the shape contract a checksum-carrying
+    /// message must satisfy before verification is even meaningful.
+    pub fn try_recv_f64_exact(
+        &self,
+        src: usize,
+        tag: u64,
+        expected: usize,
+    ) -> Result<Vec<f64>, XmpiError> {
+        let src_world = self.members[src];
+        match self.try_recv_payload(src, tag)? {
+            Payload::F64(v) if v.len() == expected => Ok(v),
+            Payload::F64(v) => Err(XmpiError::Truncated {
+                expected,
+                got: v.len(),
+                src: src_world,
+                tag,
+            }),
+            Payload::U64(_) => Err(XmpiError::Truncated {
+                expected,
+                got: 0,
+                src: src_world,
+                tag,
+            }),
+        }
+    }
+
+    /// [`Comm::recv_u64`] as a typed-error operation.
+    pub fn try_recv_u64(&self, src: usize, tag: u64) -> Result<Vec<u64>, XmpiError> {
+        match self.try_recv_payload(src, tag)? {
+            Payload::U64(v) => Ok(v),
+            Payload::F64(v) => Err(XmpiError::Truncated {
+                expected: 0,
+                got: v.len(),
+                src: self.members[src],
+                tag,
+            }),
+        }
+    }
+
+    /// [`Comm::recv_payload`] as a typed-error operation: a dead source
+    /// fails fast with [`XmpiError::RankDead`], a crash elsewhere with
+    /// [`XmpiError::WorldPoisoned`], and deadline expiry with
+    /// [`XmpiError::Timeout`] — no sentinel unwinds, so a fault-tolerant
+    /// driver can branch on the outcome and keep the rank alive.
+    pub fn try_recv_payload(&self, src: usize, tag: u64) -> Result<Payload, XmpiError> {
         assert!(src < self.size(), "recv: source {src} out of range");
         let src_world = self.members[src];
         let my_world = self.world_rank();
@@ -387,44 +635,40 @@ impl Comm {
                         },
                     );
                 }
-                payload
+                Ok(payload)
             }
-            Err(pending) => panic!(
-                "xmpi deadlock: rank {} (world {}) waited {:?} for msg from local {} \
-                 (world {}) tag {} ctx {:#x}; {} unmatched messages pending",
-                self.rank, my_world, RECV_TIMEOUT, src, src_world, tag, self.ctx, pending
-            ),
+            Err(e) => Err(Self::take_err(e, src_world, tag)),
         }
     }
 
-    /// Core matching loop: block until the channel's next `(src, ctx, tag)`
-    /// message (arrival order) is matchable, or `timeout` elapses. Returns
-    /// `Err(pending)` — the number of unmatched messages in the mailbox —
-    /// on timeout.
-    fn take_deadline(
-        &self,
-        src_world: usize,
-        tag: u64,
-        timeout: Duration,
-    ) -> Result<Payload, usize> {
-        let my_world = self.world_rank();
-        let mbox = &self.shared.mailboxes[my_world];
-        let deadline = Instant::now() + timeout;
-        let mut queue = mbox.queue.lock();
-        loop {
-            let wake_at = match scan_mailbox(&mut queue, src_world, self.ctx, tag) {
-                Scan::Ready(p) => return Ok(p),
-                Scan::InFlight(t) => t.min(deadline),
-                Scan::Absent => deadline,
-            };
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(queue.len());
-            }
-            // Result deliberately ignored: an in-flight visibility deadline
-            // wakes by timeout, a fresh arrival wakes by notification, and
-            // either way the loop re-scans.
-            let _ = mbox.arrived.wait_for(&mut queue, wake_at - now);
+    /// Has the given communicator-local rank crashed?
+    pub fn is_rank_dead(&self, r: usize) -> bool {
+        self.shared.liveness.is_dead(self.members[r])
+    }
+
+    /// Has any rank of the world crashed?
+    pub fn world_poisoned(&self) -> bool {
+        self.shared.liveness.is_poisoned()
+    }
+
+    /// World ranks currently marked dead, ascending.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        self.shared.liveness.dead_ranks()
+    }
+
+    /// Trace marker: this rank starts reconstructing lost state. Pairs with
+    /// [`Comm::mark_recovery_end`]; analyses use the bracket to attribute
+    /// traffic to recovery rather than to the algorithm. No-op untraced.
+    pub fn mark_recovery_begin(&self) {
+        if let Some(tr) = &self.shared.trace {
+            tr.push(self.world_rank(), Event::RecoveryBegin { t: tr.now() });
+        }
+    }
+
+    /// Trace marker: recovery finished after moving `bytes` over the wire.
+    pub fn mark_recovery_end(&self, bytes: u64) {
+        if let Some(tr) = &self.shared.trace {
+            tr.push(self.world_rank(), Event::RecoveryEnd { t: tr.now(), bytes });
         }
     }
 
@@ -514,7 +758,7 @@ impl Comm {
     pub(crate) fn block_take(&self, src: usize, src_world: usize, tag: u64) -> Payload {
         match self.take_deadline(src_world, tag, RECV_TIMEOUT) {
             Ok(p) => p,
-            Err(pending) => panic!(
+            Err(TakeErr::Timeout { pending }) => panic!(
                 "xmpi deadlock: rank {} (world {}) waited {:?} for nonblocking msg from \
                  local {} (world {}) tag {} ctx {:#x}; {} unmatched messages pending",
                 self.rank,
@@ -526,19 +770,26 @@ impl Comm {
                 self.ctx,
                 pending
             ),
+            Err(e) => std::panic::panic_any(PoisonUnwind(Self::take_err(e, src_world, tag))),
         }
     }
 
     /// [`Comm::block_take`] under a caller-supplied timeout: `Err` carries
     /// the number of unmatched mailbox messages at expiry. Backs the
-    /// configurable [`crate::request::WaitPolicy`].
+    /// configurable [`crate::request::WaitPolicy`]. A crash (dead source or
+    /// poisoned world) unwinds with the poison sentinel rather than
+    /// masquerading as a timeout.
     pub(crate) fn block_take_timeout(
         &self,
         src_world: usize,
         tag: u64,
         timeout: Duration,
     ) -> Result<Payload, usize> {
-        self.take_deadline(src_world, tag, timeout)
+        match self.take_deadline(src_world, tag, timeout) {
+            Ok(p) => Ok(p),
+            Err(TakeErr::Timeout { pending }) => Err(pending),
+            Err(e) => std::panic::panic_any(PoisonUnwind(Self::take_err(e, src_world, tag))),
+        }
     }
 
     /// Stall at a request-completion point if wait-delay hooks are armed

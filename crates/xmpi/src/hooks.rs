@@ -66,6 +66,20 @@ impl SendFate {
     }
 }
 
+/// Whether the *sending rank itself* survives a send attempt — the hard-
+/// failure counterpart of [`SendFate`]'s transient perturbations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashFate {
+    /// The rank lives; the send proceeds (subject to [`SendFate`]).
+    Survive,
+    /// The rank dies *before* the message leaves it: nothing is enqueued,
+    /// no bytes are counted, the world's liveness registry marks the rank
+    /// dead and poisons the world, and the rank's thread unwinds with a
+    /// crash sentinel that [`crate::run_ft`] turns into
+    /// [`crate::XmpiError::RankDead`].
+    Crash,
+}
+
 /// Transport-level perturbation callbacks. All methods default to no-ops so
 /// an implementation only overrides the points it wants to perturb.
 ///
@@ -98,6 +112,35 @@ pub trait SchedHooks: Send + Sync {
     /// Stall inserted on world rank `rank` as it declares phase `name`.
     fn phase_stall(&self, rank: usize, name: &str) -> Option<Duration> {
         let _ = (rank, name);
+        None
+    }
+
+    /// Hard-failure injection: does world rank `src` *die* at this send
+    /// attempt (to `dst` on channel `(ctx, tag)`)? Consulted before any
+    /// accounting — a crashed send never happened. Keyed on the sender's
+    /// program-ordered send count by deterministic implementations, so the
+    /// same seed kills the same rank at the same logical instant in every
+    /// run.
+    fn crash_fate(&self, src: usize, dst: usize, ctx: u64, tag: u64) -> CrashFate {
+        let _ = (src, dst, ctx, tag);
+        CrashFate::Survive
+    }
+
+    /// In-flight data corruption: flip element `index` of an element
+    /// (`f64`) payload of `len` elements by adding `delta`, or `None` to
+    /// deliver intact. Applied after byte accounting — the wire size is
+    /// unchanged, only the value is wrong, which is exactly the fault an
+    /// ABFT checksum layer must detect and locate. Index payloads are never
+    /// corrupted (the hook is not consulted for them).
+    fn corrupt_send(
+        &self,
+        src: usize,
+        dst: usize,
+        ctx: u64,
+        tag: u64,
+        len: usize,
+    ) -> Option<(usize, f64)> {
+        let _ = (src, dst, ctx, tag, len);
         None
     }
 }
@@ -165,6 +208,8 @@ mod tests {
         assert!(h.recv_delay(0, 1, 0, 0).is_none());
         assert!(h.wait_delay(0).is_none());
         assert!(h.phase_stall(0, "x").is_none());
+        assert_eq!(h.crash_fate(0, 1, 0, 0), CrashFate::Survive);
+        assert!(h.corrupt_send(0, 1, 0, 0, 64).is_none());
     }
 
     #[test]

@@ -59,6 +59,12 @@
 //! [`Event::RecvPost`], completions record [`Event::WaitDone`]).
 
 #![warn(missing_docs)]
+// Cross-rank code paths must surface failures as typed errors or loud,
+// contextual panics — a bare `.unwrap()` that turns a dead peer into
+// `Option::unwrap()` with no rank, tag, or channel is how a simulated
+// cluster becomes undebuggable. `.expect("...")` with a message stays
+// allowed for genuine invariants.
+#![deny(clippy::unwrap_used)]
 
 //! # Schedule perturbation & fault injection
 //!
@@ -70,10 +76,30 @@
 //! `xharness` crate drives these hooks from a single seed so any failing
 //! schedule replays exactly.
 
+//! # Fault domain
+//!
+//! Hard failures are part of the model, not an afterthought:
+//!
+//! * [`hooks::CrashFate::Crash`] kills a rank at a chosen send — the
+//!   world's liveness registry marks it dead and *poisons* the world, so
+//!   survivors fail fast (no 120-second deadlock timeouts) while messages
+//!   that were already delivered stay consumable;
+//! * [`hooks::SchedHooks::corrupt_send`] flips a single element of an
+//!   in-flight payload — the fault an ABFT checksum layer (see
+//!   `dense::checksum`) must detect and locate;
+//! * the `try_`-prefixed operations ([`Comm::try_send_f64`],
+//!   [`Comm::try_recv_f64`], [`Comm::try_barrier`], …) return
+//!   [`XmpiError`] instead of unwinding, and [`run_ft`] launches a world
+//!   whose per-rank outcomes are `Result<R, XmpiError>` — the entry point
+//!   for drivers that recover (checkpoint/restart in `factor::ft`) rather
+//!   than die.
+
 pub mod collectives;
 pub mod comm;
+pub mod error;
 pub mod grid;
 pub mod hooks;
+mod liveness;
 pub mod request;
 pub mod rma;
 pub mod stats;
@@ -82,10 +108,13 @@ pub mod world;
 
 pub use collectives::BcastRequest;
 pub use comm::{Comm, Payload};
+pub use error::XmpiError;
 pub use grid::{Grid2, Grid3};
-pub use hooks::{with_hooks, SchedHooks, SendFate};
+pub use hooks::{with_hooks, CrashFate, SchedHooks, SendFate};
 pub use request::{wait_all, RecvRequest, Request, SendRequest, WaitPolicy, WaitTimeout};
 pub use rma::Window;
 pub use stats::{CollCounts, CollKind, RankStats, WorldStats};
 pub use trace::{Event, RankTrace, TraceConfig, WorldTrace};
-pub use world::{run, run_hooked, run_traced, run_traced_hooked, TracedResult, WorldResult};
+pub use world::{
+    run, run_ft, run_hooked, run_traced, run_traced_hooked, FtResult, TracedResult, WorldResult,
+};

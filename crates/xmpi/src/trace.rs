@@ -127,6 +127,34 @@ pub enum Event {
         /// Which collective.
         kind: CollKind,
     },
+    /// This rank crashed here (injected [`crate::hooks::CrashFate::Crash`]):
+    /// the last event the dead rank ever records. Its presence marks the
+    /// whole trace as a crashed world — byte-conservation and lost-request
+    /// checks abstain, because in-flight messages and posted receives
+    /// legitimately die with the world.
+    RankCrash {
+        /// Nanoseconds since the world epoch.
+        t: u64,
+    },
+    /// The rank began reconstructing state after a crash (a fault-tolerant
+    /// driver brackets its recovery traffic with this and
+    /// [`Event::RecoveryEnd`] so replay models can attribute recovery cost
+    /// separately from algorithmic communication).
+    RecoveryBegin {
+        /// Nanoseconds since the world epoch.
+        t: u64,
+    },
+    /// Recovery finished on this rank; `bytes` is the recovery traffic the
+    /// driver attributes to the bracket (its wire bytes are *also* counted
+    /// by the normal transport accounting under the driver's recovery
+    /// phase — this field lets an analysis cross-check the bracket against
+    /// the phase counters).
+    RecoveryEnd {
+        /// Nanoseconds since the world epoch.
+        t: u64,
+        /// Recovery bytes moved by this rank inside the bracket.
+        bytes: u64,
+    },
 }
 
 impl Event {
@@ -140,7 +168,10 @@ impl Event {
             | Event::RecvDone { t, .. }
             | Event::WaitDone { t, .. }
             | Event::CollEnter { t, .. }
-            | Event::CollExit { t, .. } => t,
+            | Event::CollExit { t, .. }
+            | Event::RankCrash { t }
+            | Event::RecoveryBegin { t }
+            | Event::RecoveryEnd { t, .. } => t,
         }
     }
 }

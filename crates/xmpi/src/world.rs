@@ -2,7 +2,9 @@
 //! traffic statistics.
 
 use crate::comm::{Comm, Shared};
+use crate::error::XmpiError;
 use crate::hooks::{self, SchedHooks};
+use crate::liveness::{CrashUnwind, PoisonUnwind};
 use crate::stats::WorldStats;
 use crate::trace::{self, Recorder, TraceConfig, WorldTrace};
 use std::sync::Arc;
@@ -14,6 +16,22 @@ pub struct WorldResult<R> {
     pub results: Vec<R>,
     /// Per-rank communication statistics.
     pub stats: WorldStats,
+}
+
+/// Results of a world that may have suffered injected rank crashes (see
+/// [`run_ft`]): per-rank outcomes instead of bare values.
+pub struct FtResult<R> {
+    /// Per-rank outcomes, indexed by rank. A crashed rank is
+    /// `Err(XmpiError::RankDead)` *naming itself*; a survivor whose blocking
+    /// operation was cut short carries the error it observed
+    /// (`RankDead { peer }` or `WorldPoisoned`).
+    pub results: Vec<Result<R, XmpiError>>,
+    /// Per-rank communication statistics (crashed ranks keep whatever they
+    /// had counted before dying — a crashed send was never counted).
+    pub stats: WorldStats,
+    /// World ranks that crashed, ascending. Empty means every rank ran to
+    /// completion and every entry of `results` is `Ok`.
+    pub crashed: Vec<usize>,
 }
 
 /// Results of a finished *traced* world: [`WorldResult`] plus the event
@@ -133,7 +151,60 @@ where
     }
 }
 
-fn launch<R, F>(shared: Arc<Shared>, f: F) -> (Vec<R>, WorldStats, Arc<Shared>)
+/// [`run`] for worlds that may suffer injected rank crashes: per-rank
+/// outcomes instead of a propagated panic.
+///
+/// The crashing rank unwinds with an internal sentinel that the join point
+/// maps to `Err(XmpiError::RankDead)` naming the rank itself; survivors cut
+/// short by the poisoned world carry the precise error their blocking
+/// operation observed. A *genuine* panic (an assertion failure, an
+/// out-of-range send) is still re-raised unchanged — only the two fault
+/// sentinels are absorbed, so bugs stay loud under fault injection.
+///
+/// Composes with [`crate::trace::capture`] and [`crate::hooks::with_hooks`]
+/// exactly like [`run`], which is how a fault-tolerant driver replays a
+/// seeded crash schedule under tracing.
+///
+/// # Panics
+/// If `p == 0`, or if any rank panics with a non-sentinel payload.
+pub fn run_ft<R, F>(p: usize, f: F) -> FtResult<R>
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    if let Some(cfg) = trace::capture_config() {
+        let shared = Shared::build(p, Some(Recorder::new(p, &cfg)), hooks::armed());
+        let (results, stats, shared) = launch_ft(shared, f);
+        let crashed = shared.liveness.dead_ranks();
+        let shared = Arc::into_inner(shared)
+            .expect("traced world: shared state must be exclusively owned after join");
+        let trace = shared
+            .trace
+            .expect("traced world carries a recorder")
+            .finish();
+        trace::capture_stash(trace);
+        return FtResult {
+            results,
+            stats,
+            crashed,
+        };
+    }
+    let (results, stats, shared) = launch_ft(Shared::build(p, None, hooks::armed()), f);
+    let crashed = shared.liveness.dead_ranks();
+    FtResult {
+        results,
+        stats,
+        crashed,
+    }
+}
+
+/// Join-point core: spawn the ranks and map each join outcome. The two fault
+/// sentinels ([`CrashUnwind`], [`PoisonUnwind`]) become typed `Err` values;
+/// anything else is a real bug and is re-raised.
+fn launch_ft<R, F>(
+    shared: Arc<Shared>,
+    f: F,
+) -> (Vec<Result<R, XmpiError>>, WorldStats, Arc<Shared>)
 where
     R: Send,
     F: Fn(&Comm) -> R + Sync,
@@ -141,7 +212,7 @@ where
     let p = shared.mailboxes.len();
     assert!(p > 0, "world must have at least one rank");
 
-    let results: Vec<R> = std::thread::scope(|s| {
+    let results: Vec<Result<R, XmpiError>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..p)
             .map(|rank| {
                 let shared = shared.clone();
@@ -155,8 +226,17 @@ where
         handles
             .into_iter()
             .map(|h| match h.join() {
-                Ok(r) => r,
-                Err(e) => std::panic::resume_unwind(e),
+                Ok(r) => Ok(r),
+                Err(payload) => {
+                    let payload = match payload.downcast::<CrashUnwind>() {
+                        Ok(c) => return Err(XmpiError::RankDead { rank: c.rank }),
+                        Err(other) => other,
+                    };
+                    match payload.downcast::<PoisonUnwind>() {
+                        Ok(p) => Err(p.0),
+                        Err(other) => std::panic::resume_unwind(other),
+                    }
+                }
             })
             .collect()
     });
@@ -164,6 +244,30 @@ where
     let stats = WorldStats {
         ranks: shared.counters.iter().map(|c| c.snapshot()).collect(),
     };
+    (results, stats, shared)
+}
+
+/// Infallible launch used by [`run`] and friends: a fault sentinel reaching
+/// this join point means crash injection was armed on a world launched
+/// without [`run_ft`] — fail loudly with a pointer at the right entry point
+/// instead of hanging or silently dropping a rank.
+fn launch<R, F>(shared: Arc<Shared>, f: F) -> (Vec<R>, WorldStats, Arc<Shared>)
+where
+    R: Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    let (results, stats, shared) = launch_ft(shared, f);
+    let results = results
+        .into_iter()
+        .enumerate()
+        .map(|(rank, r)| match r {
+            Ok(v) => v,
+            Err(e) => panic!(
+                "rank {rank} failed under fault injection: {e}; \
+                 launch the world with xmpi::run_ft to handle rank crashes"
+            ),
+        })
+        .collect();
     (results, stats, shared)
 }
 
@@ -195,6 +299,114 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    /// Kills `victim` at its first send attempt.
+    struct CrashVictim {
+        victim: usize,
+    }
+    impl SchedHooks for CrashVictim {
+        fn crash_fate(&self, src: usize, _: usize, _: u64, _: u64) -> crate::hooks::CrashFate {
+            if src == self.victim {
+                crate::hooks::CrashFate::Crash
+            } else {
+                crate::hooks::CrashFate::Survive
+            }
+        }
+    }
+
+    #[test]
+    fn run_ft_maps_crash_to_typed_errors() {
+        let out = hooks::with_hooks(Arc::new(CrashVictim { victim: 0 }), || {
+            run_ft(2, |c| {
+                if c.rank() == 0 {
+                    c.send_f64(1, 0, &[1.0]);
+                    0.0
+                } else {
+                    c.recv_f64(0, 0)[0]
+                }
+            })
+        });
+        assert_eq!(out.crashed, vec![0]);
+        // The victim names itself; the survivor blocked on the dead peer.
+        assert_eq!(out.results[0], Err(XmpiError::RankDead { rank: 0 }));
+        assert_eq!(out.results[1], Err(XmpiError::RankDead { rank: 0 }));
+    }
+
+    #[test]
+    fn run_ft_without_faults_is_all_ok() {
+        let out = run_ft(3, |c| {
+            let mut v = vec![c.rank() as f64];
+            c.allreduce_sum(&mut v);
+            v[0]
+        });
+        assert!(out.crashed.is_empty());
+        for r in out.results {
+            assert_eq!(r, Ok(3.0));
+        }
+    }
+
+    #[test]
+    fn run_ft_still_propagates_real_panics() {
+        let r = std::panic::catch_unwind(|| {
+            run_ft(2, |c| {
+                if c.rank() == 1 {
+                    panic!("genuine bug");
+                }
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault injection")]
+    fn plain_run_rejects_crash_injection_loudly() {
+        hooks::with_hooks(Arc::new(CrashVictim { victim: 0 }), || {
+            run(2, |c| {
+                if c.rank() == 0 {
+                    c.send_f64(1, 0, &[1.0]);
+                } else {
+                    c.recv_f64(0, 0);
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn delivered_messages_survive_poisoning() {
+        // Rank 0 sends its payload and *then* crashes; rank 1 must still be
+        // able to consume the already-delivered message before observing the
+        // death on its second receive.
+        struct CrashOnSecondSend(std::sync::atomic::AtomicUsize);
+        impl SchedHooks for CrashOnSecondSend {
+            fn crash_fate(&self, src: usize, _: usize, _: u64, _: u64) -> crate::hooks::CrashFate {
+                use std::sync::atomic::Ordering;
+                if src == 0 && self.0.fetch_add(1, Ordering::SeqCst) == 1 {
+                    crate::hooks::CrashFate::Crash
+                } else {
+                    crate::hooks::CrashFate::Survive
+                }
+            }
+        }
+        let out = hooks::with_hooks(
+            Arc::new(CrashOnSecondSend(std::sync::atomic::AtomicUsize::new(0))),
+            || {
+                run_ft(2, |c| {
+                    if c.rank() == 0 {
+                        c.send_f64(1, 0, &[7.0]);
+                        c.send_f64(1, 1, &[8.0]); // dies here
+                        vec![]
+                    } else {
+                        let first = c.try_recv_f64(0, 0).expect("delivered before crash");
+                        let second = c.try_recv_f64(0, 1);
+                        assert_eq!(second, Err(XmpiError::RankDead { rank: 0 }));
+                        first
+                    }
+                })
+            },
+        );
+        assert_eq!(out.crashed, vec![0]);
+        assert_eq!(out.results[1], Ok(vec![7.0]));
     }
 
     #[test]

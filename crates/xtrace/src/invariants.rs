@@ -242,6 +242,10 @@ pub fn check_trace(trace: &WorldTrace) -> Report {
     // (rank, kind) -> (enters, exits).
     let mut brackets: HashMap<(usize, &'static str), (u64, u64)> = HashMap::new();
     let mut posts_checked = 0u64;
+    // Any rank crashed: in-flight messages and posted receives legitimately
+    // died with the world, so byte-conservation and lost-request checks
+    // abstain (they would report the injected fault, not a runtime bug).
+    let mut crashed = false;
 
     for (rank, rt) in trace.ranks.iter().enumerate() {
         for e in &rt.events {
@@ -289,6 +293,10 @@ pub fn check_trace(trace: &WorldTrace) -> Report {
                 Event::CollExit { kind, .. } => {
                     brackets.entry((rank, kind.name())).or_default().1 += 1;
                 }
+                Event::RankCrash { .. } => {
+                    crashed = true;
+                }
+                Event::RecoveryBegin { .. } | Event::RecoveryEnd { .. } => {}
                 Event::Phase { .. } => {}
             }
         }
@@ -300,37 +308,39 @@ pub fn check_trace(trace: &WorldTrace) -> Report {
     let mut chan_keys: Vec<_> = channels.keys().copied().collect();
     chan_keys.sort_unstable();
     let channels_checked = chan_keys.len();
-    for key in chan_keys {
-        let ledger = &channels[&key];
-        if ledger.sent != ledger.received {
-            let (src, dst, ctx, tag) = key;
-            violations.push(Violation::ByteLeak {
-                src,
-                dst,
-                ctx,
-                tag,
-                sent: ledger.sent,
-                received: ledger.received,
-            });
+    if !crashed {
+        for key in chan_keys {
+            let ledger = &channels[&key];
+            if ledger.sent != ledger.received {
+                let (src, dst, ctx, tag) = key;
+                violations.push(Violation::ByteLeak {
+                    src,
+                    dst,
+                    ctx,
+                    tag,
+                    sent: ledger.sent,
+                    received: ledger.received,
+                });
+            }
         }
-    }
 
-    let mut req_keys: Vec<_> = requests.keys().copied().collect();
-    req_keys.sort_unstable();
-    for key in req_keys {
-        let (posted, completed) = requests[&key];
-        // One-sided completions have no post, so completed > posted is
-        // legitimate; only an excess of posts is a lost request.
-        if posted > completed {
-            let (rank, peer, ctx, tag) = key;
-            violations.push(Violation::LostRequest {
-                rank,
-                peer,
-                ctx,
-                tag,
-                posted,
-                completed,
-            });
+        let mut req_keys: Vec<_> = requests.keys().copied().collect();
+        req_keys.sort_unstable();
+        for key in req_keys {
+            let (posted, completed) = requests[&key];
+            // One-sided completions have no post, so completed > posted is
+            // legitimate; only an excess of posts is a lost request.
+            if posted > completed {
+                let (rank, peer, ctx, tag) = key;
+                violations.push(Violation::LostRequest {
+                    rank,
+                    peer,
+                    ctx,
+                    tag,
+                    posted,
+                    completed,
+                });
+            }
         }
     }
 

@@ -219,6 +219,13 @@ pub fn replay(trace: &WorldTrace, m: &Machine) -> Replay {
                         e.hidden += hid;
                     }
                     Event::CollEnter { .. } | Event::CollExit { .. } => {}
+                    // Fault markers carry no modelled cost: a crash ends the
+                    // rank's event stream, and recovery traffic already
+                    // appears as ordinary sends/receives between the
+                    // markers.
+                    Event::RankCrash { .. }
+                    | Event::RecoveryBegin { .. }
+                    | Event::RecoveryEnd { .. } => {}
                 }
                 cursor[r] += 1;
                 progressed = true;

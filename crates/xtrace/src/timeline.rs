@@ -225,6 +225,10 @@ fn build_rank(trace: &WorldTrace, rank: usize, events: &[Event], makespan: u64) 
                 }
             }
             Event::Send { .. } | Event::SendPost { .. } => {}
+            // Crash/recovery markers have no span of their own; the recovery
+            // bracket's traffic shows up as ordinary waits, attributed to
+            // whatever phase the recovering rank declared.
+            Event::RankCrash { .. } | Event::RecoveryBegin { .. } | Event::RecoveryEnd { .. } => {}
         }
     }
     // Close the trailing span at the makespan so every rank's timeline
