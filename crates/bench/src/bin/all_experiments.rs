@@ -1,50 +1,141 @@
 //! Run the full experiment suite (every table and figure of the paper's
 //! evaluation) and persist all raw data under `results/`.
-use bench::experiments as ex;
+//!
+//! Each experiment runs under a panic guard: one figure crashing no longer
+//! silently truncates the rest of the suite. The run ends with a per-figure
+//! status table and exits nonzero if anything failed.
 
-fn main() {
+use bench::experiments as ex;
+use bench::table::render;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+
+type Experiment = (&'static str, Box<dyn FnOnce() -> ex::Report>);
+
+fn main() -> ExitCode {
     let t0 = std::time::Instant::now();
-    ex::bounds_report::run().emit();
-    ex::table1::run(512, 8).emit();
-    ex::table2::run(&[
-        (256, 4),
-        (256, 16),
-        (512, 16),
-        (512, 32),
-        (512, 27),
-        (1024, 64),
-    ])
-    .emit();
-    ex::fig1::fig1(&[256, 512, 1024, 2048], &[4, 16, 64]).emit();
-    ex::fig8::fig8a(1024, &[4, 8, 16, 32, 64]).emit();
-    ex::fig8::fig8b(256, &[4, 8, 16, 32, 64]).emit();
-    ex::fig8::fig8c(&[256, 512, 1024], &[4, 16, 64]).emit();
-    ex::fig9::fig9(&[4, 8, 16, 32, 64]).emit();
-    ex::fig9::fig10(&[4, 8, 16, 32, 64]).emit();
-    ex::fig1::fig11(&[256, 512, 1024, 2048], &[4, 16, 64]).emit();
-    ex::ablations::block_size(512, xmpi::Grid3::new(2, 2, 2), &[8, 16, 32, 64, 128]).emit();
-    ex::ablations::replication(
-        512,
-        16,
-        &[
-            xmpi::Grid3::new(4, 4, 1),
-            xmpi::Grid3::new(2, 4, 2),
-            xmpi::Grid3::new(2, 2, 4),
-        ],
-    )
-    .emit();
-    ex::ablations::pivoting(
-        256,
-        &[
-            xmpi::Grid3::new(2, 2, 1),
-            xmpi::Grid3::new(2, 2, 2),
-            xmpi::Grid3::new(2, 2, 4),
-        ],
-    )
-    .emit();
-    ex::generality::run().emit();
+    let suite: Vec<Experiment> = vec![
+        ("bounds_report", Box::new(ex::bounds_report::run)),
+        ("table1", Box::new(|| ex::table1::run(512, 8))),
+        (
+            "table2",
+            Box::new(|| {
+                ex::table2::run(&[
+                    (256, 4),
+                    (256, 16),
+                    (512, 16),
+                    (512, 32),
+                    (512, 27),
+                    (1024, 64),
+                ])
+            }),
+        ),
+        (
+            "fig1",
+            Box::new(|| ex::fig1::fig1(&[256, 512, 1024, 2048], &[4, 16, 64])),
+        ),
+        (
+            "fig8a",
+            Box::new(|| ex::fig8::fig8a(1024, &[4, 8, 16, 32, 64])),
+        ),
+        (
+            "fig8b",
+            Box::new(|| ex::fig8::fig8b(256, &[4, 8, 16, 32, 64])),
+        ),
+        (
+            "fig8c",
+            Box::new(|| ex::fig8::fig8c(&[256, 512, 1024], &[4, 16, 64])),
+        ),
+        ("fig9", Box::new(|| ex::fig9::fig9(&[4, 8, 16, 32, 64]))),
+        ("fig10", Box::new(|| ex::fig9::fig10(&[4, 8, 16, 32, 64]))),
+        (
+            "fig11",
+            Box::new(|| ex::fig1::fig11(&[256, 512, 1024, 2048], &[4, 16, 64])),
+        ),
+        (
+            "ablation_block",
+            Box::new(|| {
+                ex::ablations::block_size(512, xmpi::Grid3::new(2, 2, 2), &[8, 16, 32, 64, 128])
+            }),
+        ),
+        (
+            "ablation_replication",
+            Box::new(|| {
+                ex::ablations::replication(
+                    512,
+                    16,
+                    &[
+                        xmpi::Grid3::new(4, 4, 1),
+                        xmpi::Grid3::new(2, 4, 2),
+                        xmpi::Grid3::new(2, 2, 4),
+                    ],
+                )
+            }),
+        ),
+        (
+            "ablation_pivoting",
+            Box::new(|| {
+                ex::ablations::pivoting(
+                    256,
+                    &[
+                        xmpi::Grid3::new(2, 2, 1),
+                        xmpi::Grid3::new(2, 2, 2),
+                        xmpi::Grid3::new(2, 2, 4),
+                    ],
+                )
+            }),
+        ),
+        ("generality", Box::new(ex::generality::run)),
+    ];
+
+    let mut outcomes: Vec<(&str, Result<(), String>)> = Vec::new();
+    for (name, exp) in suite {
+        let started = std::time::Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(exp));
+        match result {
+            Ok(report) => {
+                report.emit();
+                outcomes.push((name, Ok(())));
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic (non-string payload)".to_string());
+                eprintln!(
+                    "\n[{name}] FAILED after {:.1}s: {msg}\n",
+                    started.elapsed().as_secs_f64()
+                );
+                outcomes.push((name, Err(msg)));
+            }
+        }
+    }
+
+    let failed = outcomes.iter().filter(|(_, r)| r.is_err()).count();
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|(name, r)| {
+            vec![
+                name.to_string(),
+                match r {
+                    Ok(()) => "ok".to_string(),
+                    Err(msg) => format!("FAILED: {msg}"),
+                },
+            ]
+        })
+        .collect();
+    println!("\nsuite summary");
+    println!("{}", render(&["experiment", "status"], &rows));
     println!(
-        "\nall experiments done in {:.1}s; raw data in results/",
+        "{} of {} experiment(s) succeeded in {:.1}s; raw data in results/",
+        outcomes.len() - failed,
+        outcomes.len(),
         t0.elapsed().as_secs_f64()
     );
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -14,9 +14,15 @@
 //! phase *hides* behind compute under the α-β-γ replay, plus the modeled
 //! makespan reduction the overlap buys.
 //!
+//! With `--kpi`, skips the profile tables and instead emits the exact KPI
+//! record shape the ablation registry stores (see `bench::kpi`), so a
+//! hand-run trace can be appended to the trajectory: pass `--registry DIR`
+//! to record it under the plan name `manual`.
+//!
 //! Usage:
 //!   trace_report [--algo conflux|confchox|twod-lu|lu25d] [--n N] [--p P]
 //!                [--seed S] [--out DIR] [--pretty] [--overlap]
+//!                [--kpi [--registry DIR]]
 
 use std::collections::BTreeMap;
 
@@ -38,6 +44,8 @@ struct Args {
     out: Option<String>,
     pretty: bool,
     overlap: bool,
+    kpi: bool,
+    registry: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -49,6 +57,8 @@ fn parse_args() -> Args {
         out: None,
         pretty: false,
         overlap: false,
+        kpi: false,
+        registry: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -64,10 +74,13 @@ fn parse_args() -> Args {
             "--out" => args.out = Some(val("--out")),
             "--pretty" => args.pretty = true,
             "--overlap" => args.overlap = true,
+            "--kpi" => args.kpi = true,
+            "--registry" => args.registry = Some(val("--registry")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: trace_report [--algo conflux|confchox|twod-lu|lu25d] \
-                     [--n N] [--p P] [--seed S] [--out DIR] [--pretty] [--overlap]"
+                     [--n N] [--p P] [--seed S] [--out DIR] [--pretty] [--overlap] \
+                     [--kpi [--registry DIR]]"
                 );
                 std::process::exit(0);
             }
@@ -276,6 +289,56 @@ fn overlap_report(args: &Args) {
     }
 }
 
+/// `--kpi` mode: extract the ablation-registry KPI record from one traced
+/// run and print (or append) it — the same shape `bench ablate run` stores,
+/// so hand-run traces land on the same trajectory.
+fn kpi_record(args: &Args, trace: &WorldTrace, stats: &WorldStats) {
+    let algo = bench::kpi::algo_from_name(&args.algo)
+        .unwrap_or_else(|| panic!("--kpi does not support algo {}", args.algo));
+    let c_used = match args.algo.as_str() {
+        "twod-lu" | "twod-chol" => 1,
+        "confchox" => ConfchoxConfig::auto(args.n, args.p).grid.pz,
+        _ => ConfluxConfig::auto(args.n, args.p).grid.pz,
+    };
+    let kpis = bench::kpi::factor_kpis(
+        algo,
+        args.n,
+        args.p,
+        c_used,
+        stats,
+        Some(trace),
+        &bench::machine::Machine::piz_daint(),
+    );
+    let cell = bench::plan::Cell {
+        algo: args.algo.clone(),
+        n: args.n,
+        p: args.p,
+        c: 0,
+        block: 0,
+        lookahead: true,
+        checksum: false,
+        seed: args.seed,
+    };
+    let stamp = bench::provenance::Stamp::here(None);
+    let (rows, record) = bench::registry::rows_for(&stamp, "manual", "manual", &cell.id(), &kpis);
+    let text = if args.pretty {
+        serde_json::to_string_pretty(&record).unwrap()
+    } else {
+        serde_json::to_string(&record).unwrap()
+    };
+    println!("{text}");
+    if let Some(dir) = &args.registry {
+        let reg = bench::registry::Registry::new(dir);
+        let outcome = reg.append(&rows, &[record]).expect("registry append");
+        eprintln!(
+            "registry {}: appended {} row(s), {} duplicate(s) skipped",
+            reg.csv_path().display(),
+            outcome.appended,
+            outcome.deduped
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
     if args.overlap {
@@ -283,6 +346,10 @@ fn main() {
         return;
     }
     let (trace, stats) = run_traced(&args, false);
+    if args.kpi {
+        kpi_record(&args, &trace, &stats);
+        return;
+    }
 
     let prov = Provenance::here(
         json!({ "algo": args.algo, "n": args.n, "p": args.p }),

@@ -10,6 +10,7 @@
 //! enforces in CI.
 
 use crate::experiments::Report;
+use crate::provenance::Stamp;
 use crate::table::render;
 use dense::flops::{gemm_flops, gemmt_flops, getrf_flops, potrf_flops, trsm_flops};
 use dense::gemm::{gemm, gemmt, naive_gemm, par_gemm, CUplo, Trans};
@@ -230,6 +231,7 @@ pub fn kernels(sizes: &[usize], reps: usize) -> Report {
         id: "BENCH_kernels".into(),
         title: "local kernel throughput (packed register-blocked path)".into(),
         json: json!({
+            "provenance": Stamp::here(None).to_json(),
             "reps": reps,
             "sizes": sizes,
             "samples": samples.iter().map(|s| json!({
@@ -261,6 +263,10 @@ mod tests {
     fn report_covers_every_kernel_and_size() {
         let r = kernels(&[24, 40], 1);
         assert_eq!(r.id, "BENCH_kernels");
+        assert!(
+            r.json["provenance"]["commit"].as_str().is_some(),
+            "report must carry the shared provenance stamp"
+        );
         let samples = r.json["samples"].as_array().unwrap();
         for kernel in [
             "gemm_naive",

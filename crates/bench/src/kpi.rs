@@ -1,0 +1,168 @@
+//! KPI definitions — the one place every registry writer agrees on what a
+//! number means.
+//!
+//! A KPI record is a flat `name → f64` map. The factor-workload KPIs:
+//!
+//! | KPI | definition | deterministic? |
+//! |---|---|---|
+//! | `sim_time_ms` | α-β-γ rank time on the busiest rank (ms) | yes |
+//! | `gflops` | `total_flops / sim_time / 1e9` | yes |
+//! | `pct_peak` | `% of P·γ` at the simulated time | yes |
+//! | `words_per_rank` | `avg (sent+recv)/2` per rank, in 8-byte words | yes |
+//! | `comm_factor` | `words_per_rank / Q_lower(N, P, M=c·N²/P)` | yes |
+//! | `msgs_per_rank` | mean messages sent per rank | yes |
+//! | `idle_frac` | receive-wait share of `P·makespan` (host clock) | no |
+//! | `critpath_frac` | critical-path share of the makespan (host clock) | no |
+//! | `checksum_byte_overhead` | ABFT bytes over the unprotected run − 1 | yes |
+//!
+//! "Deterministic" KPIs are pure functions of the measured traffic and the
+//! analytic machine model, so they are bit-stable across runs of the same
+//! commit — those are the ones plans gate with tolerances. The host-clock
+//! KPIs (`idle_frac`, `critpath_frac`) are recorded for trajectory plots
+//! but should not carry tight tolerances.
+//!
+//! The kernels-workload KPIs are `gflops_<kernel>` for each measured kernel
+//! plus `gemm_speedup` (packed vs naive) — the quantity the CI perf gate
+//! holds the floor on.
+
+use crate::machine::Machine;
+use crate::runner::Algo;
+use pebbles::bounds::{cholesky_io_lower_bound, lu_io_lower_bound};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use xmpi::{WorldStats, WorldTrace};
+
+/// Parse an ablation-axis algorithm name.
+pub fn algo_from_name(name: &str) -> Option<Algo> {
+    Some(match name {
+        "conflux" => Algo::Conflux,
+        "confchox" => Algo::Confchox,
+        "twod-lu" => Algo::TwodLu,
+        "twod-chol" => Algo::TwodChol,
+        "lu25d" => Algo::SwapLu,
+        _ => return None,
+    })
+}
+
+/// The paper's I/O lower bound for `algo` at `M = c·N²/P`, in words/rank.
+pub fn io_lower_bound(algo: Algo, n: usize, p: usize, c: usize) -> f64 {
+    let m = (c.max(1) * n * n) as f64 / p as f64;
+    match algo {
+        Algo::Conflux | Algo::TwodLu | Algo::SwapLu => lu_io_lower_bound(n, p, m),
+        Algo::Confchox | Algo::TwodChol => cholesky_io_lower_bound(n, p, m),
+    }
+}
+
+/// Extract the factor-workload KPI record from one measured run.
+///
+/// `c` is the replication depth the run actually used (`grid.pz`); the
+/// trace is optional — without it the host-clock KPIs are omitted, not
+/// zero-filled, so a registry consumer can tell "not measured" from
+/// "perfectly overlapped".
+pub fn factor_kpis(
+    algo: Algo,
+    n: usize,
+    p: usize,
+    c: usize,
+    stats: &WorldStats,
+    trace: Option<&WorldTrace>,
+    mach: &Machine,
+) -> BTreeMap<String, f64> {
+    let mut kpis = BTreeMap::new();
+    let flops_total = algo.total_flops(n);
+    let msgs = stats.total_msgs() as f64 / p as f64;
+    let t = mach.rank_time(
+        flops_total / p as f64,
+        stats.max_rank_bytes() as f64 / 2.0,
+        msgs,
+    );
+    let words = stats.avg_rank_bytes() / 16.0;
+    kpis.insert("sim_time_ms".into(), t * 1e3);
+    kpis.insert("gflops".into(), flops_total / t / 1e9);
+    kpis.insert("pct_peak".into(), mach.pct_peak(flops_total, p, t));
+    kpis.insert("words_per_rank".into(), words);
+    kpis.insert("comm_factor".into(), words / io_lower_bound(algo, n, p, c));
+    kpis.insert("msgs_per_rank".into(), msgs);
+    if let Some(tr) = trace {
+        let tk = xtrace::trace_kpis(tr);
+        kpis.insert("idle_frac".into(), tk.idle_frac);
+        kpis.insert("critpath_frac".into(), tk.critpath_frac);
+        kpis.insert("makespan_ms".into(), tk.makespan_ns as f64 / 1e6);
+    }
+    kpis
+}
+
+/// Extract the kernels-workload KPI record at one size from the
+/// [`crate::experiments::kernels`] report JSON.
+pub fn kernel_kpis(report_json: &Value, n: usize) -> BTreeMap<String, f64> {
+    let mut kpis = BTreeMap::new();
+    if let Some(samples) = report_json["samples"].as_array() {
+        for s in samples {
+            if s["n"].as_u64() == Some(n as u64) {
+                if let (Some(k), Some(g)) = (s["kernel"].as_str(), s["gflops"].as_f64()) {
+                    kpis.insert(format!("gflops_{k}"), g);
+                }
+            }
+        }
+    }
+    if let Some(speedups) = report_json["gemm_speedup_vs_naive"].as_array() {
+        for s in speedups {
+            if s["n"].as_u64() == Some(n as u64) {
+                if let Some(v) = s["speedup"].as_f64() {
+                    kpis.insert("gemm_speedup".into(), v);
+                }
+            }
+        }
+    }
+    kpis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Workload;
+
+    #[test]
+    fn factor_kpis_are_complete_and_positive() {
+        let mach = Machine::piz_daint();
+        let w = Workload::new(32, 7);
+        let cfg = factor::ConfluxConfig::auto(32, 4).volume_only();
+        let out = factor::conflux_lu(&cfg, &w.general).unwrap();
+        let kpis = factor_kpis(Algo::Conflux, 32, 4, cfg.grid.pz, &out.stats, None, &mach);
+        for k in [
+            "sim_time_ms",
+            "gflops",
+            "pct_peak",
+            "words_per_rank",
+            "comm_factor",
+            "msgs_per_rank",
+        ] {
+            assert!(kpis[k] > 0.0, "{k} = {}", kpis[k]);
+        }
+        assert!(
+            !kpis.contains_key("idle_frac"),
+            "trace KPIs must be absent without a trace"
+        );
+        // Measured volume cannot beat the lower bound.
+        assert!(kpis["comm_factor"] >= 1.0, "{}", kpis["comm_factor"]);
+    }
+
+    #[test]
+    fn kernel_kpis_pull_the_right_size() {
+        let json = serde_json::json!({
+            "samples": [
+                { "kernel": "gemm", "n": 24, "gflops": 5.0 },
+                { "kernel": "gemm", "n": 40, "gflops": 6.0 },
+                { "kernel": "gemm_naive", "n": 40, "gflops": 2.0 },
+            ],
+            "gemm_speedup_vs_naive": [
+                { "n": 24, "speedup": 2.5 }, { "n": 40, "speedup": 3.0 },
+            ],
+        });
+        let kpis = kernel_kpis(&json, 40);
+        assert_eq!(kpis["gflops_gemm"], 6.0);
+        assert_eq!(kpis["gflops_gemm_naive"], 2.0);
+        assert_eq!(kpis["gemm_speedup"], 3.0);
+        assert!(!kpis.contains_key("gflops_par_gemm"));
+    }
+}

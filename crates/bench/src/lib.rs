@@ -11,8 +11,29 @@
 //! * [`runner`] — run one algorithm at one configuration and collect a
 //!   [`runner::Measurement`]; JSON-serializable for `results/`.
 //! * [`table`] — plain-text table rendering for terminal output.
+//!
+//! The **experiments engine** (see `EXPERIMENTS.md` §"Ablation
+//! methodology") layers a declarative sweep/gate pipeline on top:
+//!
+//! * [`plan`] — declarative [`plan::AblationPlan`]s (TOML/JSON) describing
+//!   a sweep grid plus per-KPI tolerances.
+//! * [`ablate`] — execute a plan's cells through the [`runner`] +
+//!   [`machine::Machine`] path and extract KPI records.
+//! * [`kpi`] — the KPI definitions shared by every registry writer.
+//! * [`provenance`] — commit/machine/timestamp stamping shared by the
+//!   registry and the `BENCH_*.json` reports.
+//! * [`registry`] — the append-only `registry/ablations.csv` + JSONL
+//!   trajectory store.
+//! * [`trend`] — cross-commit baselines and the typed
+//!   [`trend::RegressionReport`] behind `bench ablate check`.
 
+pub mod ablate;
 pub mod experiments;
+pub mod kpi;
 pub mod machine;
+pub mod plan;
+pub mod provenance;
+pub mod registry;
 pub mod runner;
 pub mod table;
+pub mod trend;

@@ -10,6 +10,9 @@
 //!   flops, receive-wait (idle) intervals, collective spans;
 //! * [`critpath`] — the critical path through the send/receive
 //!   happens-before graph (which rank was the bottleneck, when);
+//! * [`kpi`] — the public KPI-extraction API over timelines (idle
+//!   fraction, critical-path fraction) shared by the experiments engine
+//!   (`bench ablate`) and `trace_report --kpi`;
 //! * [`mod@replay`] — simulated-time replay of the trace under the α-β-γ
 //!   machine model, predicting time-to-solution on a real machine from the
 //!   recorded event structure rather than wall-clock of the simulation;
@@ -38,6 +41,7 @@
 pub mod chrome;
 pub mod critpath;
 pub mod invariants;
+pub mod kpi;
 pub mod profile;
 pub mod replay;
 pub mod timeline;
@@ -45,6 +49,7 @@ pub mod timeline;
 pub use chrome::chrome_trace;
 pub use critpath::{critical_path, path_length, CpSegment};
 pub use invariants::{check_stats_equal, check_trace, Report, Violation};
+pub use kpi::{trace_kpis, TraceKpis};
 pub use profile::{profile_report, Provenance};
 pub use replay::{replay, Machine, PhaseOverlap, Replay};
 pub use timeline::{CollSpan, RankTimeline, Span, Timeline, Wait};
