@@ -48,8 +48,9 @@ struct Sample {
 }
 
 /// Measure every kernel at size `n`, appending to `out`. Returns the
-/// `(naive, packed)` GEMM rates so the caller can form the speedup series.
-fn measure_size(n: usize, reps: usize, out: &mut Vec<Sample>) -> (f64, f64) {
+/// `(naive, packed, forced-scalar)` GEMM rates so the caller can form the
+/// speedup series.
+fn measure_size(n: usize, reps: usize, out: &mut Vec<Sample>) -> (f64, f64, f64) {
     let a = random_matrix(n, n, 11);
     let b = random_matrix(n, n, 12);
     let fl = gemm_flops(n, n, n);
@@ -94,6 +95,30 @@ fn measure_size(n: usize, reps: usize, out: &mut Vec<Sample>) -> (f64, f64) {
         kernel: "gemm",
         n,
         gflops: packed,
+    });
+
+    // The same packed engine pinned to the pre-tuning scalar baseline
+    // (scalar 4×8 microkernel, default blocking): the denominator of the
+    // `tuned_speedup` KPI that gates auto-tuning in CI.
+    let t_scalar = best_secs(reps, || {
+        dense::tuning::with_override(dense::tuning::scalar_baseline(), || {
+            gemm(
+                Trans::N,
+                Trans::N,
+                1.0,
+                a.as_ref(),
+                b.as_ref(),
+                0.0,
+                c.as_mut(),
+            )
+        });
+        black_box(c.data()[0]);
+    });
+    let scalar = gflops(fl, t_scalar);
+    out.push(Sample {
+        kernel: "gemm_scalar",
+        n,
+        gflops: scalar,
     });
 
     let t_par = best_secs(reps, || {
@@ -183,21 +208,24 @@ fn measure_size(n: usize, reps: usize, out: &mut Vec<Sample>) -> (f64, f64) {
         gflops: gflops(potrf_flops(n), t_potrf),
     });
 
-    (naive, packed)
+    (naive, packed, scalar)
 }
 
 /// Run the kernel sweep over `sizes` with best-of-`reps` timing.
 pub fn kernels(sizes: &[usize], reps: usize) -> Report {
     let mut samples = Vec::new();
     let mut speedups = Vec::new();
+    let mut tuned_speedups = Vec::new();
     for &n in sizes {
-        let (naive, packed) = measure_size(n, reps, &mut samples);
+        let (naive, packed, scalar) = measure_size(n, reps, &mut samples);
         speedups.push((n, packed / naive));
+        tuned_speedups.push((n, packed / scalar));
     }
 
     let kernel_order = [
         "gemm_naive",
         "gemm",
+        "gemm_scalar",
         "par_gemm",
         "gemmt",
         "trsm",
@@ -226,6 +254,13 @@ pub fn kernels(sizes: &[usize], reps: usize) -> Report {
     for &(n, s) in &speedups {
         text.push_str(&format!("  N={n}: {s:.2}x\n"));
     }
+    text.push_str(&format!(
+        "tuned gemm speedup over forced-scalar baseline ({}):\n",
+        dense::tuning::active().describe()
+    ));
+    for &(n, s) in &tuned_speedups {
+        text.push_str(&format!("  N={n}: {s:.2}x\n"));
+    }
 
     Report {
         id: "BENCH_kernels".into(),
@@ -240,6 +275,10 @@ pub fn kernels(sizes: &[usize], reps: usize) -> Report {
             "gemm_speedup_vs_naive": speedups.iter().map(|&(n, s)| json!({
                 "n": n, "speedup": s,
             })).collect::<Vec<_>>(),
+            "gemm_tuned_speedup_vs_scalar": tuned_speedups.iter().map(|&(n, s)| json!({
+                "n": n, "speedup": s,
+            })).collect::<Vec<_>>(),
+            "tuning_config": dense::tuning::active().describe(),
         }),
         text,
     }
@@ -271,6 +310,7 @@ mod tests {
         for kernel in [
             "gemm_naive",
             "gemm",
+            "gemm_scalar",
             "par_gemm",
             "gemmt",
             "trsm",
@@ -287,5 +327,8 @@ mod tests {
             }
         }
         assert!(final_speedup(&r) > 0.0);
+        let tuned = r.json["gemm_tuned_speedup_vs_scalar"].as_array().unwrap();
+        assert_eq!(tuned.len(), 2, "one tuned-speedup point per size");
+        assert!(tuned.iter().all(|v| v["speedup"].as_f64().unwrap() > 0.0));
     }
 }

@@ -114,6 +114,46 @@ pub fn kernel_kpis(report_json: &Value, n: usize) -> BTreeMap<String, f64> {
             }
         }
     }
+    if let Some(speedups) = report_json["gemm_tuned_speedup_vs_scalar"].as_array() {
+        for s in speedups {
+            if s["n"].as_u64() == Some(n as u64) {
+                if let Some(v) = s["speedup"].as_f64() {
+                    kpis.insert("tuned_speedup".into(), v);
+                }
+            }
+        }
+    }
+    kpis
+}
+
+/// Extract the tune-workload KPI record from one [`crate::tune`] sweep
+/// outcome: the winner's throughput and blocking, the forced-scalar
+/// baseline, and the speedup the CI floor gates on. Blocking parameters are
+/// recorded as KPIs so the trend gate catches a winner silently drifting to
+/// a different configuration shape across commits.
+pub fn tune_kpis(outcome: &crate::tune::TuneOutcome) -> BTreeMap<String, f64> {
+    let mut kpis = BTreeMap::new();
+    kpis.insert("gflops_tuned".into(), outcome.best_gflops);
+    kpis.insert("gflops_scalar_base".into(), outcome.scalar_gflops);
+    kpis.insert(
+        "tuned_speedup".into(),
+        outcome.best_gflops / outcome.scalar_gflops,
+    );
+    kpis.insert("best_kc".into(), outcome.best.kc as f64);
+    kpis.insert("best_mc".into(), outcome.best.mc as f64);
+    kpis.insert("best_nc".into(), outcome.best.nc as f64);
+    kpis.insert("best_mr".into(), outcome.best.variant.mr as f64);
+    kpis.insert("best_nr".into(), outcome.best.variant.nr as f64);
+    kpis.insert("best_unroll".into(), outcome.best.variant.unroll as f64);
+    kpis.insert("best_prefetch".into(), outcome.best.variant.prefetch as f64);
+    kpis.insert(
+        "best_is_simd".into(),
+        if outcome.best.variant.isa == dense::ukernel::Isa::Scalar {
+            0.0
+        } else {
+            1.0
+        },
+    );
     kpis
 }
 
@@ -158,11 +198,15 @@ mod tests {
             "gemm_speedup_vs_naive": [
                 { "n": 24, "speedup": 2.5 }, { "n": 40, "speedup": 3.0 },
             ],
+            "gemm_tuned_speedup_vs_scalar": [
+                { "n": 24, "speedup": 1.1 }, { "n": 40, "speedup": 1.8 },
+            ],
         });
         let kpis = kernel_kpis(&json, 40);
         assert_eq!(kpis["gflops_gemm"], 6.0);
         assert_eq!(kpis["gflops_gemm_naive"], 2.0);
         assert_eq!(kpis["gemm_speedup"], 3.0);
+        assert_eq!(kpis["tuned_speedup"], 1.8);
         assert!(!kpis.contains_key("gflops_par_gemm"));
     }
 }

@@ -26,6 +26,10 @@
 //!   trajectory store.
 //! * [`trend`] — cross-commit baselines and the typed
 //!   [`trend::RegressionReport`] behind `bench ablate check`.
+//! * [`tune`] — the two-stage microkernel + cache-blocking auto-tuning
+//!   sweep behind `bench tune`, feeding the per-machine
+//!   `registry/tuning.json` that `dense::tuning` dispatches from (see
+//!   `docs/TUNING.md`).
 
 pub mod ablate;
 pub mod experiments;
@@ -37,3 +41,4 @@ pub mod registry;
 pub mod runner;
 pub mod table;
 pub mod trend;
+pub mod tune;

@@ -6,7 +6,7 @@
 //! ```toml
 //! name = "smoke"
 //! description = "nightly smoke grid"
-//! workload = "factor"              # "factor" | "kernels"
+//! workload = "factor"              # "factor" | "kernels" | "tune"
 //!
 //! [axes]                           # cartesian grid; missing axes default
 //! algo = ["conflux", "confchox"]   # conflux|confchox|twod-lu|twod-chol|lu25d
@@ -52,6 +52,8 @@ pub enum PlanWorkload {
     Factor,
     /// Local dense-kernel throughput (`experiments::kernels`).
     Kernels,
+    /// Microkernel + blocking auto-tuning sweep (`crate::tune`).
+    Tune,
 }
 
 impl PlanWorkload {
@@ -59,6 +61,7 @@ impl PlanWorkload {
         match self {
             PlanWorkload::Factor => "factor",
             PlanWorkload::Kernels => "kernels",
+            PlanWorkload::Tune => "tune",
         }
     }
 }
@@ -169,12 +172,14 @@ impl AblationPlan {
         let workload = match v["workload"].as_str().unwrap_or("factor") {
             "factor" => PlanWorkload::Factor,
             "kernels" => PlanWorkload::Kernels,
-            other => return Err(format!("unknown workload {other:?} (factor|kernels)")),
+            "tune" => PlanWorkload::Tune,
+            other => return Err(format!("unknown workload {other:?} (factor|kernels|tune)")),
         };
         let axes = v.get("axes").unwrap_or(&Value::Null);
 
         let algos = match workload {
             PlanWorkload::Kernels => vec!["kernels".to_string()],
+            PlanWorkload::Tune => vec!["tune".to_string()],
             PlanWorkload::Factor => {
                 let a = string_axis(axes, "algo")?
                     .ok_or("factor plans need an [axes] algo list".to_string())?;

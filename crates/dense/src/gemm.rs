@@ -14,7 +14,7 @@
 //! packed path is validated and benchmarked against (`bench --bin kernels`).
 
 use crate::matrix::{MatMut, MatRef, Matrix};
-use crate::pack::{self, MC};
+use crate::pack;
 use rayon::prelude::*;
 
 /// Transposition selector, as in BLAS.
@@ -190,9 +190,9 @@ pub fn gemmt(
     crate::flops::tally(crate::flops::gemmt_flops(n, ka));
 
     let k = ka;
-    // Diagonal block size: one MC row-block, so the rectangular parts hand
-    // the packed engine full-height slabs.
-    let db_step = MC;
+    // Diagonal block size: one MC row-block (of the active tuning config),
+    // so the rectangular parts hand the packed engine full-height slabs.
+    let db_step = crate::tuning::active().mc;
     for d0 in (0..n).step_by(db_step) {
         let db = db_step.min(n - d0);
         // Rectangular part of this block-row strictly inside the triangle.
@@ -268,15 +268,24 @@ pub fn par_gemm(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, c: MatMut<'
     // Credit the whole product to the calling (rank) thread: the Rayon
     // workers below have their own tallies, which nobody reads.
     crate::flops::tally(crate::flops::gemm_flops(m, n, k));
-    c.split_into_row_chunks(MC)
+    // Resolve the tuning config on the calling thread and pin it inside
+    // every worker: a thread-local override installed by the caller (e.g.
+    // the forced-scalar benchmark baseline) is not visible on Rayon worker
+    // threads, and all chunks must run one config for the bitwise-equality
+    // contract with the sequential path.
+    let cfg = crate::tuning::active();
+    let mc = cfg.mc;
+    c.split_into_row_chunks(mc)
         .into_par_iter()
         .enumerate()
         .for_each(|(chunk, mut cblk)| {
-            let i0 = chunk * MC;
+            let i0 = chunk * mc;
             let ib = cblk.rows();
             scale(&mut cblk, beta);
             if alpha != 0.0 {
-                pack::gemm_packed(Trans::N, Trans::N, alpha, a.block(i0, 0, ib, k), b, cblk);
+                crate::tuning::with_override(cfg, || {
+                    pack::gemm_packed(Trans::N, Trans::N, alpha, a.block(i0, 0, ib, k), b, cblk)
+                });
             }
         });
 }
@@ -286,6 +295,7 @@ mod tests {
     use super::*;
     use crate::gen::random_matrix;
     use crate::norms::max_abs_diff;
+    use crate::pack::MC;
 
     /// Straightforward triple-loop reference (owned-matrix wrapper around
     /// [`naive_gemm`]).

@@ -19,17 +19,25 @@
 //! row-major storage, so distributed codes can apply them directly to tiles
 //! of a larger local buffer without copying.
 //!
-//! # Packed, register-blocked GEMM
+//! # Packed, register-blocked, auto-tuned GEMM
 //!
 //! The compute path follows the Goto/BLIS decomposition (the structure MKL
 //! itself uses, see [`pack`]): three levels of cache blocking
 //! (`KC`/`MC`/`NC`), operands packed once per block into thread-local
-//! microkernel-ordered buffers, and an `MR×NR` register-tile microkernel
-//! whose fixed-size accumulator array LLVM autovectorizes. `gemmt`, the
+//! microkernel-ordered buffers, and an `MR×NR` register-tile microkernel.
+//! The microkernel is not a single function but a *family* ([`ukernel`]) of
+//! explicit-SIMD variants (AVX2 intrinsics with a portable scalar fallback)
+//! generated over an (MR, NR, K-unroll, prefetch-distance) grid; which
+//! variant and which blocking run on a given machine is decided by the
+//! per-machine tuning registry (`registry/tuning.json`, written by
+//! `bench tune`, consulted once at startup by [`tuning`]). `gemmt`, the
 //! blocked `trsm`, and the `getrf`/`potrf` trailing updates all route their
 //! inner products through the same engine, and [`par_gemm`] fans MC-row
 //! blocks of `C` over Rayon workers *bitwise identically* to the sequential
-//! kernel. [`gemm::naive_gemm`] retains the scalar triple loop as the
+//! kernel. Tuned dispatch preserves bitwise reproducibility by
+//! construction: only variants exactly reproducing the scalar rounding
+//! order are eligible (see [`tuning`] for the contract and its escape
+//! hatch). [`gemm::naive_gemm`] retains the scalar triple loop as the
 //! correctness and performance reference (`bench --bin kernels` reports
 //! both as a GFLOP/s trajectory in `results/BENCH_kernels.json`).
 
@@ -45,6 +53,8 @@ pub mod potrf;
 pub mod refine;
 pub mod solve;
 pub mod trsm;
+pub mod tuning;
+pub mod ukernel;
 
 pub use gemm::{gemm, gemmt, naive_gemm, par_gemm, Trans};
 pub use gen::{random_matrix, random_spd, well_conditioned};

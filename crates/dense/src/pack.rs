@@ -1,10 +1,10 @@
-//! Operand packing and the register-blocked microkernel behind [`crate::gemm()`].
+//! Operand packing and the blocked macro-kernel behind [`crate::gemm()`].
 //!
 //! This module implements the Goto/BLIS decomposition of matrix multiply
 //! ("Anatomy of High-Performance Matrix Multiplication"): the operands are
 //! copied once per cache block into contiguous, microkernel-ordered buffers,
-//! and all flops run in an `MR×NR` register tile with a fixed-size
-//! accumulator array whose inner loop LLVM autovectorizes.
+//! and all flops run in an `MR×NR` register tile supplied by the
+//! [`crate::ukernel`] variant family.
 //!
 //! ```text
 //!        jc ∈ 0..n step NC           pc ∈ 0..k step KC        ic ∈ 0..m step MC
@@ -16,9 +16,15 @@
 //!                                         │                        │
 //!                                         └────────┬───────────────┘
 //!                                                  ▼
-//!                              microkernel: MR×NR accumulator array,
+//!                              microkernel: MR×NR accumulator tile,
 //!                              k-loop over packed panels, C += α·acc
 //! ```
+//!
+//! Which microkernel runs, and which (KC, MC, NC) blocking tiles the loops,
+//! is decided per call by [`crate::tuning::active`]: the per-machine tuning
+//! registry when a valid entry exists, conservative defaults otherwise. The
+//! constants below are those defaults — the exact configuration the engine
+//! shipped with before auto-tuning existed.
 //!
 //! Packing zero-pads ragged edges up to the next `MR`/`NR` multiple, so the
 //! microkernel never branches on tile shape; the write-back clips to the
@@ -32,22 +38,22 @@
 
 use crate::gemm::Trans;
 use crate::matrix::{MatMut, MatRef};
+use crate::tuning::{self, KernelConfig};
+use crate::ukernel::Acc;
 use std::cell::RefCell;
 
-/// Microkernel tile rows: each microkernel call produces an `MR×NR` block of
-/// `C`. 4×8 f64 accumulators fit the register budget of SSE2..AVX2 targets.
+/// Default microkernel tile rows (the untuned scalar kernel's MR).
 pub const MR: usize = 4;
-/// Microkernel tile columns (a multiple of the f64 SIMD width on all x86-64
-/// targets, so the inner loop vectorizes cleanly).
+/// Default microkernel tile columns (the untuned scalar kernel's NR).
 pub const NR: usize = 8;
-/// K-dimension cache block: one `KC×NR` slice of packed B (16 KiB) stays in
-/// L1 while a microkernel runs; `MC×KC` of packed A (256 KiB) targets L2.
+/// Default K-dimension cache block: one `KC×NR` slice of packed B (16 KiB)
+/// stays in L1 while a microkernel runs; `MC×KC` of packed A (256 KiB)
+/// targets L2. Also the floor tuned configs must respect
+/// ([`crate::tuning::KC_MIN_EXACT`]) to keep factorizations bitwise-stable.
 pub const KC: usize = 256;
-/// M-dimension cache block (rows of packed A per inner loop); a multiple of
-/// [`MR`].
+/// Default M-dimension cache block (rows of packed A per inner loop).
 pub const MC: usize = 128;
-/// N-dimension cache block (columns of packed B per outer loop); a multiple
-/// of [`NR`].
+/// Default N-dimension cache block (columns of packed B per outer loop).
 pub const NC: usize = 512;
 
 const _: () = assert!(MC.is_multiple_of(MR), "MC must be a multiple of MR");
@@ -65,37 +71,47 @@ fn round_up(x: usize, to: usize) -> usize {
 }
 
 /// Pack the `mc×kc` block of `op(A)` whose top-left op-coordinate is
-/// `(i0, k0)` into MR-row panels: `buf[p·MR·kc + k·MR + r]` holds
-/// `op(A)(i0 + p·MR + r, k0 + k)`, zero-padded for `r` past `mc`.
-fn pack_a(ta: Trans, a: MatRef<'_>, i0: usize, mc: usize, k0: usize, kc: usize, buf: &mut [f64]) {
-    let panels = mc.div_ceil(MR);
+/// `(i0, k0)` into `mr`-row panels: `buf[p·mr·kc + k·mr + r]` holds
+/// `op(A)(i0 + p·mr + r, k0 + k)`, zero-padded for `r` past `mc`.
+#[allow(clippy::too_many_arguments)] // BLAS-style block coordinates + runtime tile width
+fn pack_a(
+    ta: Trans,
+    a: MatRef<'_>,
+    i0: usize,
+    mc: usize,
+    k0: usize,
+    kc: usize,
+    mr: usize,
+    buf: &mut [f64],
+) {
+    let panels = mc.div_ceil(mr);
     for p in 0..panels {
-        let pbase = p * MR * kc;
-        let rows = MR.min(mc - p * MR);
+        let pbase = p * mr * kc;
+        let rows = mr.min(mc - p * mr);
         match ta {
-            // op(A) = A: read MR contiguous source rows, write strided.
+            // op(A) = A: read `mr` contiguous source rows, write strided.
             Trans::N => {
                 for r in 0..rows {
-                    let src = &a.row(i0 + p * MR + r)[k0..k0 + kc];
+                    let src = &a.row(i0 + p * mr + r)[k0..k0 + kc];
                     for (k, &v) in src.iter().enumerate() {
-                        buf[pbase + k * MR + r] = v;
+                        buf[pbase + k * mr + r] = v;
                     }
                 }
             }
             // op(A) = Aᵀ: op-rows are stored columns; read each stored row
-            // (one k) contiguously, write one MR group at a time.
+            // (one k) contiguously, write one mr group at a time.
             Trans::T => {
                 for k in 0..kc {
-                    let src = &a.row(k0 + k)[i0 + p * MR..i0 + p * MR + rows];
-                    let dst = &mut buf[pbase + k * MR..pbase + k * MR + rows];
+                    let src = &a.row(k0 + k)[i0 + p * mr..i0 + p * mr + rows];
+                    let dst = &mut buf[pbase + k * mr..pbase + k * mr + rows];
                     dst.copy_from_slice(src);
                 }
             }
         }
-        if rows < MR {
+        if rows < mr {
             for k in 0..kc {
-                for r in rows..MR {
-                    buf[pbase + k * MR + r] = 0.0;
+                for r in rows..mr {
+                    buf[pbase + k * mr + r] = 0.0;
                 }
             }
         }
@@ -103,20 +119,30 @@ fn pack_a(ta: Trans, a: MatRef<'_>, i0: usize, mc: usize, k0: usize, kc: usize, 
 }
 
 /// Pack the `kc×nc` block of `op(B)` whose top-left op-coordinate is
-/// `(k0, j0)` into NR-column panels: `buf[q·NR·kc + k·NR + c]` holds
-/// `op(B)(k0 + k, j0 + q·NR + c)`, zero-padded for `c` past `nc`.
-fn pack_b(tb: Trans, b: MatRef<'_>, k0: usize, kc: usize, j0: usize, nc: usize, buf: &mut [f64]) {
-    let panels = nc.div_ceil(NR);
+/// `(k0, j0)` into `nr`-column panels: `buf[q·nr·kc + k·nr + c]` holds
+/// `op(B)(k0 + k, j0 + q·nr + c)`, zero-padded for `c` past `nc`.
+#[allow(clippy::too_many_arguments)] // BLAS-style block coordinates + runtime tile width
+fn pack_b(
+    tb: Trans,
+    b: MatRef<'_>,
+    k0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+    nr: usize,
+    buf: &mut [f64],
+) {
+    let panels = nc.div_ceil(nr);
     for q in 0..panels {
-        let qbase = q * NR * kc;
-        let cols = NR.min(nc - q * NR);
+        let qbase = q * nr * kc;
+        let cols = nr.min(nc - q * nr);
         match tb {
             // op(B) = B: each packed k-group is a contiguous slice of a
             // stored row.
             Trans::N => {
                 for k in 0..kc {
-                    let src = &b.row(k0 + k)[j0 + q * NR..j0 + q * NR + cols];
-                    let dst = &mut buf[qbase + k * NR..qbase + k * NR + cols];
+                    let src = &b.row(k0 + k)[j0 + q * nr..j0 + q * nr + cols];
+                    let dst = &mut buf[qbase + k * nr..qbase + k * nr + cols];
                     dst.copy_from_slice(src);
                 }
             }
@@ -124,47 +150,30 @@ fn pack_b(tb: Trans, b: MatRef<'_>, k0: usize, kc: usize, j0: usize, nc: usize, 
             // write strided.
             Trans::T => {
                 for c in 0..cols {
-                    let src = &b.row(j0 + q * NR + c)[k0..k0 + kc];
+                    let src = &b.row(j0 + q * nr + c)[k0..k0 + kc];
                     for (k, &v) in src.iter().enumerate() {
-                        buf[qbase + k * NR + c] = v;
+                        buf[qbase + k * nr + c] = v;
                     }
                 }
             }
         }
-        if cols < NR {
+        if cols < nr {
             for k in 0..kc {
-                for c in cols..NR {
-                    buf[qbase + k * NR + c] = 0.0;
+                for c in cols..nr {
+                    buf[qbase + k * nr + c] = 0.0;
                 }
             }
         }
     }
 }
 
-/// The register tile: multiply one MR-row panel of packed A by one NR-column
-/// panel of packed B over `kc` steps. Every `acc[r][c]` is an independent
-/// sum (no reduction across lanes), so LLVM vectorizes the inner pair of
-/// loops without needing float reassociation.
-#[inline(always)]
-fn microkernel(kc: usize, pa: &[f64], pb: &[f64]) -> [[f64; NR]; MR] {
-    let mut acc = [[0.0f64; NR]; MR];
-    let pa = &pa[..kc * MR];
-    let pb = &pb[..kc * NR];
-    for (ak, bk) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)) {
-        for r in 0..MR {
-            let ar = ak[r];
-            for c in 0..NR {
-                acc[r][c] += ar * bk[c];
-            }
-        }
-    }
-    acc
-}
-
 /// Multiply the packed `mc×kc` A block by the packed `kc×nc` B block and
-/// accumulate `α·(A·B)` into `c` (an `mc×nc` view). The `jr` loop is outer
-/// so one NR-panel of packed B stays L1-resident across all row panels.
+/// accumulate `α·(A·B)` into `c` (an `mc×nc` view), calling `cfg.variant`'s
+/// microkernel per register tile. The `jr` loop is outer so one NR-panel of
+/// packed B stays L1-resident across all row panels.
+#[allow(clippy::too_many_arguments)] // BLAS-style block coordinates + runtime tile width
 fn macro_kernel(
+    cfg: &KernelConfig,
     mc: usize,
     nc: usize,
     kc: usize,
@@ -173,17 +182,20 @@ fn macro_kernel(
     pb: &[f64],
     mut c: MatMut<'_>,
 ) {
-    for q in 0..nc.div_ceil(NR) {
-        let j0 = q * NR;
-        let nsub = NR.min(nc - j0);
-        let pbq = &pb[q * NR * kc..(q + 1) * NR * kc];
-        for p in 0..mc.div_ceil(MR) {
-            let i0 = p * MR;
-            let msub = MR.min(mc - i0);
-            let pap = &pa[p * MR * kc..(p + 1) * MR * kc];
-            let acc = microkernel(kc, pap, pbq);
-            for (r, accrow) in acc.iter().enumerate().take(msub) {
+    let (mr, nr) = (cfg.variant.mr, cfg.variant.nr);
+    let mut acc: Acc = [0.0; crate::ukernel::MR_MAX * crate::ukernel::NR_MAX];
+    for q in 0..nc.div_ceil(nr) {
+        let j0 = q * nr;
+        let nsub = nr.min(nc - j0);
+        let pbq = &pb[q * nr * kc..(q + 1) * nr * kc];
+        for p in 0..mc.div_ceil(mr) {
+            let i0 = p * mr;
+            let msub = mr.min(mc - i0);
+            let pap = &pa[p * mr * kc..(p + 1) * mr * kc];
+            cfg.variant.call(kc, pap, pbq, &mut acc);
+            for r in 0..msub {
                 let crow = &mut c.row_mut(i0 + r)[j0..j0 + nsub];
+                let accrow = &acc[r * nr..r * nr + nsub];
                 for (dst, &v) in crow.iter_mut().zip(accrow.iter()) {
                     *dst += alpha * v;
                 }
@@ -194,7 +206,8 @@ fn macro_kernel(
 
 /// Packed three-level-blocked `C += α·op(A)·op(B)` (no β handling, no flop
 /// tally): the shared engine behind [`crate::gemm`], [`crate::gemmt`],
-/// [`crate::par_gemm`] and the blocked [`crate::trsm`] updates.
+/// [`crate::par_gemm`] and the blocked [`crate::trsm`] updates. The
+/// microkernel variant and blocking come from [`crate::tuning::active`].
 ///
 /// Deterministic by construction: each element of `C` accumulates its
 /// k-products in ascending order regardless of how callers slice `C` by
@@ -212,26 +225,29 @@ pub(crate) fn gemm_packed(
     if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
         return;
     }
+    let cfg = tuning::active();
+    let (mr, nr) = (cfg.variant.mr, cfg.variant.nr);
     PACK_BUFS.with(|bufs| {
         let mut bufs = bufs.borrow_mut();
         let (pa_buf, pb_buf) = &mut *bufs;
-        for jc in (0..n).step_by(NC) {
-            let ncb = NC.min(n - jc);
-            for pc in (0..k).step_by(KC) {
-                let kcb = KC.min(k - pc);
-                let need_b = round_up(ncb, NR) * kcb;
+        for jc in (0..n).step_by(cfg.nc) {
+            let ncb = cfg.nc.min(n - jc);
+            for pc in (0..k).step_by(cfg.kc) {
+                let kcb = cfg.kc.min(k - pc);
+                let need_b = round_up(ncb, nr) * kcb;
                 if pb_buf.len() < need_b {
                     pb_buf.resize(need_b, 0.0);
                 }
-                pack_b(tb, b, pc, kcb, jc, ncb, pb_buf);
-                for ic in (0..m).step_by(MC) {
-                    let mcb = MC.min(m - ic);
-                    let need_a = round_up(mcb, MR) * kcb;
+                pack_b(tb, b, pc, kcb, jc, ncb, nr, pb_buf);
+                for ic in (0..m).step_by(cfg.mc) {
+                    let mcb = cfg.mc.min(m - ic);
+                    let need_a = round_up(mcb, mr) * kcb;
                     if pa_buf.len() < need_a {
                         pa_buf.resize(need_a, 0.0);
                     }
-                    pack_a(ta, a, ic, mcb, pc, kcb, pa_buf);
+                    pack_a(ta, a, ic, mcb, pc, kcb, mr, pa_buf);
                     macro_kernel(
+                        &cfg,
                         mcb,
                         ncb,
                         kcb,
@@ -253,12 +269,12 @@ mod tests {
 
     #[test]
     fn pack_a_layout_and_padding() {
-        // 5×3 op(A) block with MR=4: two panels, second padded to MR rows.
+        // 5×3 op(A) block with mr=4: two panels, second padded to mr rows.
         let a = crate::Matrix::from_fn(6, 4, |i, j| (10 * i + j) as f64);
         let kc = 3;
         let mc = 5;
         let mut buf = vec![f64::NAN; round_up(mc, MR) * kc];
-        pack_a(Trans::N, a.as_ref(), 1, mc, 1, kc, &mut buf);
+        pack_a(Trans::N, a.as_ref(), 1, mc, 1, kc, MR, &mut buf);
         // Panel 0, k=0, r=0 → op(A)(1,1) = 11.
         assert_eq!(buf[0], 11.0);
         // Panel 0, k=2, r=3 → op(A)(4,3) = 43.
@@ -275,8 +291,8 @@ mod tests {
         let (kc, nc) = (7, 9);
         let mut direct = vec![0.0; round_up(nc, NR) * kc];
         let mut viat = vec![1.0; round_up(nc, NR) * kc];
-        pack_b(Trans::N, bt.as_ref(), 0, kc, 0, nc, &mut direct);
-        pack_b(Trans::T, b.as_ref(), 0, kc, 0, nc, &mut viat);
+        pack_b(Trans::N, bt.as_ref(), 0, kc, 0, nc, NR, &mut direct);
+        pack_b(Trans::T, b.as_ref(), 0, kc, 0, nc, NR, &mut viat);
         assert_eq!(direct, viat);
     }
 
@@ -287,25 +303,48 @@ mod tests {
         let (mc, kc) = (6, 10);
         let mut direct = vec![0.0; round_up(mc, MR) * kc];
         let mut viat = vec![1.0; round_up(mc, MR) * kc];
-        pack_a(Trans::N, a.as_ref(), 0, mc, 0, kc, &mut direct);
-        pack_a(Trans::T, at.as_ref(), 0, mc, 0, kc, &mut viat);
+        pack_a(Trans::N, a.as_ref(), 0, mc, 0, kc, MR, &mut direct);
+        pack_a(Trans::T, at.as_ref(), 0, mc, 0, kc, MR, &mut viat);
         assert_eq!(direct, viat);
     }
 
     #[test]
-    fn microkernel_is_a_plain_outer_product_sum() {
-        let kc = 5;
-        let pa: Vec<f64> = (0..kc * MR).map(|x| x as f64 * 0.5).collect();
-        let pb: Vec<f64> = (0..kc * NR).map(|x| x as f64 * 0.25).collect();
-        let acc = microkernel(kc, &pa, &pb);
-        for r in 0..MR {
-            for c in 0..NR {
-                let mut want = 0.0;
-                for k in 0..kc {
-                    want += pa[k * MR + r] * pb[k * NR + c];
-                }
-                assert_eq!(acc[r][c], want);
-            }
+    fn pack_a_handles_non_default_mr() {
+        // mr=6: 7 op-rows make two panels, the second padded to 6.
+        let a = crate::Matrix::from_fn(8, 5, |i, j| (10 * i + j) as f64);
+        let (mc, kc, mr) = (7, 5, 6);
+        let mut buf = vec![f64::NAN; round_up(mc, mr) * kc];
+        pack_a(Trans::N, a.as_ref(), 0, mc, 0, kc, mr, &mut buf);
+        assert_eq!(buf[0], 0.0); // op(A)(0,0)
+        assert_eq!(buf[kc * mr], 60.0); // panel 1 first row = op-row 6
+        assert_eq!(buf[kc * mr + 1], 0.0, "rows past mc are zero padding");
+    }
+
+    #[test]
+    fn macro_kernel_agrees_across_variants() {
+        // The same packed block through the default config and through a
+        // differently-shaped exact variant must produce bitwise-equal C.
+        let (m, n, k) = (13, 11, 9);
+        let a = random_matrix(m, k, 5);
+        let b = random_matrix(k, n, 6);
+        let run = |variant_id: &str| {
+            let variant = crate::ukernel::find(variant_id).unwrap();
+            let cfg = KernelConfig {
+                variant,
+                ..crate::tuning::scalar_baseline()
+            };
+            let (mr, nr) = (variant.mr, variant.nr);
+            let mut pa = vec![0.0; round_up(m, mr) * k];
+            let mut pb = vec![0.0; round_up(n, nr) * k];
+            pack_a(Trans::N, a.as_ref(), 0, m, 0, k, mr, &mut pa);
+            pack_b(Trans::N, b.as_ref(), 0, k, 0, n, nr, &mut pb);
+            let mut c = crate::Matrix::zeros(m, n);
+            macro_kernel(&cfg, m, n, k, 1.5, &pa, &pb, c.as_mut());
+            c
+        };
+        let want = run("scalar_4x8_u1");
+        for id in ["scalar_6x4_u2", "scalar_8x8_u4"] {
+            assert_eq!(run(id).data(), want.data(), "variant {id}");
         }
     }
 }

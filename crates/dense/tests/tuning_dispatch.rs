@@ -1,0 +1,174 @@
+//! Dispatch-robustness and factorization-invariance tests for the tuning
+//! subsystem:
+//!
+//! * a corrupt, missing, truncated, version-skewed, or foreign-machine
+//!   `tuning.json` must degrade to the safe defaults — never panic, never
+//!   change results;
+//! * `getrf` and `potrf` must produce **bitwise-identical** factors under
+//!   every permitted tuned configuration (different exact microkernels,
+//!   different KC ≥ 256, different MC/NC), because the blocked
+//!   factorizations cap their panel widths at 64–256 and the packed engine
+//!   is KC-invariant below one block — the acceptance contract of the
+//!   auto-tuner.
+
+use dense::gen::{random_matrix, random_spd};
+use dense::tuning::{self, startup_config_from, KernelConfig};
+use dense::ukernel;
+use dense::{getrf, potrf};
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dense-tuning-dispatch");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn hostile_registry_files_all_degrade_to_defaults() {
+    let def = tuning::default_config();
+    let machine = tuning::machine_fingerprint();
+    let cases: &[(&str, &str)] = &[
+        ("empty.json", ""),
+        ("truncated.json", r#"{"version": 1, "entries": [{"machine""#),
+        ("not-json.json", "kc=9999 pls"),
+        ("wrong-type.json", r#"[1, 2, 3]"#),
+        ("wrong-version.json", r#"{"version": 2, "entries": []}"#),
+        ("no-entries.json", r#"{"version": 1}"#),
+        (
+            "nonsense-values.json",
+            r#"{"version": 1, "entries": [{"machine": "MACHINE", "variant": "scalar_4x8_u1",
+                "kc": -5, "mc": "tiny", "nc": null, "gflops": 1.0, "probe_n": 512,
+                "exact": true, "commit": "x", "timestamp": "t"}]}"#,
+        ),
+    ];
+    for (name, text) in cases {
+        let path = scratch(name);
+        std::fs::write(&path, text.replace("MACHINE", &machine)).unwrap();
+        let cfg = startup_config_from(&path, &machine, true, false);
+        assert_eq!(
+            cfg.variant.id, def.variant.id,
+            "{name} should fall back to the default variant"
+        );
+        assert_eq!((cfg.kc, cfg.mc, cfg.nc), (def.kc, def.mc, def.nc), "{name}");
+    }
+    // Missing file entirely.
+    let cfg = startup_config_from(&scratch("does-not-exist.json"), &machine, true, false);
+    assert_eq!(cfg.variant.id, def.variant.id);
+}
+
+#[test]
+fn foreign_machine_entry_is_ignored_but_own_entry_resolves() {
+    let machine = tuning::machine_fingerprint();
+    let mut entries = Vec::new();
+    tuning::upsert(
+        &mut entries,
+        tuning::TunedEntry {
+            machine: "somebody-elses-box".into(),
+            variant: "scalar_8x4_u4".into(),
+            kc: 512,
+            mc: 256,
+            nc: 1024,
+            gflops: 99.0,
+            probe_n: 512,
+            exact: true,
+            commit: "c".into(),
+            timestamp: "t".into(),
+        },
+    );
+    let path = scratch("foreign.json");
+    tuning::save_registry(&path, &entries).unwrap();
+    let def = tuning::default_config();
+    let cfg = startup_config_from(&path, &machine, true, false);
+    assert_eq!(
+        cfg.variant.id, def.variant.id,
+        "foreign entry must not apply"
+    );
+
+    // Add an entry for this machine: now it must win.
+    tuning::upsert(
+        &mut entries,
+        tuning::TunedEntry {
+            machine: machine.clone(),
+            variant: "scalar_6x8_u2".into(),
+            kc: 384,
+            mc: 192,
+            nc: 512,
+            gflops: 12.0,
+            probe_n: 512,
+            exact: true,
+            commit: "c".into(),
+            timestamp: "t".into(),
+        },
+    );
+    tuning::save_registry(&path, &entries).unwrap();
+    let cfg = startup_config_from(&path, &machine, true, false);
+    assert_eq!(cfg.variant.id, "scalar_6x8_u2");
+    assert_eq!((cfg.kc, cfg.mc, cfg.nc), (384, 192, 512));
+}
+
+/// The permitted tuning space must never move a factorization bit. Runs
+/// `getrf`/`potrf` under configurations that differ in microkernel shape,
+/// ISA, KC (≥ 256), MC, and NC, and requires the factors (and pivots) to be
+/// bitwise identical to the untuned scalar baseline's.
+#[test]
+fn factorizations_are_bitwise_invariant_across_permitted_configs() {
+    let n = 193; // ragged: not a multiple of any block size involved
+    let lu_input = random_matrix(n, n, 42);
+    let chol_input = random_spd(n, 43);
+
+    let baseline = tuning::scalar_baseline();
+    let mut configs: Vec<(String, KernelConfig)> = vec![("baseline".into(), baseline)];
+    for id in [
+        "scalar_6x4_u2",
+        "scalar_8x8_u4",
+        "avx2_4x8_u2_pf0",
+        "avx2_6x8_u4_pf4",
+        "avx2_8x4_u2_pf0",
+    ] {
+        let v = ukernel::find(id).expect("grid id");
+        if v.available() {
+            configs.push((
+                id.into(),
+                KernelConfig {
+                    variant: v,
+                    ..baseline
+                },
+            ));
+        }
+    }
+    // Blocking sweeps on the default variant: KC stays ≥ KC_MIN_EXACT, the
+    // floor `tuning::resolve` enforces; MC/NC are unconstrained.
+    for (kc, mc, nc) in [(384, 128, 512), (512, 64, 256), (256, 256, 1024)] {
+        let cfg = KernelConfig {
+            kc,
+            mc,
+            nc,
+            ..tuning::default_config()
+        };
+        configs.push((format!("blocking-{kc}-{mc}-{nc}"), cfg));
+    }
+
+    let (want_lu, want_piv, want_chol) = tuning::with_override(baseline, || {
+        let mut lu = lu_input.clone();
+        let piv = getrf(&mut lu, 0).expect("well-conditioned input");
+        let mut ch = chol_input.clone();
+        potrf(&mut ch, 0).expect("SPD input");
+        (lu, piv, ch)
+    });
+
+    for (label, cfg) in &configs {
+        tuning::with_override(*cfg, || {
+            let mut lu = lu_input.clone();
+            let piv = getrf(&mut lu, 0).expect("well-conditioned input");
+            assert_eq!(piv, want_piv, "{label}: pivot sequence changed");
+            assert_eq!(lu.data(), want_lu.data(), "{label}: LU factor bits changed");
+            let mut ch = chol_input.clone();
+            potrf(&mut ch, 0).expect("SPD input");
+            assert_eq!(
+                ch.data(),
+                want_chol.data(),
+                "{label}: Cholesky bits changed"
+            );
+        });
+    }
+}

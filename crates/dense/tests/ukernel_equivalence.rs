@@ -1,0 +1,188 @@
+//! Property tests pinning the microkernel variant family to the scalar
+//! reference:
+//!
+//! * every *exact* variant (scalar and non-FMA AVX2) available on this CPU
+//!   must be **bitwise equal** to the reference microkernel on arbitrary
+//!   packed panels, including the degenerate depths `kc ∈ {0, 1}` and
+//!   depths around the unroll boundaries;
+//! * FMA variants are allowed to differ — fused multiply-add rounds once
+//!   per step where the reference rounds twice, so each accumulation step
+//!   carries at most half an ULP of difference; we bound the result by a
+//!   forward error linear in `kc` rather than pin bits (which is exactly
+//!   why FMA variants are excluded from tuned dispatch by default);
+//! * whole-GEMM bitwise equality across exact variants of *different* tile
+//!   shapes, on ragged sizes that exercise the MR/NR remainder tiles —
+//!   changing the register tiling must not change a single output bit.
+
+use dense::gemm::{gemm, Trans};
+use dense::gen::random_matrix;
+use dense::tuning::{self, KernelConfig};
+use dense::ukernel::{self, Isa, MR_MAX, NR_MAX};
+use proptest::prelude::*;
+
+/// Packed panel values with varied magnitudes so rounding differences
+/// would actually surface (uniform [0,1) values can hide them).
+fn panel(len: usize, seed: u64) -> Vec<f64> {
+    let m = random_matrix(1, len.max(1), seed);
+    m.data()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v - 0.5) * (1.0 + (i % 7) as f64 * 3.0))
+        .take(len)
+        .collect()
+}
+
+/// Depths clustered on the unroll boundaries (1, 2, 4) and the k=0 edge.
+fn depth() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(0),
+        Just(1),
+        Just(2),
+        Just(3),
+        Just(4),
+        Just(5),
+        Just(7),
+        Just(8),
+        1usize..48,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Every available exact variant reproduces the reference microkernel
+    /// bit for bit, at every depth including 0 and 1.
+    #[test]
+    fn exact_variants_are_bitwise_equal_to_reference(
+        kc in depth(),
+        seed in 0u64..1000,
+    ) {
+        for v in ukernel::available_variants().filter(|v| v.exact()) {
+            let pa = panel(kc * v.mr, seed);
+            let pb = panel(kc * v.nr, seed + 1);
+            let mut acc = [f64::NAN; MR_MAX * NR_MAX];
+            v.call(kc, &pa, &pb, &mut acc);
+            let want = ukernel::reference_microkernel(v.mr, v.nr, kc, &pa, &pb);
+            let live = v.mr * v.nr;
+            prop_assert_eq!(
+                &acc[..live], &want[..live],
+                "variant {} diverged bitwise at kc={}", v.id, kc
+            );
+        }
+    }
+
+    /// FMA variants stay within a forward error linear in the accumulation
+    /// depth. Each fused step replaces two roundings with one, so the
+    /// per-element deviation from the reference is bounded by roughly
+    /// `kc · ε · Σ|a·b|`; we allow a small constant factor of slack.
+    #[test]
+    fn fma_variants_are_within_documented_tolerance(
+        kc in depth(),
+        seed in 0u64..1000,
+    ) {
+        for v in ukernel::available_variants().filter(|v| v.isa == Isa::Avx2Fma) {
+            let pa = panel(kc * v.mr, seed);
+            let pb = panel(kc * v.nr, seed + 1);
+            let mut acc = [f64::NAN; MR_MAX * NR_MAX];
+            v.call(kc, &pa, &pb, &mut acc);
+            let want = ukernel::reference_microkernel(v.mr, v.nr, kc, &pa, &pb);
+            for r in 0..v.mr {
+                for c in 0..v.nr {
+                    let mut mag = 0.0f64;
+                    for k in 0..kc {
+                        mag += (pa[k * v.mr + r] * pb[k * v.nr + c]).abs();
+                    }
+                    let tol = 4.0 * (kc as f64 + 1.0) * f64::EPSILON * mag.max(1.0);
+                    let got = acc[r * v.nr + c];
+                    let exp = want[r * v.nr + c];
+                    prop_assert!(
+                        (got - exp).abs() <= tol,
+                        "variant {} ({},{}) kc={}: {} vs {} (tol {})",
+                        v.id, r, c, kc, got, exp, tol
+                    );
+                }
+            }
+        }
+    }
+
+    /// A full GEMM dispatched through exact variants of different tile
+    /// shapes produces bitwise-identical C, on ragged shapes that leave
+    /// MR/NR remainder tiles for every shape involved.
+    #[test]
+    fn gemm_is_bitwise_invariant_across_exact_variants(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed + 1);
+        let c0 = random_matrix(m, n, seed + 2);
+        let run = |cfg: KernelConfig| {
+            let mut c = c0.clone();
+            tuning::with_override(cfg, || {
+                gemm(Trans::N, Trans::N, 1.5, a.as_ref(), b.as_ref(), -0.5, c.as_mut())
+            });
+            c
+        };
+        let baseline = run(tuning::scalar_baseline());
+        // One representative per shape, mixing scalar and (if available)
+        // AVX2 — blocking held at the baseline so only the register tiling
+        // varies.
+        for id in [
+            "scalar_6x4_u2",
+            "scalar_8x8_u4",
+            "avx2_4x8_u2_pf0",
+            "avx2_6x8_u4_pf4",
+            "avx2_8x4_u1_pf0",
+        ] {
+            let v = ukernel::find(id).expect("grid id");
+            if !v.available() {
+                continue;
+            }
+            let cfg = KernelConfig { variant: v, ..tuning::scalar_baseline() };
+            let c = run(cfg);
+            prop_assert_eq!(
+                c.data(), baseline.data(),
+                "variant {} changed GEMM bits at m={} n={} k={}", id, m, n, k
+            );
+        }
+    }
+}
+
+/// The depths the factorizations actually hand the engine (panel widths
+/// ≤ 256) are a single KC block for every permitted `kc ≥ 256`, so GEMM
+/// must be bitwise KC-invariant there — the keystone of the "tuning never
+/// changes factor bits" contract.
+#[test]
+fn gemm_with_small_k_is_bitwise_invariant_to_permitted_kc() {
+    let (m, n) = (97, 83);
+    for k in [1, 63, 160, 256] {
+        let a = random_matrix(m, k, 7);
+        let b = random_matrix(k, n, 8);
+        let c0 = random_matrix(m, n, 9);
+        let mut want = None;
+        for kc in [256, 384, 512] {
+            let cfg = KernelConfig {
+                kc,
+                ..tuning::default_config()
+            };
+            let mut c = c0.clone();
+            tuning::with_override(cfg, || {
+                gemm(
+                    Trans::N,
+                    Trans::N,
+                    1.0,
+                    a.as_ref(),
+                    b.as_ref(),
+                    1.0,
+                    c.as_mut(),
+                )
+            });
+            match &want {
+                None => want = Some(c),
+                Some(w) => assert_eq!(w.data(), c.data(), "kc={kc} changed bits at k={k}"),
+            }
+        }
+    }
+}
