@@ -12,7 +12,7 @@
 //! infeasible corners — a sweep engine that errors out on the first
 //! infeasible corner cannot sweep.
 
-use crate::kpi::{algo_from_name, factor_kpis, kernel_kpis};
+use crate::kpi::{algo_from_name, comm_kpis, factor_kpis, kernel_kpis};
 use crate::machine::Machine;
 use crate::plan::{AblationPlan, Cell, PlanWorkload};
 use crate::runner::{Algo, Workload};
@@ -78,6 +78,7 @@ pub fn run_ablation(plan: &AblationPlan) -> AblationRun {
             PlanWorkload::Factor => run_factor_cell(&cell, &mach),
             PlanWorkload::Kernels => run_kernel_cell(&cell, plan.reps),
             PlanWorkload::Tune => run_tune_cell(&cell, plan.reps),
+            PlanWorkload::Comm => run_comm_cell(&cell, plan.reps),
         }));
         match outcome {
             Ok(Ok(kpis)) => run.outcomes.push(CellOutcome { cell, kpis }),
@@ -309,6 +310,29 @@ fn run_tune_cell(cell: &Cell, reps: usize) -> Result<BTreeMap<String, f64>, Stri
     Ok(crate::kpi::tune_kpis(&outcome))
 }
 
+/// A comm-workload cell: run the transport microbenchmark at the cell's
+/// `(n, p)` — `n` is the broadcast message size in f64 elements — and pull
+/// the matching KPI record. The full report (with the whole sweep grid and
+/// the traced headline cell) is persisted under `results/` for the CI
+/// artifact upload, same as the kernels path.
+fn run_comm_cell(cell: &Cell, reps: usize) -> Result<BTreeMap<String, f64>, String> {
+    if cell.p < 2 {
+        return Err(format!("comm cells need p >= 2, got p={}", cell.p));
+    }
+    let report = crate::experiments::comm::comm(&[cell.p], &[cell.n], reps);
+    if let Err(e) = report.save(std::path::Path::new("results")) {
+        eprintln!("(could not save results/{}.json: {e})", report.id);
+    }
+    let kpis = comm_kpis(&report.json, cell.n, cell.p);
+    if !kpis.contains_key("bcast_speedup") {
+        return Err(format!(
+            "comm report produced no bcast KPIs at n={}, p={}",
+            cell.n, cell.p
+        ));
+    }
+    Ok(kpis)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,6 +408,26 @@ reps = 1
         assert!(kpis["tuned_speedup"] > 0.0);
         assert!(kpis["best_kc"] >= 256.0, "exact KC floor");
         assert!(kpis.contains_key("best_is_simd"));
+    }
+
+    #[test]
+    fn comm_cells_run_the_microbenchmark_and_record_the_speedup() {
+        let text = r#"
+name = "comm-unit"
+workload = "comm"
+[axes]
+n = [256]
+p = [4]
+[fixed]
+reps = 1
+"#;
+        let plan = AblationPlan::from_value(&parse_toml(text).unwrap()).unwrap();
+        let run = run_ablation(&plan);
+        assert_eq!(run.outcomes.len(), 1, "skipped: {:?}", run.skipped);
+        let kpis = &run.outcomes[0].kpis;
+        assert!(kpis["bcast_speedup"] > 0.0);
+        assert!(kpis["bcast_tree_us"] > 0.0);
+        assert!(kpis["p2p_latency_us"] > 0.0);
     }
 
     #[test]

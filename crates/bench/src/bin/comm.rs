@@ -1,0 +1,118 @@
+//! Transport microbenchmark report (`bench comm` mode).
+//!
+//! Measures p2p ping-pong latency/throughput and broadcast wall-clock over
+//! a (P, message-size) grid — the zero-copy binomial tree against a
+//! seed-style linear fan-out reference — writes `results/BENCH_comm.json`,
+//! and — when `--min-speedup` is given — exits nonzero if the tree-vs-linear
+//! speedup at the largest `(P, size)` cell falls below the threshold (the
+//! CI comm-perf gate; the headline cell is a 512×64 panel, 32768 elements,
+//! at P = 16).
+//!
+//! ```text
+//! comm [--ps 2,4,8,16] [--sizes 1024,8192,32768] [--reps 5] [--out results]
+//!      [--min-speedup 5.0]
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+struct Args {
+    ps: Vec<usize>,
+    sizes: Vec<usize>,
+    reps: usize,
+    out: String,
+    min_speedup: Option<f64>,
+}
+
+fn parse_list(name: &str, raw: &str) -> Result<Vec<usize>, String> {
+    let vals: Vec<usize> = raw
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|e| format!("bad {name} entry {s:?}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if vals.is_empty() {
+        return Err(format!("{name} needs at least one value"));
+    }
+    Ok(vals)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ps: vec![2, 4, 8, 16],
+        sizes: vec![1024, 8192, 32768],
+        reps: 5,
+        out: "results".into(),
+        min_speedup: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--ps" => args.ps = parse_list("--ps", &value("--ps")?)?,
+            "--sizes" => args.sizes = parse_list("--sizes", &value("--sizes")?)?,
+            "--reps" => {
+                args.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("bad --reps: {e}"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            "--min-speedup" => {
+                args.min_speedup = Some(
+                    value("--min-speedup")?
+                        .parse()
+                        .map_err(|e| format!("bad --min-speedup: {e}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: comm [--ps P,P,..] [--sizes N,N,..] [--reps R] [--out DIR] \
+                     [--min-speedup X]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.ps.iter().any(|&p| p < 2) {
+        return Err("--ps entries must be >= 2 (a broadcast needs a peer)".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = bench::experiments::comm::comm(&args.ps, &args.sizes, args.reps);
+    println!("== {} — {} ==\n{}", report.id, report.title, report.text);
+    if let Err(e) = report.save(Path::new(&args.out)) {
+        eprintln!("could not save {}/{}.json: {e}", args.out, report.id);
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(min) = args.min_speedup {
+        let (p, n) = (
+            args.ps.iter().max().copied().unwrap_or(0),
+            args.sizes.iter().max().copied().unwrap_or(0),
+        );
+        let kpis = bench::kpi::comm_kpis(&report.json, n, p);
+        let achieved = kpis.get("bcast_speedup").copied().unwrap_or(0.0);
+        if achieved < min {
+            eprintln!(
+                "FAIL: tree bcast speedup {achieved:.2}x at P={p}, {n} elems is below \
+                 the {min:.2}x gate"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("tree bcast speedup gate: {achieved:.2}x >= {min:.2}x at P={p}, {n} elems — ok");
+    }
+    ExitCode::SUCCESS
+}

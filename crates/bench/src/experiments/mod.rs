@@ -4,6 +4,7 @@
 
 pub mod ablations;
 pub mod bounds_report;
+pub mod comm;
 pub mod fig1;
 pub mod fig8;
 pub mod fig9;

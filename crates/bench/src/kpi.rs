@@ -126,6 +126,38 @@ pub fn kernel_kpis(report_json: &Value, n: usize) -> BTreeMap<String, f64> {
     kpis
 }
 
+/// Extract the comm-workload KPI record at one `(n, p)` cell from the
+/// [`crate::experiments::comm`] report JSON. `n` is the broadcast message
+/// size in f64 elements. `bcast_speedup` (tree vs seed linear fan-out,
+/// wall-clock) is the quantity the CI perf gate holds the floor on; the
+/// p2p numbers characterize the transport itself and should carry loose or
+/// no tolerances (host-clock measurements).
+pub fn comm_kpis(report_json: &Value, n: usize, p: usize) -> BTreeMap<String, f64> {
+    let mut kpis = BTreeMap::new();
+    if let Some(v) = report_json["p2p"]["latency_us"].as_f64() {
+        kpis.insert("p2p_latency_us".into(), v);
+    }
+    if let Some(v) = report_json["p2p"]["gbps"].as_f64() {
+        kpis.insert("p2p_gbps".into(), v);
+    }
+    if let Some(cells) = report_json["bcast"].as_array() {
+        for s in cells {
+            if s["elems"].as_u64() == Some(n as u64) && s["p"].as_u64() == Some(p as u64) {
+                for (kpi, field) in [
+                    ("bcast_tree_us", "tree_us"),
+                    ("bcast_linear_us", "linear_us"),
+                    ("bcast_speedup", "speedup"),
+                ] {
+                    if let Some(v) = s[field].as_f64() {
+                        kpis.insert(kpi.into(), v);
+                    }
+                }
+            }
+        }
+    }
+    kpis
+}
+
 /// Extract the tune-workload KPI record from one [`crate::tune`] sweep
 /// outcome: the winner's throughput and blocking, the forced-scalar
 /// baseline, and the speedup the CI floor gates on. Blocking parameters are
@@ -208,5 +240,24 @@ mod tests {
         assert_eq!(kpis["gemm_speedup"], 3.0);
         assert_eq!(kpis["tuned_speedup"], 1.8);
         assert!(!kpis.contains_key("gflops_par_gemm"));
+    }
+
+    #[test]
+    fn comm_kpis_pull_the_right_cell() {
+        let json = serde_json::json!({
+            "p2p": { "latency_us": 1.5, "gbps": 4.0 },
+            "bcast": [
+                { "p": 8, "elems": 1024, "linear_us": 80.0, "tree_us": 20.0, "speedup": 4.0 },
+                { "p": 16, "elems": 32768, "linear_us": 900.0, "tree_us": 100.0, "speedup": 9.0 },
+            ],
+        });
+        let kpis = comm_kpis(&json, 32768, 16);
+        assert_eq!(kpis["bcast_speedup"], 9.0);
+        assert_eq!(kpis["bcast_tree_us"], 100.0);
+        assert_eq!(kpis["bcast_linear_us"], 900.0);
+        assert_eq!(kpis["p2p_latency_us"], 1.5);
+        assert_eq!(kpis["p2p_gbps"], 4.0);
+        // A cell not in the report yields only the p2p numbers.
+        assert!(!comm_kpis(&json, 64, 16).contains_key("bcast_speedup"));
     }
 }

@@ -6,7 +6,7 @@
 //! ```toml
 //! name = "smoke"
 //! description = "nightly smoke grid"
-//! workload = "factor"              # "factor" | "kernels" | "tune"
+//! workload = "factor"              # "factor" | "kernels" | "tune" | "comm"
 //!
 //! [axes]                           # cartesian grid; missing axes default
 //! algo = ["conflux", "confchox"]   # conflux|confchox|twod-lu|twod-chol|lu25d
@@ -54,6 +54,10 @@ pub enum PlanWorkload {
     Kernels,
     /// Microkernel + blocking auto-tuning sweep (`crate::tune`).
     Tune,
+    /// Transport microbenchmark (`experiments::comm`): p2p latency and
+    /// tree-vs-linear broadcast wall-clock. `n` is the message size in f64
+    /// elements, `p` the broadcast world size.
+    Comm,
 }
 
 impl PlanWorkload {
@@ -62,6 +66,7 @@ impl PlanWorkload {
             PlanWorkload::Factor => "factor",
             PlanWorkload::Kernels => "kernels",
             PlanWorkload::Tune => "tune",
+            PlanWorkload::Comm => "comm",
         }
     }
 }
@@ -173,13 +178,19 @@ impl AblationPlan {
             "factor" => PlanWorkload::Factor,
             "kernels" => PlanWorkload::Kernels,
             "tune" => PlanWorkload::Tune,
-            other => return Err(format!("unknown workload {other:?} (factor|kernels|tune)")),
+            "comm" => PlanWorkload::Comm,
+            other => {
+                return Err(format!(
+                    "unknown workload {other:?} (factor|kernels|tune|comm)"
+                ))
+            }
         };
         let axes = v.get("axes").unwrap_or(&Value::Null);
 
         let algos = match workload {
             PlanWorkload::Kernels => vec!["kernels".to_string()],
             PlanWorkload::Tune => vec!["tune".to_string()],
+            PlanWorkload::Comm => vec!["comm".to_string()],
             PlanWorkload::Factor => {
                 let a = string_axis(axes, "algo")?
                     .ok_or("factor plans need an [axes] algo list".to_string())?;

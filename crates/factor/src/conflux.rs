@@ -47,10 +47,11 @@ use crate::common::{
 };
 use crate::tourn::tournament;
 use dense::gemm::{par_gemm, Trans};
+use dense::matrix::MatRef;
 use dense::trsm::{trsm, Diag, Side, Uplo};
 use dense::Matrix;
 use std::collections::HashMap;
-use xmpi::{BcastRequest, Comm, Grid3, WorldStats};
+use xmpi::{BcastRequest, Buf, Comm, Grid3, WorldStats};
 
 const TAG_A01: u64 = 2_000_000;
 const TAG_L10: u64 = 3_000_000;
@@ -413,9 +414,13 @@ pub(crate) fn rank_program(
             .collect();
 
         // ---- 6a. Scatter L10: z-slice then broadcast along y -----------
+        // Both panel broadcasts keep the shared storage: the Schur update
+        // below reads the slices through borrowed views, so non-root ranks
+        // never copy the broadcast panel at all.
         phase(comm, "scatter_panels");
-        let mut l10_slice = Matrix::zeros(my_l10_rows.len(), ks);
+        let mut l10_flat = Buf::from(Vec::new());
         if !last && !my_l10_rows.is_empty() {
+            let mut l10_slice = Matrix::zeros(my_l10_rows.len(), ks);
             if pj == jt {
                 if pk == 0 {
                     for pk2 in (0..g.pz).rev() {
@@ -436,14 +441,13 @@ pub(crate) fn rank_program(
                     l10_slice = Matrix::from_vec(my_l10_rows.len(), ks, flat);
                 }
             }
-            let mut flat = l10_slice.into_vec();
-            yrow.bcast_f64(jt, &mut flat);
-            l10_slice = Matrix::from_vec(my_l10_rows.len(), ks, flat);
+            l10_flat = yrow.bcast_buf_f64(jt, l10_slice.into_vec());
         }
 
         // ---- 6b. Scatter U01: z-slice then broadcast along x -----------
-        let mut u01_slice = Matrix::zeros(ks, trail_len);
+        let mut u01_flat = Buf::from(Vec::new());
         if !last && trail_len > 0 {
+            let mut u01_slice = Matrix::zeros(ks, trail_len);
             if pi == it {
                 if pk == 0 {
                     for pk2 in (0..g.pz).rev() {
@@ -464,10 +468,15 @@ pub(crate) fn rank_program(
                     u01_slice = Matrix::from_vec(ks, trail_len, flat);
                 }
             }
-            let mut flat = u01_slice.into_vec();
-            xcol.bcast_f64(it, &mut flat);
-            u01_slice = Matrix::from_vec(ks, trail_len, flat);
+            u01_flat = xcol.bcast_buf_f64(it, u01_slice.into_vec());
         }
+        let l10_slice = MatRef::from_slice(&l10_flat, l10_flat.len() / ks.max(1), ks, ks);
+        let u01_slice = MatRef::from_slice(
+            &u01_flat,
+            u01_flat.len() / trail_len.max(1),
+            trail_len,
+            trail_len,
+        );
 
         // ---- 7. FactorizeA11: layer-local partial Schur update ---------
         // `cols` indexes into `trail_cols`; splitting the update by column
@@ -483,7 +492,7 @@ pub(crate) fn rank_program(
             let mut upd = Matrix::zeros(my_l10_rows.len(), w);
             par_gemm(
                 1.0,
-                l10_slice.as_ref(),
+                l10_slice,
                 u01_slice.block(0, cols.start * v, ks, w),
                 0.0,
                 upd.as_mut(),

@@ -20,6 +20,7 @@
 
 use crate::common::{phase, phase_end, pick_grid_and_block};
 use dense::gemm::{gemm, Trans};
+use dense::matrix::MatRef;
 use dense::Matrix;
 use std::collections::HashMap;
 use xmpi::{Comm, Grid3, WorldStats};
@@ -201,15 +202,16 @@ fn rank_program(comm: &Comm, cfg: &Mmm25dConfig, a: &Matrix, b: &Matrix) -> Tile
     };
     for (idx, &k) in my_ks.iter().enumerate() {
         phase(comm, "summa_bcast");
+        // Completions keep the broadcast's shared storage: the gemm below
+        // reads the panels through borrowed views, so a rank that is not
+        // the subtree's last consumer never copies them.
         let (abuf, bbuf) = match inflight.take() {
-            Some((areq, breq)) => (areq.wait_f64(), breq.wait_f64()),
+            Some((areq, breq)) => (areq.wait_buf_f64(), breq.wait_buf_f64()),
             None => {
                 // A(·, k): owner column k mod py broadcasts along rows;
                 // B(k, ·): owner row k mod px broadcasts along columns.
-                let mut abuf = pack_a(k);
-                yrow.bcast_f64(k % g.py, &mut abuf);
-                let mut bbuf = pack_b(k);
-                xcol.bcast_f64(k % g.px, &mut bbuf);
+                let abuf = yrow.bcast_buf_f64(k % g.py, pack_a(k));
+                let bbuf = xcol.bcast_buf_f64(k % g.px, pack_b(k));
                 (abuf, bbuf)
             }
         };
@@ -218,8 +220,8 @@ fn rank_program(comm: &Comm, cfg: &Mmm25dConfig, a: &Matrix, b: &Matrix) -> Tile
         }
 
         phase(comm, "local_gemm");
-        let astride = Matrix::from_vec(my_tis.len() * v, v, abuf);
-        let bwide = Matrix::from_vec(my_tjs.len() * v, v, bbuf); // row-block packed
+        let astride = MatRef::from_slice(&abuf, my_tis.len() * v, v, v);
+        let bwide = MatRef::from_slice(&bbuf, my_tjs.len() * v, v, v); // row-block packed
         for (ii, &ti) in my_tis.iter().enumerate() {
             let ablk = astride.block(ii * v, 0, v, v);
             for (jj, &tj) in my_tjs.iter().enumerate() {

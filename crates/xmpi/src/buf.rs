@@ -1,0 +1,185 @@
+//! Shared immutable buffers — the storage behind zero-copy [`Payload`]s.
+//!
+//! A [`Buf`] wraps its elements in an [`Arc`], so cloning one (what a send
+//! enqueues, what a broadcast forwards down its tree) is a refcount bump, not
+//! a deep copy. Receivers read through [`Deref`] as `&[T]` without copying;
+//! [`Buf::into_vec`] converts to owned storage and only pays for a copy when
+//! the buffer is genuinely still shared (a uniquely-held `Buf` unwraps its
+//! allocation for free).
+//!
+//! The inner type is `Arc<Vec<T>>` rather than `Arc<[T]>` deliberately:
+//! a slice Arc stores its elements inline, so converting back to a `Vec`
+//! *always* copies, while `Arc::try_unwrap` on a boxed `Vec` hands the
+//! original allocation back whenever the refcount is 1 — which is exactly
+//! the "convert to owned storage only when the consumer actually mutates a
+//! shared buffer" contract the transport wants.
+//!
+//! [`Payload`]: crate::Payload
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply-clonable, immutable, shared buffer of `T`.
+///
+/// ```
+/// use xmpi::Buf;
+///
+/// let b: Buf<f64> = vec![1.0, 2.0, 3.0].into();
+/// let c = b.clone(); // refcount bump, no copy
+/// assert_eq!(&*c, &[1.0, 2.0, 3.0]);
+/// drop(b);
+/// let owned: Vec<f64> = c.into_vec(); // unique again: reclaims the Vec
+/// assert_eq!(owned, vec![1.0, 2.0, 3.0]);
+/// ```
+pub struct Buf<T> {
+    inner: Arc<Vec<T>>,
+}
+
+impl<T> Buf<T> {
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Is the buffer empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<T: Clone> Buf<T> {
+    /// Share a borrowed slice (one copy — the last one the transport makes).
+    pub fn from_slice(data: &[T]) -> Self {
+        Buf {
+            inner: Arc::new(data.to_vec()),
+        }
+    }
+
+    /// Convert to owned storage. Free when this handle is the last one
+    /// (reclaims the original allocation); copies only if the buffer is
+    /// still shared — e.g. by an in-flight message further down a
+    /// broadcast tree.
+    pub fn into_vec(self) -> Vec<T> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(v) => v,
+            Err(shared) => (*shared).clone(),
+        }
+    }
+
+    /// Copy out to an owned `Vec` without consuming the handle.
+    pub fn to_vec(&self) -> Vec<T> {
+        (*self.inner).clone()
+    }
+
+    /// Copy-on-write mutable access: clones the storage only if shared.
+    /// Crate-internal — payloads are immutable on the wire; the one
+    /// legitimate writer is the fault-injection corruption hook, which must
+    /// not scribble on copies other ranks are still about to receive.
+    pub(crate) fn make_mut(&mut self) -> &mut Vec<T> {
+        Arc::make_mut(&mut self.inner)
+    }
+}
+
+impl<T> Clone for Buf<T> {
+    /// Refcount bump; never copies the elements.
+    #[inline]
+    fn clone(&self) -> Self {
+        Buf {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Deref for Buf<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.inner.as_slice()
+    }
+}
+
+impl<T> From<Vec<T>> for Buf<T> {
+    /// Wrap an owned `Vec` without copying.
+    #[inline]
+    fn from(v: Vec<T>) -> Self {
+        Buf { inner: Arc::new(v) }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Buf<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.as_slice().fmt(f)
+    }
+}
+
+impl<T: PartialEq> PartialEq for Buf<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.as_slice() == other.inner.as_slice()
+    }
+}
+
+impl<T: PartialEq> PartialEq<[T]> for Buf<T> {
+    fn eq(&self, other: &[T]) -> bool {
+        self.inner.as_slice() == other
+    }
+}
+
+impl<T: PartialEq> PartialEq<Vec<T>> for Buf<T> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.inner.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq<[T; N]> for Buf<T> {
+    fn eq(&self, other: &[T; N]) -> bool {
+        self.inner.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let a: Buf<f64> = vec![1.0, 2.0].into();
+        let b = a.clone();
+        assert_eq!(a.as_ptr(), b.as_ptr(), "clone must not copy");
+        assert_eq!(b, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn into_vec_reclaims_unique_allocation() {
+        let v = vec![3.0; 128];
+        let ptr = v.as_ptr();
+        let b: Buf<f64> = v.into();
+        let back = b.into_vec();
+        assert_eq!(back.as_ptr(), ptr, "unique Buf must hand back its Vec");
+    }
+
+    #[test]
+    fn into_vec_copies_when_shared() {
+        let b: Buf<f64> = vec![4.0, 5.0].into();
+        let keep = b.clone();
+        let owned = b.into_vec();
+        assert_ne!(owned.as_ptr(), keep.as_ptr(), "shared Buf must copy out");
+        assert_eq!(owned, vec![4.0, 5.0]);
+        assert_eq!(keep, [4.0, 5.0]);
+    }
+
+    #[test]
+    fn make_mut_is_copy_on_write() {
+        let mut a: Buf<f64> = vec![1.0, 2.0].into();
+        let b = a.clone();
+        a.make_mut()[0] = 9.0;
+        assert_eq!(a, [9.0, 2.0]);
+        assert_eq!(b, [1.0, 2.0], "shared copy must be unaffected");
+        // Unique: mutate in place, no second allocation.
+        let ptr = a.as_ptr();
+        a.make_mut()[1] = 8.0;
+        assert_eq!(a.as_ptr(), ptr);
+    }
+}

@@ -2,10 +2,19 @@
 //! are measured.
 //!
 //! Algorithms follow the classic MPICH implementations: binomial trees for
-//! broadcast and reduce, recursive doubling for all-reduce on power-of-two
-//! groups (the butterfly pattern the paper's tournament pivoting also uses),
-//! a ring for all-gather, and direct fan-in/fan-out for (small-group)
-//! gather/scatter.
+//! broadcast and reduce, recursive doubling for all-reduce and all-gather on
+//! power-of-two groups (the butterfly pattern the paper's tournament
+//! pivoting also uses), a ring for all-gather on other group sizes (and as
+//! the explicit large-buffer schedule, [`Comm::allgather_ring_f64`]), and
+//! direct fan-in/fan-out for (small-group) gather/scatter.
+//!
+//! Broadcasts are zero-copy: the payload travels the tree as a shared
+//! [`Buf`], so each hop enqueues a refcount bump while the byte counters
+//! still count the full logical wire size of every hop — measured volume is
+//! the tree schedule's, wall-clock is one buffer's. [`Comm::bcast_buf_f64`]
+//! exposes the shared handle directly; the `Vec`-based variants convert at
+//! the edge (free for tree leaves, one copy for interior nodes whose
+//! forwards are still in flight).
 //!
 //! [`Comm::ibcast_f64`]/[`Comm::ibcast_u64`] are *nonblocking* broadcasts
 //! over the same binomial tree (so a pipelined schedule moves exactly the
@@ -13,6 +22,7 @@
 //! time; every other rank posts a receive from its parent at post time and
 //! forwards down the tree when it completes the returned [`BcastRequest`].
 
+use crate::buf::Buf;
 use crate::comm::{Comm, Payload};
 use crate::error::XmpiError;
 use crate::request::RecvRequest;
@@ -63,33 +73,88 @@ impl Comm {
         Ok(())
     }
 
-    /// Binomial-tree broadcast of an element buffer from `root`. Non-root
-    /// ranks' buffers are overwritten (and resized) with the root's data.
-    pub fn bcast_f64(&self, root: usize, buf: &mut Vec<f64>) {
-        let _scope = self.coll_scope(CollKind::Bcast);
+    /// Blocking binomial-tree broadcast core: the root supplies `Some`
+    /// payload, every rank returns it. The *same* shared buffer is forwarded
+    /// down the tree (each hop is a refcount bump) while every hop's bytes
+    /// are counted in full.
+    fn bcast_payload_blocking(&self, root: usize, mine: Option<Payload>) -> Payload {
         let p = self.size();
         if p == 1 {
-            return;
+            return mine.expect("bcast: root must supply a payload");
         }
         let vr = (self.rank() + p - root) % p;
-        // Receive phase: wait for the parent in the binomial tree.
         let mut mask = 1;
-        while mask < p {
-            if vr & mask != 0 {
-                let src = (vr - mask + root) % p;
-                *buf = self.recv_f64(src, TAG_BCAST);
-                break;
+        let payload = if vr == 0 {
+            while mask < p {
+                mask <<= 1;
             }
-            mask <<= 1;
-        }
-        // Forward phase: fan out to children.
+            mine.expect("bcast: root must supply a payload")
+        } else {
+            // Receive phase: wait for the parent in the binomial tree.
+            loop {
+                if vr & mask != 0 {
+                    let src = (vr - mask + root) % p;
+                    break self.recv_payload(src, TAG_BCAST);
+                }
+                mask <<= 1;
+            }
+        };
+        // Forward phase: fan out the shared payload to children.
         mask >>= 1;
         while mask > 0 {
             if vr & mask == 0 && vr + mask < p {
                 let dst = (vr + mask + root) % p;
-                self.send_f64(dst, TAG_BCAST, buf);
+                self.send_payload(dst, TAG_BCAST, payload.clone());
             }
             mask >>= 1;
+        }
+        payload
+    }
+
+    /// Binomial-tree broadcast of an element buffer from `root`. Non-root
+    /// ranks' buffers are overwritten (and resized) with the root's data.
+    pub fn bcast_f64(&self, root: usize, buf: &mut Vec<f64>) {
+        let _scope = self.coll_scope(CollKind::Bcast);
+        if self.size() == 1 {
+            return;
+        }
+        let mine = (self.rank() == root).then(|| Payload::from(std::mem::take(buf)));
+        match self.bcast_payload_blocking(root, mine) {
+            Payload::F64(b) => *buf = b.into_vec(),
+            Payload::U64(_) => panic!("bcast_f64: broadcast carried an index payload"),
+        }
+    }
+
+    /// [`Comm::bcast_f64`] that keeps the result shared: the root passes the
+    /// data (ignored elsewhere) and every rank gets a [`Buf`] handle onto
+    /// the *same* storage — no per-hop copies anywhere in the tree. The
+    /// zero-copy entry point for read-only panel consumers.
+    pub fn bcast_buf_f64(&self, root: usize, buf: Vec<f64>) -> Buf<f64> {
+        let _scope = self.coll_scope(CollKind::Bcast);
+        let mine = (self.rank() == root).then(|| Payload::from(buf));
+        match self.bcast_payload_blocking(root, mine) {
+            Payload::F64(b) => b,
+            Payload::U64(_) => panic!("bcast_buf_f64: broadcast carried an index payload"),
+        }
+    }
+
+    /// [`Comm::bcast_buf_f64`] for a payload the root wants to keep: the
+    /// root passes `Some(&handle)` and its storage is cloned into the tree
+    /// as a refcount bump, so the same panel can be re-broadcast any number
+    /// of times without rebuilding or re-owning it. Non-root ranks pass
+    /// `None` and get a handle onto the root's storage, exactly as
+    /// [`Comm::bcast_buf_f64`].
+    pub fn bcast_shared_f64(&self, root: usize, buf: Option<&Buf<f64>>) -> Buf<f64> {
+        let _scope = self.coll_scope(CollKind::Bcast);
+        let mine = (self.rank() == root).then(|| {
+            Payload::F64(
+                buf.expect("bcast_shared_f64: root must supply a buffer")
+                    .clone(),
+            )
+        });
+        match self.bcast_payload_blocking(root, mine) {
+            Payload::F64(b) => b,
+            Payload::U64(_) => panic!("bcast_shared_f64: broadcast carried an index payload"),
         }
     }
 
@@ -97,7 +162,7 @@ impl Comm {
     /// binomial tree. A rank that cannot reach its parent (or a child)
     /// reports the failure instead of unwinding; ranks *above* the break
     /// still complete, mirroring how a real fault-tolerant broadcast
-    /// degrades.
+    /// degrades. On `Err`, `buf` is left unmodified.
     pub fn try_bcast_f64(&self, root: usize, buf: &mut Vec<f64>) -> Result<(), XmpiError> {
         let _scope = self.coll_scope(CollKind::Bcast);
         let p = self.size();
@@ -106,21 +171,42 @@ impl Comm {
         }
         let vr = (self.rank() + p - root) % p;
         let mut mask = 1;
-        while mask < p {
-            if vr & mask != 0 {
-                let src = (vr - mask + root) % p;
-                *buf = self.try_recv_f64(src, TAG_BCAST)?;
-                break;
+        let payload = if vr == 0 {
+            while mask < p {
+                mask <<= 1;
             }
-            mask <<= 1;
-        }
+            Payload::from(&buf[..])
+        } else {
+            loop {
+                if vr & mask != 0 {
+                    let src = (vr - mask + root) % p;
+                    match self.try_recv_payload(src, TAG_BCAST)? {
+                        Payload::F64(b) => break Payload::F64(b),
+                        Payload::U64(b) => {
+                            return Err(XmpiError::Truncated {
+                                expected: 0,
+                                got: b.len(),
+                                src: self.world_rank_of(src),
+                                tag: TAG_BCAST,
+                            })
+                        }
+                    }
+                }
+                mask <<= 1;
+            }
+        };
         mask >>= 1;
         while mask > 0 {
             if vr & mask == 0 && vr + mask < p {
                 let dst = (vr + mask + root) % p;
-                self.try_send_f64(dst, TAG_BCAST, buf)?;
+                self.try_send_payload(dst, TAG_BCAST, payload.clone())?;
             }
             mask >>= 1;
+        }
+        if vr != 0 {
+            if let Payload::F64(b) = payload {
+                *buf = b.into_vec();
+            }
         }
         Ok(())
     }
@@ -128,27 +214,13 @@ impl Comm {
     /// Binomial-tree broadcast of an index buffer from `root`.
     pub fn bcast_u64(&self, root: usize, buf: &mut Vec<u64>) {
         let _scope = self.coll_scope(CollKind::Bcast);
-        let p = self.size();
-        if p == 1 {
+        if self.size() == 1 {
             return;
         }
-        let vr = (self.rank() + p - root) % p;
-        let mut mask = 1;
-        while mask < p {
-            if vr & mask != 0 {
-                let src = (vr - mask + root) % p;
-                *buf = self.recv_u64(src, TAG_BCAST);
-                break;
-            }
-            mask <<= 1;
-        }
-        mask >>= 1;
-        while mask > 0 {
-            if vr & mask == 0 && vr + mask < p {
-                let dst = (vr + mask + root) % p;
-                self.send_u64(dst, TAG_BCAST, buf);
-            }
-            mask >>= 1;
+        let mine = (self.rank() == root).then(|| Payload::from(std::mem::take(buf)));
+        match self.bcast_payload_blocking(root, mine) {
+            Payload::U64(b) => *buf = b.into_vec(),
+            Payload::F64(_) => panic!("bcast_u64: broadcast carried an element payload"),
         }
     }
 
@@ -168,9 +240,9 @@ impl Comm {
                 let src_vr = vr | mask;
                 if src_vr < p {
                     let src = (src_vr + root) % p;
-                    let other = self.recv_f64(src, TAG_REDUCE);
+                    let other = self.recv_buf_f64(src, TAG_REDUCE);
                     assert_eq!(other.len(), buf.len(), "reduce: length mismatch");
-                    for (x, y) in buf.iter_mut().zip(other) {
+                    for (x, y) in buf.iter_mut().zip(other.iter()) {
                         *x += y;
                     }
                 }
@@ -198,9 +270,9 @@ impl Comm {
             while mask < p {
                 let partner = r ^ mask;
                 self.send_f64(partner, TAG_ALLREDUCE + mask as u64, buf);
-                let other = self.recv_f64(partner, TAG_ALLREDUCE + mask as u64);
+                let other = self.recv_buf_f64(partner, TAG_ALLREDUCE + mask as u64);
                 assert_eq!(other.len(), buf.len(), "allreduce: length mismatch");
-                for (x, y) in buf.iter_mut().zip(other) {
+                for (x, y) in buf.iter_mut().zip(other.iter()) {
                     *x += y;
                 }
                 mask <<= 1;
@@ -226,9 +298,9 @@ impl Comm {
             while mask < p {
                 let partner = r ^ mask;
                 self.send_f64(partner, TAG_ALLREDUCE + mask as u64, buf);
-                let other = self.recv_f64(partner, TAG_ALLREDUCE + mask as u64);
-                for (x, y) in buf.iter_mut().zip(other) {
-                    *x = x.max(y);
+                let other = self.recv_buf_f64(partner, TAG_ALLREDUCE + mask as u64);
+                for (x, y) in buf.iter_mut().zip(other.iter()) {
+                    *x = x.max(*y);
                 }
                 mask <<= 1;
             }
@@ -237,9 +309,9 @@ impl Comm {
                 self.send_f64(0, TAG_ALLREDUCE, buf);
             } else {
                 for src in 1..p {
-                    let other = self.recv_f64(src, TAG_ALLREDUCE);
-                    for (x, y) in buf.iter_mut().zip(other) {
-                        *x = x.max(y);
+                    let other = self.recv_buf_f64(src, TAG_ALLREDUCE);
+                    for (x, y) in buf.iter_mut().zip(other.iter()) {
+                        *x = x.max(*y);
                     }
                 }
             }
@@ -249,7 +321,8 @@ impl Comm {
 
     /// Gather variable-length element buffers to `root`. Returns `Some` of
     /// the per-rank buffers (indexed by local rank) on the root, `None`
-    /// elsewhere.
+    /// elsewhere. The root's own contribution never touches the mailbox
+    /// (and is not counted as traffic).
     pub fn gather_f64(&self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
         let _scope = self.coll_scope(CollKind::Gather);
         if self.rank() != root {
@@ -286,7 +359,10 @@ impl Comm {
     }
 
     /// Scatter per-rank buffers from `root`: the root passes `Some(pieces)`
-    /// (one per local rank), everyone receives their piece.
+    /// (one per local rank), everyone receives their piece. The root's own
+    /// piece is handed over locally (no mailbox, no copy, no counted
+    /// traffic); the other pieces are moved into the transport without
+    /// copying.
     ///
     /// # Panics
     /// On the root if `pieces.len() != size()`.
@@ -304,7 +380,7 @@ impl Comm {
                 if dst == root {
                     mine = piece;
                 } else {
-                    self.send_f64(dst, TAG_SCATTER, &piece);
+                    self.send_payload(dst, TAG_SCATTER, piece);
                 }
             }
             mine
@@ -325,12 +401,12 @@ impl Comm {
     /// [`BcastRequest::wait`](BcastRequest::wait), so an abandoned request
     /// starves that rank's subtree.
     pub fn ibcast_f64(&self, root: usize, seq: u64, buf: Vec<f64>) -> BcastRequest<'_> {
-        self.ibcast_payload(root, seq, Payload::F64(buf))
+        self.ibcast_payload(root, seq, Payload::from(buf))
     }
 
     /// Nonblocking broadcast of an index buffer (see [`Comm::ibcast_f64`]).
     pub fn ibcast_u64(&self, root: usize, seq: u64, buf: Vec<u64>) -> BcastRequest<'_> {
-        self.ibcast_payload(root, seq, Payload::U64(buf))
+        self.ibcast_payload(root, seq, Payload::from(buf))
     }
 
     fn ibcast_payload(&self, root: usize, seq: u64, payload: Payload) -> BcastRequest<'_> {
@@ -349,6 +425,7 @@ impl Comm {
         if vr == 0 {
             // Root: children are exactly those of the blocking bcast, fanned
             // out at post time (sends are buffered, so this cannot block).
+            // Each fan-out shares the same payload storage.
             let mut mask = 1;
             while mask < p {
                 mask <<= 1;
@@ -385,26 +462,85 @@ impl Comm {
         }
     }
 
-    /// Ring all-gather of equal-or-variable-length buffers: returns every
-    /// rank's contribution, indexed by local rank.
+    /// All-gather of equal-or-variable-length buffers: returns every rank's
+    /// contribution, indexed by local rank. Power-of-two groups use
+    /// recursive doubling (log₂ p rounds; each held piece travels as its own
+    /// message, so per-rank bytes and message counts for equal-length pieces
+    /// are identical to the ring's); other group sizes use the ring. This
+    /// rank's own piece never touches the mailbox.
     pub fn allgather_f64(&self, data: &[f64]) -> Vec<Vec<f64>> {
         let _scope = self.coll_scope(CollKind::Allgather);
         let p = self.size();
+        let mut out: Vec<Option<Buf<f64>>> = (0..p).map(|_| None).collect();
+        out[self.rank()] = Some(Buf::from_slice(data));
+        if p.is_power_of_two() {
+            self.allgather_rd(&mut out);
+        } else {
+            self.allgather_ring(&mut out);
+        }
+        out.into_iter()
+            .map(|b| b.expect("allgather: piece missing").into_vec())
+            .collect()
+    }
+
+    /// Ring all-gather, unconditionally: p−1 serialized rounds, each rank
+    /// relaying one piece per round to its right neighbour. The explicit
+    /// large-buffer schedule — at most one piece is in flight per rank per
+    /// round, where recursive doubling holds up to p/2 pieces in its final
+    /// round. Byte totals match [`Comm::allgather_f64`] exactly.
+    pub fn allgather_ring_f64(&self, data: &[f64]) -> Vec<Vec<f64>> {
+        let _scope = self.coll_scope(CollKind::Allgather);
+        let p = self.size();
+        let mut out: Vec<Option<Buf<f64>>> = (0..p).map(|_| None).collect();
+        out[self.rank()] = Some(Buf::from_slice(data));
+        self.allgather_ring(&mut out);
+        out.into_iter()
+            .map(|b| b.expect("allgather: piece missing").into_vec())
+            .collect()
+    }
+
+    /// Recursive-doubling all-gather over shared buffers. After round `k`
+    /// each rank holds the 2^(k+1) pieces of its aligned block; every round
+    /// exchanges whole blocks with the partner across bit `k`, one message
+    /// per piece (tagged by origin) so variable-length pieces need no
+    /// headers and per-channel FIFO gives a deterministic arrival order.
+    fn allgather_rd(&self, out: &mut [Option<Buf<f64>>]) {
+        let p = self.size();
         let r = self.rank();
-        let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
-        out[r] = data.to_vec();
-        // At step s, send the piece originating at (r - s) to the right
-        // neighbour and receive the piece originating at (r - s - 1) from the
-        // left neighbour.
+        let mut mask = 1;
+        while mask < p {
+            let partner = r ^ mask;
+            let base = r & !(mask - 1);
+            for (o, held) in out.iter().enumerate().skip(base).take(mask) {
+                let piece = held.clone().expect("allgather: held piece missing");
+                self.send_payload(partner, TAG_ALLGATHER + o as u64, piece);
+            }
+            let pbase = partner & !(mask - 1);
+            for (o, slot) in out.iter_mut().enumerate().skip(pbase).take(mask) {
+                *slot = Some(self.recv_buf_f64(partner, TAG_ALLGATHER + o as u64));
+            }
+            mask <<= 1;
+        }
+    }
+
+    /// Ring all-gather over shared buffers: at step `s`, send the piece
+    /// originating at `(r - s)` to the right neighbour and receive the piece
+    /// originating at `(r - s - 1)` from the left neighbour. Relayed pieces
+    /// forward the same shared storage.
+    fn allgather_ring(&self, out: &mut [Option<Buf<f64>>]) {
+        let p = self.size();
+        let r = self.rank();
         for s in 0..p.saturating_sub(1) {
             let right = (r + 1) % p;
             let left = (r + p - 1) % p;
             let send_origin = (r + p - s) % p;
             let recv_origin = (r + p - s - 1) % p;
-            self.send_f64(right, TAG_ALLGATHER + s as u64, &out[send_origin]);
-            out[recv_origin] = self.recv_f64(left, TAG_ALLGATHER + s as u64);
+            let piece = out[send_origin]
+                .clone()
+                .expect("allgather: held piece missing");
+            self.send_payload(right, TAG_ALLGATHER + s as u64, piece);
+            out[recv_origin] = Some(self.recv_buf_f64(left, TAG_ALLGATHER + s as u64));
         }
-        out
     }
 }
 
@@ -428,7 +564,8 @@ pub struct BcastRequest<'c> {
 
 impl BcastRequest<'_> {
     /// Complete the broadcast: receive from the parent if necessary, forward
-    /// to this rank's subtree, and return the root's payload.
+    /// to this rank's subtree (sharing the same payload storage), and return
+    /// the root's payload.
     pub fn wait(self) -> Payload {
         match self.state {
             IbcastState::Done(payload) => {
@@ -458,13 +595,25 @@ impl BcastRequest<'_> {
         }
     }
 
-    /// [`BcastRequest::wait`], asserting an element payload.
+    /// [`BcastRequest::wait`], asserting an element payload and converting
+    /// to owned storage (free on tree leaves; one copy on interior nodes
+    /// whose forwards are still shared).
     ///
     /// # Panics
     /// If the broadcast carried indices instead of elements.
     pub fn wait_f64(self) -> Vec<f64> {
+        self.wait_buf_f64().into_vec()
+    }
+
+    /// [`BcastRequest::wait`], asserting an element payload and returning
+    /// the shared buffer handle — the zero-copy completion for read-only
+    /// consumers.
+    ///
+    /// # Panics
+    /// If the broadcast carried indices instead of elements.
+    pub fn wait_buf_f64(self) -> Buf<f64> {
         match self.wait() {
-            Payload::F64(v) => v,
+            Payload::F64(b) => b,
             Payload::U64(_) => panic!("ibcast wait_f64: broadcast carried an index payload"),
         }
     }
@@ -475,7 +624,7 @@ impl BcastRequest<'_> {
     /// If the broadcast carried elements instead of indices.
     pub fn wait_u64(self) -> Vec<u64> {
         match self.wait() {
-            Payload::U64(v) => v,
+            Payload::U64(b) => b.into_vec(),
             Payload::F64(_) => panic!("ibcast wait_u64: broadcast carried an element payload"),
         }
     }
@@ -483,6 +632,7 @@ impl BcastRequest<'_> {
 
 #[cfg(test)]
 mod tests {
+    use crate::buf::Buf;
     use crate::world::run;
 
     #[test]
@@ -513,6 +663,59 @@ mod tests {
     }
 
     #[test]
+    fn bcast_buf_shares_storage_and_agrees() {
+        for p in [1, 2, 4, 7, 8] {
+            for root in 0..p {
+                let out = run(p, move |c| {
+                    let buf = if c.rank() == root {
+                        vec![1.0, root as f64]
+                    } else {
+                        vec![]
+                    };
+                    let b = c.bcast_buf_f64(root, buf);
+                    b.to_vec()
+                });
+                for r in out.results {
+                    assert_eq!(r, vec![1.0, root as f64], "p={p} root={root}");
+                }
+            }
+        }
+    }
+
+    /// `bcast_shared_f64` leaves the root's handle usable, repeated
+    /// broadcasts of the same handle never copy on the root, and the
+    /// traffic matches the consuming variant exactly.
+    #[test]
+    fn bcast_shared_keeps_the_roots_handle() {
+        let out = run(4, |c| {
+            let src = (c.rank() == 1).then(|| Buf::from(vec![2.5, 3.5, 4.5]));
+            let a = c.bcast_shared_f64(1, src.as_ref());
+            let b = c.bcast_shared_f64(1, src.as_ref());
+            if let Some(s) = &src {
+                assert_eq!(s.as_ptr(), a.as_ptr(), "root side must not copy");
+                assert_eq!(s.as_ptr(), b.as_ptr(), "re-broadcast must not copy");
+            }
+            a.to_vec()
+        });
+        for r in &out.results {
+            assert_eq!(r, &vec![2.5, 3.5, 4.5]);
+        }
+        let consuming = run(4, |c| {
+            let buf = if c.rank() == 1 {
+                vec![2.5, 3.5, 4.5]
+            } else {
+                vec![]
+            };
+            c.bcast_buf_f64(1, buf);
+        });
+        assert_eq!(
+            out.stats.total_bytes_sent(),
+            2 * consuming.stats.total_bytes_sent(),
+            "two shared broadcasts move exactly twice one consuming broadcast"
+        );
+    }
+
+    #[test]
     fn bcast_u64_carries_indices() {
         let out = run(6, |c| {
             let mut buf = if c.rank() == 2 { vec![9, 8, 7] } else { vec![] };
@@ -521,6 +724,24 @@ mod tests {
         });
         for r in out.results {
             assert_eq!(r, vec![9, 8, 7]);
+        }
+    }
+
+    #[test]
+    fn try_bcast_matches_bcast() {
+        for p in [1, 2, 4, 6] {
+            let out = run(p, |c| {
+                let mut buf = if c.rank() == 0 {
+                    vec![4.0, 5.0]
+                } else {
+                    vec![]
+                };
+                c.try_bcast_f64(0, &mut buf).expect("healthy world");
+                buf
+            });
+            for r in out.results {
+                assert_eq!(r, vec![4.0, 5.0], "p={p}");
+            }
         }
     }
 
@@ -578,6 +799,18 @@ mod tests {
     }
 
     #[test]
+    fn gather_root_contribution_is_local() {
+        // A 1-rank gather is pure self-contribution: no mailbox traffic.
+        let out = run(1, |c| c.gather_f64(0, &[1.0, 2.0]));
+        assert_eq!(out.stats.total_bytes_sent(), 0);
+        assert_eq!(out.stats.ranks[0].msgs_sent, 0);
+        assert_eq!(
+            out.results[0].as_ref().expect("root"),
+            &vec![vec![1.0, 2.0]]
+        );
+    }
+
+    #[test]
     fn scatter_routes_pieces() {
         let out = run(4, |c| {
             let pieces = if c.rank() == 1 {
@@ -593,8 +826,24 @@ mod tests {
     }
 
     #[test]
+    fn scatter_root_piece_is_local_and_uncopied() {
+        // The root's own piece must be handed over as the same allocation —
+        // no mailbox round-trip, no copy, no counted bytes.
+        let out = run(1, |c| {
+            let piece = vec![7.0; 16];
+            let ptr = piece.as_ptr() as usize;
+            let got = c.scatter_f64(0, Some(vec![piece]));
+            (got.as_ptr() as usize == ptr, got)
+        });
+        let (same_alloc, got) = &out.results[0];
+        assert!(same_alloc, "root piece must not be copied");
+        assert_eq!(got, &vec![7.0; 16]);
+        assert_eq!(out.stats.total_bytes_sent(), 0);
+    }
+
+    #[test]
     fn allgather_every_rank_sees_everything() {
-        for p in [1, 3, 4, 6] {
+        for p in [1, 2, 3, 4, 6, 8, 16] {
             let out = run(p, |c| c.allgather_f64(&[c.rank() as f64, 0.5]));
             for r in out.results {
                 for (i, piece) in r.iter().enumerate() {
@@ -605,12 +854,47 @@ mod tests {
     }
 
     #[test]
-    fn allgather_variable_lengths() {
-        let out = run(3, |c| c.allgather_f64(&vec![1.0; c.rank() + 1]));
-        for r in out.results {
-            for (i, piece) in r.iter().enumerate() {
-                assert_eq!(piece.len(), i + 1);
+    fn allgather_ring_every_rank_sees_everything() {
+        for p in [1, 2, 4, 5, 8] {
+            let out = run(p, |c| c.allgather_ring_f64(&[c.rank() as f64]));
+            for r in out.results {
+                for (i, piece) in r.iter().enumerate() {
+                    assert_eq!(piece, &vec![i as f64], "p={p}");
+                }
             }
+        }
+    }
+
+    #[test]
+    fn allgather_variable_lengths() {
+        // Non-power-of-two (ring) and power-of-two (recursive doubling)
+        // groups must both carry variable-length pieces, including empty.
+        for p in [3, 4, 8] {
+            let out = run(p, |c| c.allgather_f64(&vec![1.0; c.rank()]));
+            for r in out.results {
+                for (i, piece) in r.iter().enumerate() {
+                    assert_eq!(piece.len(), i, "p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_rd_matches_ring_bytes_for_equal_pieces() {
+        // With equal piece sizes, recursive doubling transmits each origin
+        // p−1 times in pieces of the same size the ring uses — per-rank
+        // bytes and message counts must match the ring schedule exactly.
+        let rd = run(8, |c| {
+            c.allgather_f64(&vec![1.0; 32]);
+        });
+        let ring = run(8, |c| {
+            c.allgather_ring_f64(&vec![1.0; 32]);
+        });
+        for r in 0..8 {
+            let a = &rd.stats.ranks[r];
+            let b = &ring.stats.ranks[r];
+            assert_eq!((a.bytes_sent, a.bytes_recv), (b.bytes_sent, b.bytes_recv));
+            assert_eq!((a.msgs_sent, a.msgs_recv), (b.msgs_sent, b.msgs_recv));
         }
     }
 
@@ -626,6 +910,34 @@ mod tests {
             c.bcast_f64(0, &mut buf);
         });
         assert_eq!(out.stats.total_bytes_sent(), 7 * 800);
+    }
+
+    #[test]
+    fn bcast_buf_volume_matches_vec_bcast() {
+        // Zero-copy forwarding must not change the measured volume: every
+        // logical hop still counts its full wire size.
+        let buf_run = run(8, |c| {
+            let data = if c.rank() == 0 {
+                vec![1.0; 100]
+            } else {
+                vec![]
+            };
+            c.bcast_buf_f64(0, data);
+        });
+        let vec_run = run(8, |c| {
+            let mut buf = if c.rank() == 0 {
+                vec![1.0; 100]
+            } else {
+                vec![]
+            };
+            c.bcast_f64(0, &mut buf);
+        });
+        for r in 0..8 {
+            let a = &buf_run.stats.ranks[r];
+            let b = &vec_run.stats.ranks[r];
+            assert_eq!((a.bytes_sent, a.bytes_recv), (b.bytes_sent, b.bytes_recv));
+            assert_eq!((a.msgs_sent, a.msgs_recv), (b.msgs_sent, b.msgs_recv));
+        }
     }
 
     #[test]

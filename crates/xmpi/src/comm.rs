@@ -1,17 +1,26 @@
 //! Point-to-point transport and communicators.
 //!
-//! Each rank owns a mailbox (a mutex-protected queue plus a condition
-//! variable). A send appends to the destination's mailbox and never blocks —
-//! the buffered-send semantics the paper's asynchronous MPI usage assumes. A
-//! receive scans the mailbox for the first message matching
-//! `(source, context, tag)`; per-channel FIFO order is preserved because a
-//! sender's messages arrive in program order and matching scans in arrival
-//! order.
+//! Each rank owns a mailbox sharded by channel: a message's channel is its
+//! `(source, context, tag)` triple, channels are hashed onto a small set of
+//! shards, and each shard holds a mutex-protected map from channel to FIFO
+//! queue plus a condition variable. A send appends to the destination's
+//! channel queue and never blocks — the buffered-send semantics the paper's
+//! asynchronous MPI usage assumes. A receive matches the *head* of its
+//! channel queue in O(1) (amortized) instead of linearly scanning a single
+//! queue under a single lock; per-channel FIFO order is preserved because a
+//! sender's messages arrive in program order and only the head of a channel
+//! is ever matchable. Concurrent senders and the receiver contend only when
+//! their channels share a shard.
+//!
+//! Payloads are zero-copy: a [`Payload`] holds its elements in a shared
+//! immutable [`Buf`], so enqueuing a send — and forwarding a broadcast down
+//! its tree — is a refcount bump, not a deep copy. See [`crate::buf`].
 //!
 //! Communicators carry a *context id* so sub-communicators (grid rows,
 //! columns, z-fibres, layers) get isolated message streams over the shared
 //! mailboxes, mirroring MPI communicator semantics.
 
+use crate::buf::Buf;
 use crate::error::XmpiError;
 use crate::hooks::{self, CrashFate, SchedHooks};
 use crate::liveness::{CrashUnwind, Liveness, PoisonUnwind};
@@ -19,6 +28,8 @@ use crate::stats::{CollKind, Counters};
 use crate::trace::{Event, Recorder};
 use parking_lot::{Condvar, Mutex};
 use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -29,33 +40,70 @@ pub(crate) const RECV_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// Message payloads. Both variants count 8 bytes per element, matching the
 /// double-precision element size the paper uses when scaling its models.
+///
+/// The element storage is a shared immutable [`Buf`], so cloning a payload
+/// (what every send enqueues and every broadcast tree forwards) bumps a
+/// refcount instead of copying the buffer.
 #[derive(Debug, Clone)]
 pub enum Payload {
     /// A buffer of matrix elements.
-    F64(Vec<f64>),
+    F64(Buf<f64>),
     /// A buffer of indices (pivot rows, counts, displacements).
-    U64(Vec<u64>),
+    U64(Buf<u64>),
 }
 
 impl Payload {
     /// Wire size in bytes.
     pub fn bytes(&self) -> u64 {
         match self {
-            Payload::F64(v) => 8 * v.len() as u64,
-            Payload::U64(v) => 8 * v.len() as u64,
+            Payload::F64(b) => 8 * b.len() as u64,
+            Payload::U64(b) => 8 * b.len() as u64,
         }
     }
 }
 
+// The one place borrowed or owned user buffers become shared payload
+// storage: every send/isend/try_send wrapper funnels through these
+// conversions (via `impl Into<Payload>` bounds), so the Arc hand-off — and
+// the single defensive copy for borrowed slices — is not repeated per entry
+// point.
+impl From<Vec<f64>> for Payload {
+    fn from(v: Vec<f64>) -> Self {
+        Payload::F64(v.into())
+    }
+}
+impl From<Vec<u64>> for Payload {
+    fn from(v: Vec<u64>) -> Self {
+        Payload::U64(v.into())
+    }
+}
+impl From<Buf<f64>> for Payload {
+    fn from(b: Buf<f64>) -> Self {
+        Payload::F64(b)
+    }
+}
+impl From<Buf<u64>> for Payload {
+    fn from(b: Buf<u64>) -> Self {
+        Payload::U64(b)
+    }
+}
+impl From<&[f64]> for Payload {
+    fn from(s: &[f64]) -> Self {
+        Payload::F64(Buf::from_slice(s))
+    }
+}
+impl From<&[u64]> for Payload {
+    fn from(s: &[u64]) -> Self {
+        Payload::U64(Buf::from_slice(s))
+    }
+}
+
 pub(crate) struct Message {
-    src_world: usize,
-    ctx: u64,
-    tag: u64,
     payload: Payload,
     /// Earliest instant the message may be *matched* by a receive — the
     /// fault-injection hook's in-flight delay or simulated retransmission
     /// timeout ([`crate::hooks::SendFate`]). `None` = matchable now.
-    /// Matching still scans in arrival order per channel, so a delayed
+    /// Matching only ever takes the head of a channel queue, so a delayed
     /// message holds back its channel successors instead of being overtaken
     /// (per-channel FIFO is preserved under any perturbation).
     visible_at: Option<Instant>,
@@ -79,9 +127,9 @@ pub(crate) enum TakeErr {
     Poisoned,
 }
 
-/// Outcome of scanning a mailbox for a `(src, ctx, tag)` match.
+/// Outcome of scanning a channel for its next matchable message.
 enum Scan {
-    /// A matchable message was removed from the queue.
+    /// A matchable message was removed from the channel queue.
     Ready(Payload),
     /// The channel's next message exists but is still in flight.
     InFlight(Instant),
@@ -89,25 +137,102 @@ enum Scan {
     Absent,
 }
 
-/// Remove and return the first message matching `(src_world, ctx, tag)` in
-/// arrival order, respecting visibility.
-fn scan_mailbox(queue: &mut Vec<Message>, src_world: usize, ctx: u64, tag: u64) -> Scan {
-    match queue
-        .iter()
-        .position(|m| m.src_world == src_world && m.ctx == ctx && m.tag == tag)
-    {
-        Some(pos) => match queue[pos].visible_at {
-            Some(t) if t > Instant::now() => Scan::InFlight(t),
-            _ => Scan::Ready(queue.remove(pos).payload),
-        },
-        None => Scan::Absent,
+/// A channel identity: `(source world rank, context, tag)`.
+type ChannelKey = (usize, u64, u64);
+
+/// Shards per mailbox. Enough that the concurrent senders of a broadcast
+/// tree rarely collide on one lock; small enough that a timeout diagnostic
+/// sweep stays readable.
+const MAILBOX_SHARDS: usize = 16;
+
+fn shard_index(key: &ChannelKey) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % MAILBOX_SHARDS
+}
+
+/// Remove and return the channel's head message if it is matchable,
+/// respecting visibility. Drained channels are removed from the map so a
+/// long run's mailbox does not accumulate empty queues.
+fn scan_channel(channels: &mut HashMap<ChannelKey, VecDeque<Message>>, key: &ChannelKey) -> Scan {
+    let Some(q) = channels.get_mut(key) else {
+        return Scan::Absent;
+    };
+    let Some(head) = q.front() else {
+        return Scan::Absent;
+    };
+    if let Some(t) = head.visible_at {
+        if t > Instant::now() {
+            return Scan::InFlight(t);
+        }
+    }
+    let msg = q.pop_front().expect("channel head exists");
+    if q.is_empty() {
+        channels.remove(key);
+    }
+    Scan::Ready(msg.payload)
+}
+
+/// One mailbox shard: the channels hashing here, plus the condition variable
+/// their receivers park on.
+#[derive(Default)]
+struct Shard {
+    channels: Mutex<HashMap<ChannelKey, VecDeque<Message>>>,
+    arrived: Condvar,
+}
+
+pub(crate) struct Mailbox {
+    shards: Vec<Shard>,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Mailbox {
+            shards: (0..MAILBOX_SHARDS).map(|_| Shard::default()).collect(),
+        }
     }
 }
 
-#[derive(Default)]
-pub(crate) struct Mailbox {
-    queue: Mutex<Vec<Message>>,
-    arrived: Condvar,
+impl Mailbox {
+    fn shard_for(&self, key: &ChannelKey) -> &Shard {
+        &self.shards[shard_index(key)]
+    }
+
+    /// Total unmatched messages across all shards (diagnostics only; the
+    /// count is a racy snapshot).
+    fn pending(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.channels.lock().values().map(VecDeque::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Human-readable per-shard breakdown of what is stuck in this mailbox:
+    /// every non-empty shard with its pending channels' `(src, ctx, tag)`
+    /// coordinates and queue depths. Backs the deadlock-timeout panics.
+    fn stuck_report(&self) -> String {
+        let mut out = String::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let channels = shard.channels.lock();
+            if channels.is_empty() {
+                continue;
+            }
+            let mut keys: Vec<_> = channels.iter().collect();
+            keys.sort_by_key(|(k, _)| **k);
+            let _ = write!(out, "\n  shard {i:2}:");
+            for ((src, ctx, tag), q) in keys {
+                let _ = write!(
+                    out,
+                    " [src {src} ctx {ctx:#x} tag {tag}: {} msg(s)]",
+                    q.len()
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("\n  (all shards empty)");
+        }
+        out
+    }
 }
 
 /// State shared by all ranks of a world.
@@ -276,29 +401,31 @@ impl Comm {
     /// Send a buffer of matrix elements to local rank `dst` with `tag`.
     /// Buffered semantics: never blocks.
     pub fn send_f64(&self, dst: usize, tag: u64, data: &[f64]) {
-        self.send_payload(dst, tag, Payload::F64(data.to_vec()));
+        self.send_payload(dst, tag, data);
     }
 
     /// Send an index buffer to local rank `dst` with `tag`.
     pub fn send_u64(&self, dst: usize, tag: u64, data: &[u64]) {
-        self.send_payload(dst, tag, Payload::U64(data.to_vec()));
+        self.send_payload(dst, tag, data);
     }
 
-    /// Send an already-owned payload (avoids a copy for large buffers).
-    pub fn send_payload(&self, dst: usize, tag: u64, payload: Payload) {
-        self.push_message(dst, tag, payload, false);
+    /// Send anything payload-convertible (a [`Payload`], a [`Buf`], an owned
+    /// `Vec`, or a borrowed slice). Owned and shared inputs are enqueued
+    /// without copying.
+    pub fn send_payload(&self, dst: usize, tag: u64, payload: impl Into<Payload>) {
+        self.push_message(dst, tag, payload.into(), false);
     }
 
     /// [`Comm::send_f64`] that fails fast instead of unwinding when the
     /// destination has crashed or the world is poisoned.
     pub fn try_send_f64(&self, dst: usize, tag: u64, data: &[f64]) -> Result<(), XmpiError> {
-        self.try_send_payload(dst, tag, Payload::F64(data.to_vec()))
+        self.try_send_payload(dst, tag, data)
     }
 
     /// [`Comm::send_u64`] that fails fast instead of unwinding when the
     /// destination has crashed or the world is poisoned.
     pub fn try_send_u64(&self, dst: usize, tag: u64, data: &[u64]) -> Result<(), XmpiError> {
-        self.try_send_payload(dst, tag, Payload::U64(data.to_vec()))
+        self.try_send_payload(dst, tag, data)
     }
 
     /// [`Comm::send_payload`] returning [`XmpiError::RankDead`] when the
@@ -308,9 +435,9 @@ impl Comm {
         &self,
         dst: usize,
         tag: u64,
-        payload: Payload,
+        payload: impl Into<Payload>,
     ) -> Result<(), XmpiError> {
-        self.push_message_inner(dst, tag, payload, false)
+        self.push_message_inner(dst, tag, payload.into(), false)
     }
 
     /// Infallible transport wrapper: a send to a dead rank unwinds this
@@ -379,12 +506,16 @@ impl Comm {
         // In-flight corruption: element payloads only, applied after the
         // byte accounting (the wire size is unchanged; only a value is
         // wrong — the fault an ABFT checksum layer must detect).
-        if let Payload::F64(v) = &mut payload {
+        // Copy-on-write: the payload storage may be shared with the sender's
+        // local buffer and with sibling messages of a broadcast tree, and
+        // only *this* transmission is corrupted — `make_mut` clones the
+        // storage iff it is shared.
+        if let Payload::F64(b) = &mut payload {
             if let Some(h) = &self.shared.hooks {
                 if let Some((i, delta)) =
-                    h.corrupt_send(src_world, dst_world, self.ctx, tag, v.len())
+                    h.corrupt_send(src_world, dst_world, self.ctx, tag, b.len())
                 {
-                    if let Some(x) = v.get_mut(i) {
+                    if let Some(x) = b.make_mut().get_mut(i) {
                         *x += delta;
                     }
                 }
@@ -403,21 +534,24 @@ impl Comm {
                     .delay()
             })
             .map(|d| Instant::now() + d);
-        let mbox = &self.shared.mailboxes[dst_world];
-        mbox.queue.lock().push(Message {
-            src_world,
-            ctx: self.ctx,
-            tag,
-            payload,
-            visible_at,
-        });
-        mbox.arrived.notify_all();
+        let key = (src_world, self.ctx, tag);
+        let shard = self.shared.mailboxes[dst_world].shard_for(&key);
+        shard
+            .channels
+            .lock()
+            .entry(key)
+            .or_default()
+            .push_back(Message {
+                payload,
+                visible_at,
+            });
+        shard.arrived.notify_all();
         Ok(())
     }
 
     /// Execute an injected crash of this rank: mark it dead, poison the
-    /// world, wake every blocked receiver (the mailbox lock is taken around
-    /// each notify so a waiter between its poison check and its park cannot
+    /// world, wake every blocked receiver (each shard's lock is taken around
+    /// its notify so a waiter between its poison check and its park cannot
     /// miss the wakeup), record the trace event, and unwind with the crash
     /// sentinel that [`crate::run_ft`] maps to [`XmpiError::RankDead`].
     fn crash_self(&self, src_world: usize) -> ! {
@@ -426,9 +560,11 @@ impl Comm {
             tr.push(src_world, Event::RankCrash { t: tr.now() });
         }
         for mbox in &self.shared.mailboxes {
-            let guard = mbox.queue.lock();
-            mbox.arrived.notify_all();
-            drop(guard);
+            for shard in &mbox.shards {
+                let guard = shard.channels.lock();
+                shard.arrived.notify_all();
+                drop(guard);
+            }
         }
         std::panic::panic_any(CrashUnwind { rank: src_world });
     }
@@ -439,8 +575,16 @@ impl Comm {
     /// If the matching message carries indices instead of elements, or if no
     /// message arrives within the deadlock timeout.
     pub fn recv_f64(&self, src: usize, tag: u64) -> Vec<f64> {
+        self.recv_buf_f64(src, tag).into_vec()
+    }
+
+    /// [`Comm::recv_f64`] without the copy-out: returns the shared buffer
+    /// handle. Read it through `Deref` as `&[f64]`; converting to owned
+    /// storage ([`Buf::into_vec`]) costs a copy only if the buffer is still
+    /// shared (e.g. this rank forwarded it down a broadcast tree).
+    pub fn recv_buf_f64(&self, src: usize, tag: u64) -> Buf<f64> {
         match self.recv_payload(src, tag) {
-            Payload::F64(v) => v,
+            Payload::F64(b) => b,
             Payload::U64(_) => panic!(
                 "recv_f64: rank {} got index payload from {src} tag {tag}",
                 self.rank
@@ -451,7 +595,7 @@ impl Comm {
     /// Receive an index buffer from local rank `src` with `tag` (blocking).
     pub fn recv_u64(&self, src: usize, tag: u64) -> Vec<u64> {
         match self.recv_payload(src, tag) {
-            Payload::U64(v) => v,
+            Payload::U64(b) => b.into_vec(),
             Payload::F64(_) => panic!(
                 "recv_u64: rank {} got element payload from {src} tag {tag}",
                 self.rank
@@ -467,7 +611,7 @@ impl Comm {
             Ok(p) => p,
             Err(XmpiError::Timeout { pending, .. }) => panic!(
                 "xmpi deadlock: rank {} (world {}) waited {:?} for msg from local {} \
-                 (world {}) tag {} ctx {:#x}; {} unmatched messages pending",
+                 (world {}) tag {} ctx {:#x}; {} unmatched message(s) pending:{}",
                 self.rank,
                 self.world_rank(),
                 RECV_TIMEOUT,
@@ -475,10 +619,17 @@ impl Comm {
                 self.members[src],
                 tag,
                 self.ctx,
-                pending
+                pending,
+                self.stuck_report()
             ),
             Err(e) => std::panic::panic_any(PoisonUnwind(e)),
         }
+    }
+
+    /// Per-shard breakdown of this rank's unmatched mailbox traffic, for
+    /// deadlock diagnostics.
+    fn stuck_report(&self) -> String {
+        self.shared.mailboxes[self.world_rank()].stuck_report()
     }
 
     /// Map a non-timeout [`TakeErr`] to its typed error.
@@ -497,7 +648,8 @@ impl Comm {
 
     /// Core matching loop: block until the channel's next `(src, ctx, tag)`
     /// message (arrival order) is matchable, the world is poisoned, or
-    /// `timeout` elapses.
+    /// `timeout` elapses. Only the channel's own shard is locked while
+    /// waiting.
     ///
     /// Already-delivered messages stay consumable in a poisoned world — the
     /// scan runs *before* the liveness check, so a survivor draining its
@@ -511,10 +663,12 @@ impl Comm {
     ) -> Result<Payload, TakeErr> {
         let my_world = self.world_rank();
         let mbox = &self.shared.mailboxes[my_world];
+        let key = (src_world, self.ctx, tag);
+        let shard = mbox.shard_for(&key);
         let deadline = Instant::now() + timeout;
-        let mut queue = mbox.queue.lock();
+        let mut channels = shard.channels.lock();
         loop {
-            let wake_at = match scan_mailbox(&mut queue, src_world, self.ctx, tag) {
+            let wake_at = match scan_channel(&mut channels, &key) {
                 Scan::Ready(p) => return Ok(p),
                 Scan::InFlight(t) => t.min(deadline),
                 Scan::Absent => deadline,
@@ -528,14 +682,17 @@ impl Comm {
             }
             let now = Instant::now();
             if now >= deadline {
+                // Release our shard before sweeping all shards for the
+                // pending count (the sweep locks each in turn).
+                drop(channels);
                 return Err(TakeErr::Timeout {
-                    pending: queue.len(),
+                    pending: mbox.pending(),
                 });
             }
             // Result deliberately ignored: an in-flight visibility deadline
             // wakes by timeout, a fresh arrival (or a crash notification)
             // wakes by notify, and either way the loop re-scans.
-            let _ = mbox.arrived.wait_for(&mut queue, wake_at - now);
+            let _ = shard.arrived.wait_for(&mut channels, wake_at - now);
         }
     }
 
@@ -543,10 +700,10 @@ impl Comm {
     /// source, a poisoned world, or deadline expiry, instead of a panic.
     pub fn try_recv_f64(&self, src: usize, tag: u64) -> Result<Vec<f64>, XmpiError> {
         match self.try_recv_payload(src, tag)? {
-            Payload::F64(v) => Ok(v),
-            Payload::U64(v) => Err(XmpiError::Truncated {
+            Payload::F64(b) => Ok(b.into_vec()),
+            Payload::U64(b) => Err(XmpiError::Truncated {
                 expected: 0,
-                got: v.len(),
+                got: b.len(),
                 src: self.members[src],
                 tag,
             }),
@@ -565,10 +722,10 @@ impl Comm {
     ) -> Result<Vec<f64>, XmpiError> {
         let src_world = self.members[src];
         match self.try_recv_payload(src, tag)? {
-            Payload::F64(v) if v.len() == expected => Ok(v),
-            Payload::F64(v) => Err(XmpiError::Truncated {
+            Payload::F64(b) if b.len() == expected => Ok(b.into_vec()),
+            Payload::F64(b) => Err(XmpiError::Truncated {
                 expected,
-                got: v.len(),
+                got: b.len(),
                 src: src_world,
                 tag,
             }),
@@ -584,10 +741,10 @@ impl Comm {
     /// [`Comm::recv_u64`] as a typed-error operation.
     pub fn try_recv_u64(&self, src: usize, tag: u64) -> Result<Vec<u64>, XmpiError> {
         match self.try_recv_payload(src, tag)? {
-            Payload::U64(v) => Ok(v),
-            Payload::F64(v) => Err(XmpiError::Truncated {
+            Payload::U64(b) => Ok(b.into_vec()),
+            Payload::F64(b) => Err(XmpiError::Truncated {
                 expected: 0,
-                got: v.len(),
+                got: b.len(),
                 src: self.members[src],
                 tag,
             }),
@@ -674,20 +831,106 @@ impl Comm {
 
     /// Simultaneous exchange with a partner rank: send `data`, receive the
     /// partner's buffer. Safe against head-on exchanges because sends are
-    /// buffered.
+    /// buffered. An exchange with *this* rank takes the self-message fast
+    /// path: same hooks, accounting, and trace events as a mailbox
+    /// round-trip, but no queueing and no extra copy.
     pub fn sendrecv_f64(&self, partner: usize, tag: u64, data: &[f64]) -> Vec<f64> {
+        if partner == self.rank {
+            return self.self_exchange_f64(tag, data);
+        }
         self.send_f64(partner, tag, data);
         self.recv_f64(partner, tag)
     }
 
+    /// Self-message fast path: a logical send-to-self immediately received.
+    ///
+    /// Every observable effect of the mailbox round-trip is preserved, in
+    /// the same order — crash fate, send accounting + [`Event::Send`],
+    /// in-flight corruption, the send-fate visibility delay (served as a
+    /// sleep, since the matching receive is immediate), [`Event::RecvPost`],
+    /// the receive-match stall, and receive accounting + [`Event::RecvDone`]
+    /// — so byte counters, traces, and seeded perturbation replays are
+    /// bit-identical to the queued path. Only the queue itself (and its
+    /// extra payload hand-off) is skipped.
+    fn self_exchange_f64(&self, tag: u64, data: &[f64]) -> Vec<f64> {
+        let w = self.world_rank();
+        if let Some(h) = &self.shared.hooks {
+            if h.crash_fate(w, w, self.ctx, tag) == CrashFate::Crash {
+                self.crash_self(w);
+            }
+        }
+        let bytes = 8 * data.len() as u64;
+        self.shared.counters[w].record_send(bytes);
+        if let Some(tr) = &self.shared.trace {
+            let kind = self.shared.counters[w].current_coll();
+            tr.push(
+                w,
+                Event::Send {
+                    t: tr.now(),
+                    peer: w,
+                    ctx: self.ctx,
+                    tag,
+                    bytes,
+                    kind,
+                },
+            );
+        }
+        let mut out = data.to_vec();
+        if let Some(h) = &self.shared.hooks {
+            if let Some((i, delta)) = h.corrupt_send(w, w, self.ctx, tag, out.len()) {
+                if let Some(x) = out.get_mut(i) {
+                    *x += delta;
+                }
+            }
+        }
+        let delay = self
+            .shared
+            .hooks
+            .as_ref()
+            .and_then(|h| h.send_fate(w, w, self.ctx, tag, bytes).delay());
+        if let Some(tr) = &self.shared.trace {
+            tr.push(
+                w,
+                Event::RecvPost {
+                    t: tr.now(),
+                    peer: w,
+                    ctx: self.ctx,
+                    tag,
+                },
+            );
+        }
+        // The queued path would leave the message invisible until the
+        // send-fate delay elapsed and the receive would block on it.
+        hooks::stall(delay);
+        if let Some(h) = &self.shared.hooks {
+            hooks::stall(h.recv_delay(w, w, self.ctx, tag));
+        }
+        self.shared.counters[w].record_recv(bytes);
+        if let Some(tr) = &self.shared.trace {
+            let kind = self.shared.counters[w].current_coll();
+            tr.push(
+                w,
+                Event::RecvDone {
+                    t: tr.now(),
+                    peer: w,
+                    ctx: self.ctx,
+                    tag,
+                    bytes,
+                    kind,
+                },
+            );
+        }
+        out
+    }
+
     /// Nonblocking send of matrix elements (see [`Comm::isend_payload`]).
     pub fn isend_f64(&self, dst: usize, tag: u64, data: &[f64]) -> crate::request::SendRequest {
-        self.isend_payload(dst, tag, Payload::F64(data.to_vec()))
+        self.isend_payload(dst, tag, data)
     }
 
     /// Nonblocking send of an index buffer (see [`Comm::isend_payload`]).
     pub fn isend_u64(&self, dst: usize, tag: u64, data: &[u64]) -> crate::request::SendRequest {
-        self.isend_payload(dst, tag, Payload::U64(data.to_vec()))
+        self.isend_payload(dst, tag, data)
     }
 
     /// Post a nonblocking send. Sends are buffered, so the payload is
@@ -700,9 +943,9 @@ impl Comm {
         &self,
         dst: usize,
         tag: u64,
-        payload: Payload,
+        payload: impl Into<Payload>,
     ) -> crate::request::SendRequest {
-        self.push_message(dst, tag, payload, true);
+        self.push_message(dst, tag, payload.into(), true);
         crate::request::SendRequest::new()
     }
 
@@ -744,8 +987,10 @@ impl Comm {
     /// `test()` poll observes injected delays the same way a receive does).
     pub(crate) fn try_take(&self, src_world: usize, tag: u64) -> Option<Payload> {
         let my_world = self.world_rank();
-        let mut queue = self.shared.mailboxes[my_world].queue.lock();
-        match scan_mailbox(&mut queue, src_world, self.ctx, tag) {
+        let key = (src_world, self.ctx, tag);
+        let shard = self.shared.mailboxes[my_world].shard_for(&key);
+        let mut channels = shard.channels.lock();
+        match scan_channel(&mut channels, &key) {
             Scan::Ready(p) => Some(p),
             Scan::InFlight(_) | Scan::Absent => None,
         }
@@ -760,7 +1005,7 @@ impl Comm {
             Ok(p) => p,
             Err(TakeErr::Timeout { pending }) => panic!(
                 "xmpi deadlock: rank {} (world {}) waited {:?} for nonblocking msg from \
-                 local {} (world {}) tag {} ctx {:#x}; {} unmatched messages pending",
+                 local {} (world {}) tag {} ctx {:#x}; {} unmatched message(s) pending:{}",
                 self.rank,
                 self.world_rank(),
                 RECV_TIMEOUT,
@@ -768,7 +1013,8 @@ impl Comm {
                 src_world,
                 tag,
                 self.ctx,
-                pending
+                pending,
+                self.stuck_report()
             ),
             Err(e) => std::panic::panic_any(PoisonUnwind(Self::take_err(e, src_world, tag))),
         }
@@ -963,8 +1209,18 @@ mod tests {
 
     #[test]
     fn payload_byte_sizes() {
-        assert_eq!(Payload::F64(vec![0.0; 10]).bytes(), 80);
-        assert_eq!(Payload::U64(vec![0; 3]).bytes(), 24);
+        assert_eq!(Payload::from(vec![0.0f64; 10]).bytes(), 80);
+        assert_eq!(Payload::from(vec![0u64; 3]).bytes(), 24);
+    }
+
+    #[test]
+    fn payload_clone_shares_storage() {
+        let p = Payload::from(vec![1.0f64; 64]);
+        let q = p.clone();
+        let (Payload::F64(a), Payload::F64(b)) = (&p, &q) else {
+            unreachable!()
+        };
+        assert_eq!(a.as_ptr(), b.as_ptr(), "payload clone must be zero-copy");
     }
 
     #[test]
@@ -983,6 +1239,26 @@ mod tests {
         assert_eq!(out.results[1], vec![1.0, 2.0, 3.0]);
         assert_eq!(out.stats.ranks[0].bytes_sent, 24);
         assert_eq!(out.stats.ranks[0].bytes_recv, 8);
+    }
+
+    #[test]
+    fn owned_send_is_zero_copy_end_to_end() {
+        // A Vec sent as an owned payload and received by the only consumer
+        // must come back as the *same allocation* — no transport copy.
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                let v = vec![5.0; 100];
+                let ptr = v.as_ptr() as usize;
+                c.send_payload(1, 0, v);
+                c.send_u64(1, 1, &[ptr as u64]);
+                0
+            } else {
+                let got = c.recv_f64(0, 0);
+                let sent_ptr = c.recv_u64(0, 1)[0];
+                usize::from(got.as_ptr() as u64 == sent_ptr)
+            }
+        });
+        assert_eq!(out.results[1], 1, "receiver must reclaim the sender's Vec");
     }
 
     #[test]
@@ -1015,6 +1291,56 @@ mod tests {
             }
         });
         assert_eq!(out.results[1], vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn many_channels_fifo_per_channel() {
+        // Interleave sends over enough distinct channels to populate every
+        // shard; each channel must still drain in program order, and
+        // cross-channel receives in any order must see everything.
+        let out = run(2, |c| {
+            const CHANNELS: u64 = 64;
+            const PER: u64 = 4;
+            if c.rank() == 0 {
+                for i in 0..PER {
+                    for tag in 0..CHANNELS {
+                        c.send_u64(1, tag, &[tag * 1000 + i]);
+                    }
+                }
+                vec![]
+            } else {
+                // Drain channels in reverse tag order to exercise shard
+                // isolation; within a channel, arrival order must hold.
+                let mut got = Vec::new();
+                for tag in (0..CHANNELS).rev() {
+                    for i in 0..PER {
+                        let v = c.recv_u64(0, tag);
+                        assert_eq!(v, vec![tag * 1000 + i], "channel FIFO broken");
+                        got.push(v[0]);
+                    }
+                }
+                got
+            }
+        });
+        assert_eq!(out.results[1].len(), 64 * 4);
+    }
+
+    #[test]
+    fn sendrecv_self_roundtrips_and_counts() {
+        // The self-message fast path must preserve the data and the byte
+        // accounting of a logical send+recv (one message out, one in).
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                c.sendrecv_f64(0, 3, &[1.5, 2.5])
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(out.results[0], vec![1.5, 2.5]);
+        assert_eq!(out.stats.ranks[0].bytes_sent, 16);
+        assert_eq!(out.stats.ranks[0].bytes_recv, 16);
+        assert_eq!(out.stats.ranks[0].msgs_sent, 1);
+        assert_eq!(out.stats.ranks[0].msgs_recv, 1);
     }
 
     #[test]
@@ -1082,5 +1408,27 @@ mod tests {
                 c.send_f64(5, 0, &[1.0]);
             }
         });
+    }
+
+    #[test]
+    fn stuck_report_names_channel_coords() {
+        // Build a mailbox with known stuck traffic and check the diagnostic
+        // names the channel, not just a bare total.
+        let mbox = Mailbox::default();
+        let key = (3usize, 0u64, 42u64);
+        mbox.shard_for(&key)
+            .channels
+            .lock()
+            .entry(key)
+            .or_default()
+            .push_back(Message {
+                payload: Payload::from(vec![1.0f64]),
+                visible_at: None,
+            });
+        let report = mbox.stuck_report();
+        assert!(report.contains("src 3"), "{report}");
+        assert!(report.contains("tag 42"), "{report}");
+        assert!(report.contains("1 msg(s)"), "{report}");
+        assert_eq!(mbox.pending(), 1);
     }
 }

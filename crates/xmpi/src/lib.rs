@@ -94,6 +94,7 @@
 //!   for drivers that recover (checkpoint/restart in `factor::ft`) rather
 //!   than die.
 
+pub mod buf;
 pub mod collectives;
 pub mod comm;
 pub mod error;
@@ -106,6 +107,7 @@ pub mod stats;
 pub mod trace;
 pub mod world;
 
+pub use buf::Buf;
 pub use collectives::BcastRequest;
 pub use comm::{Comm, Payload};
 pub use error::XmpiError;

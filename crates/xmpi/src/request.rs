@@ -20,6 +20,7 @@
 //! forgotten and a matching message, if any, stays queued for a later
 //! receive on the same `(src, tag)` channel.
 
+use crate::buf::Buf;
 use crate::comm::{Comm, Payload, RECV_TIMEOUT};
 use std::fmt;
 use std::time::Duration;
@@ -220,14 +221,25 @@ impl<'c> RecvRequest<'c> {
         })
     }
 
-    /// [`RecvRequest::wait`], asserting an element payload.
+    /// [`RecvRequest::wait`], asserting an element payload and converting to
+    /// owned storage (free unless the sender's buffer is still shared).
     ///
     /// # Panics
     /// If the matching message carries indices instead of elements.
     pub fn wait_f64(self) -> Vec<f64> {
+        self.wait_buf_f64().into_vec()
+    }
+
+    /// [`RecvRequest::wait`], asserting an element payload and returning the
+    /// shared buffer handle without copying — the zero-copy completion for
+    /// read-only consumers.
+    ///
+    /// # Panics
+    /// If the matching message carries indices instead of elements.
+    pub fn wait_buf_f64(self) -> Buf<f64> {
         let (src, tag) = (self.src, self.tag);
         match self.wait() {
-            Payload::F64(v) => v,
+            Payload::F64(b) => b,
             Payload::U64(_) => panic!("wait_f64: got index payload from {src} tag {tag}"),
         }
     }
@@ -239,7 +251,7 @@ impl<'c> RecvRequest<'c> {
     pub fn wait_u64(self) -> Vec<u64> {
         let (src, tag) = (self.src, self.tag);
         match self.wait() {
-            Payload::U64(v) => v,
+            Payload::U64(b) => b.into_vec(),
             Payload::F64(_) => panic!("wait_u64: got element payload from {src} tag {tag}"),
         }
     }

@@ -63,7 +63,7 @@ fn wait_all_mixes_sends_and_receives() {
             assert!(done[0].is_none());
             assert!(done[2].is_none());
             match &done[1] {
-                Some(Payload::F64(v)) => v.clone(),
+                Some(Payload::F64(v)) => v.to_vec(),
                 other => panic!("expected f64 payload, got {other:?}"),
             }
         } else {
@@ -152,7 +152,7 @@ fn wait_timeout_on_completed_request_is_immediate() {
                 .wait_timeout(WaitPolicy::timeout(Duration::ZERO))
                 .expect("cached completion cannot time out");
             match payload {
-                Payload::F64(v) => v,
+                Payload::F64(v) => v.into_vec(),
                 other => panic!("expected f64, got {other:?}"),
             }
         }
@@ -201,7 +201,7 @@ fn drop_fate_is_survived_by_retry_policy() {
             // only the retry loop can complete this.
             let policy = WaitPolicy::timeout(Duration::from_millis(2)).with_retries(50);
             match req.wait_timeout(policy).expect("retries outlast the drop") {
-                Payload::F64(v) => v,
+                Payload::F64(v) => v.into_vec(),
                 other => panic!("expected f64, got {other:?}"),
             }
         }
