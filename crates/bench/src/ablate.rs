@@ -12,7 +12,7 @@
 //! infeasible corners — a sweep engine that errors out on the first
 //! infeasible corner cannot sweep.
 
-use crate::kpi::{algo_from_name, comm_kpis, factor_kpis, kernel_kpis};
+use crate::kpi::{algo_from_name, comm_kpis, factor_kpis, kernel_kpis, transport_kpis};
 use crate::machine::Machine;
 use crate::plan::{AblationPlan, Cell, PlanWorkload};
 use crate::runner::{Algo, Workload};
@@ -79,6 +79,7 @@ pub fn run_ablation(plan: &AblationPlan) -> AblationRun {
             PlanWorkload::Kernels => run_kernel_cell(&cell, plan.reps),
             PlanWorkload::Tune => run_tune_cell(&cell, plan.reps),
             PlanWorkload::Comm => run_comm_cell(&cell, plan.reps),
+            PlanWorkload::Transport => run_transport_cell(&cell, plan.reps),
         }));
         match outcome {
             Ok(Ok(kpis)) => run.outcomes.push(CellOutcome { cell, kpis }),
@@ -282,9 +283,12 @@ fn run_checksummed(
 fn run_kernel_cell(cell: &Cell, reps: usize) -> Result<BTreeMap<String, f64>, String> {
     let report = crate::experiments::kernels::kernels(&[cell.n], reps);
     // Keep the provenance-stamped BENCH_kernels.json artifact flowing for
-    // consumers of results/ (the CI upload step among them).
-    if let Err(e) = report.save(std::path::Path::new("results")) {
-        eprintln!("(could not save results/{}.json: {e})", report.id);
+    // consumers of results/ (the CI upload step among them). Socket-backend
+    // child ranks replaying the plan never write artifacts.
+    if !xmpi::launch::is_child() {
+        if let Err(e) = report.save(std::path::Path::new("results")) {
+            eprintln!("(could not save results/{}.json: {e})", report.id);
+        }
     }
     let kpis = kernel_kpis(&report.json, cell.n);
     if kpis.is_empty() {
@@ -320,13 +324,46 @@ fn run_comm_cell(cell: &Cell, reps: usize) -> Result<BTreeMap<String, f64>, Stri
         return Err(format!("comm cells need p >= 2, got p={}", cell.p));
     }
     let report = crate::experiments::comm::comm(&[cell.p], &[cell.n], reps);
-    if let Err(e) = report.save(std::path::Path::new("results")) {
-        eprintln!("(could not save results/{}.json: {e})", report.id);
+    if !xmpi::launch::is_child() {
+        if let Err(e) = report.save(std::path::Path::new("results")) {
+            eprintln!("(could not save results/{}.json: {e})", report.id);
+        }
     }
     let kpis = comm_kpis(&report.json, cell.n, cell.p);
     if !kpis.contains_key("bcast_speedup") {
         return Err(format!(
             "comm report produced no bcast KPIs at n={}, p={}",
+            cell.n, cell.p
+        ));
+    }
+    Ok(kpis)
+}
+
+/// A transport-workload cell: measure the postal-model α-β of both the
+/// in-process and the socket backend at the cell's `(n, p)` — `n` is the
+/// probed message size in f64 elements — and record the fit (and its gap
+/// to the simulated machine model) as KPIs.
+///
+/// The socket half re-executes the current binary, so this cell must be
+/// reached deterministically from `main` (the `ablations` CLI qualifies;
+/// libtest does not — unit tests cover only the local half). Artifact
+/// writes are gated on [`xmpi::launch::is_child`]: a child rank replaying
+/// an *earlier* plan cell to find its world must never rewrite the
+/// parent's results.
+fn run_transport_cell(cell: &Cell, reps: usize) -> Result<BTreeMap<String, f64>, String> {
+    if cell.p < 2 {
+        return Err(format!("transport cells need p >= 2, got p={}", cell.p));
+    }
+    let report = crate::experiments::transport::transport(&[cell.p], &[cell.n], reps);
+    if !xmpi::launch::is_child() {
+        if let Err(e) = report.save(std::path::Path::new("results")) {
+            eprintln!("(could not save results/{}.json: {e})", report.id);
+        }
+    }
+    let kpis = transport_kpis(&report.json, cell.n, cell.p);
+    if !kpis.contains_key("alpha_socket_us") {
+        return Err(format!(
+            "transport report produced no socket fit at n={}, p={}",
             cell.n, cell.p
         ));
     }

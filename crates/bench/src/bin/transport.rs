@@ -1,0 +1,89 @@
+//! Transport α-β calibration report (`bench transport` mode).
+//!
+//! Measures the postal-model constants (per-message latency α, large-
+//! message bandwidth β) of the in-process backend and the socket backend —
+//! the latter spawns child rank processes that re-execute this binary — and
+//! prints them next to the simulated machine model's constants. Writes
+//! `results/BENCH_transport.json`.
+//!
+//! ```text
+//! transport [--ps 2,4] [--sizes 1024,8192] [--reps 3] [--out results]
+//! ```
+//!
+//! Child ranks (re-executed with `XMPI_CHILD_RANK` set) replay the same
+//! argument parse and measurement sequence to find their world, then exit
+//! inside it — only the parent prints and persists the report.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+struct Args {
+    ps: Vec<usize>,
+    sizes: Vec<usize>,
+    reps: usize,
+    out: String,
+}
+
+fn parse_list(name: &str, raw: &str) -> Result<Vec<usize>, String> {
+    let vals: Vec<usize> = raw
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|e| format!("bad {name} entry {s:?}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if vals.is_empty() {
+        return Err(format!("{name} needs at least one value"));
+    }
+    Ok(vals)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ps: vec![2, 4],
+        sizes: vec![1024, 8192],
+        reps: 3,
+        out: "results".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--ps" => args.ps = parse_list("--ps", &value("--ps")?)?,
+            "--sizes" => args.sizes = parse_list("--sizes", &value("--sizes")?)?,
+            "--reps" => {
+                args.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("bad --reps: {e}"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: transport [--ps P,P,..] [--sizes N,N,..] [--reps R] [--out DIR]".into(),
+                )
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.ps.iter().any(|&p| p < 2) {
+        return Err("--ps entries must be >= 2 (a ping-pong needs a peer)".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = bench::experiments::transport::transport(&args.ps, &args.sizes, args.reps);
+    println!("== {} — {} ==\n{}", report.id, report.title, report.text);
+    if let Err(e) = report.save(Path::new(&args.out)) {
+        eprintln!("(could not save {}/{}.json: {e})", args.out, report.id);
+    }
+    ExitCode::SUCCESS
+}

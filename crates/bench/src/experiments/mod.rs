@@ -12,6 +12,7 @@ pub mod generality;
 pub mod kernels;
 pub mod table1;
 pub mod table2;
+pub mod transport;
 
 use serde_json::Value;
 use std::io::Write;

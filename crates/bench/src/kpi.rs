@@ -158,6 +158,68 @@ pub fn comm_kpis(report_json: &Value, n: usize, p: usize) -> BTreeMap<String, f6
     kpis
 }
 
+/// Extract the transport-workload KPI record at one `(n, p)` cell from the
+/// [`crate::experiments::transport`] report JSON: the measured postal-model
+/// α (µs) and β (GB/s) of each backend, the socket/local ratios, and the
+/// measured-vs-simulated calibration gap (`alpha_model_x_*` — how many
+/// times the simulated machine's α the measured one is). All of these are
+/// host-clock numbers: plans should gate sanity floors only and let the
+/// registry trend carry the calibration story.
+pub fn transport_kpis(report_json: &Value, n: usize, p: usize) -> BTreeMap<String, f64> {
+    let mut kpis = BTreeMap::new();
+    let model_alpha = report_json["model"]["alpha_us"].as_f64();
+    if let Some(backends) = report_json["backends"].as_array() {
+        for b in backends {
+            let Some(label) = b["backend"].as_str() else {
+                continue;
+            };
+            if let Some(a) = b["alpha_us"].as_f64() {
+                kpis.insert(format!("alpha_{label}_us"), a);
+                if let Some(m) = model_alpha {
+                    if m > 0.0 {
+                        kpis.insert(format!("alpha_model_x_{label}"), a / m);
+                    }
+                }
+            }
+            if let Some(g) = b["gbps"].as_f64() {
+                kpis.insert(format!("gbps_{label}"), g);
+            }
+            if let Some(cells) = b["oneway"].as_array() {
+                for c in cells {
+                    if c["elems"].as_u64() == Some(n as u64) {
+                        if let Some(us) = c["us"].as_f64() {
+                            kpis.insert(format!("oneway_{label}_us"), us);
+                        }
+                    }
+                }
+            }
+            if let Some(cells) = b["bcast"].as_array() {
+                for c in cells {
+                    if c["elems"].as_u64() == Some(n as u64) && c["p"].as_u64() == Some(p as u64) {
+                        if let Some(us) = c["us"].as_f64() {
+                            kpis.insert(format!("bcast_{label}_us"), us);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for ratio in ["alpha", "gbps", "oneway", "bcast"] {
+        let (l, s) = match ratio {
+            "alpha" => ("alpha_local_us", "alpha_socket_us"),
+            "gbps" => ("gbps_local", "gbps_socket"),
+            "oneway" => ("oneway_local_us", "oneway_socket_us"),
+            _ => ("bcast_local_us", "bcast_socket_us"),
+        };
+        if let (Some(&lv), Some(&sv)) = (kpis.get(l), kpis.get(s)) {
+            if lv > 0.0 {
+                kpis.insert(format!("socket_over_local_{ratio}"), sv / lv);
+            }
+        }
+    }
+    kpis
+}
+
 /// Extract the tune-workload KPI record from one [`crate::tune`] sweep
 /// outcome: the winner's throughput and blocking, the forced-scalar
 /// baseline, and the speedup the CI floor gates on. Blocking parameters are

@@ -6,7 +6,7 @@
 //! ```toml
 //! name = "smoke"
 //! description = "nightly smoke grid"
-//! workload = "factor"              # "factor" | "kernels" | "tune" | "comm"
+//! workload = "factor"              # factor|kernels|tune|comm|transport
 //!
 //! [axes]                           # cartesian grid; missing axes default
 //! algo = ["conflux", "confchox"]   # conflux|confchox|twod-lu|twod-chol|lu25d
@@ -58,6 +58,12 @@ pub enum PlanWorkload {
     /// tree-vs-linear broadcast wall-clock. `n` is the message size in f64
     /// elements, `p` the broadcast world size.
     Comm,
+    /// Transport α-β calibration (`experiments::transport`): the measured
+    /// postal-model constants of the in-process *and* socket backends next
+    /// to the simulated machine's. `n` is the probed message size in f64
+    /// elements, `p` the broadcast world size. Socket cells spawn child
+    /// rank processes that re-execute the current binary.
+    Transport,
 }
 
 impl PlanWorkload {
@@ -67,6 +73,7 @@ impl PlanWorkload {
             PlanWorkload::Kernels => "kernels",
             PlanWorkload::Tune => "tune",
             PlanWorkload::Comm => "comm",
+            PlanWorkload::Transport => "transport",
         }
     }
 }
@@ -179,9 +186,10 @@ impl AblationPlan {
             "kernels" => PlanWorkload::Kernels,
             "tune" => PlanWorkload::Tune,
             "comm" => PlanWorkload::Comm,
+            "transport" => PlanWorkload::Transport,
             other => {
                 return Err(format!(
-                    "unknown workload {other:?} (factor|kernels|tune|comm)"
+                    "unknown workload {other:?} (factor|kernels|tune|comm|transport)"
                 ))
             }
         };
@@ -191,6 +199,7 @@ impl AblationPlan {
             PlanWorkload::Kernels => vec!["kernels".to_string()],
             PlanWorkload::Tune => vec!["tune".to_string()],
             PlanWorkload::Comm => vec!["comm".to_string()],
+            PlanWorkload::Transport => vec!["transport".to_string()],
             PlanWorkload::Factor => {
                 let a = string_axis(axes, "algo")?
                     .ok_or("factor plans need an [axes] algo list".to_string())?;

@@ -1,0 +1,80 @@
+//! End-to-end transport-workload ablation: drive the real `ablations`
+//! binary over a tiny transport plan and assert the measured socket-backend
+//! α-β fit lands in the registry.
+//!
+//! This is the one place the socket half of `experiments::transport` can
+//! run under test: the socket backend re-executes the *current binary*, so
+//! inside libtest it would re-run the whole test process — but re-executing
+//! the `ablations` CLI is exactly its production shape. The child rank
+//! processes replay the plan deterministically (argument parse → plan load
+//! → cell order → measurement sequence) to find their world, then exit
+//! inside it; only the parent prints the KPI table, writes
+//! `results/BENCH_transport.json`, and appends registry rows.
+
+use std::process::Command;
+
+#[test]
+fn transport_plan_runs_cross_process_and_records_kpis() {
+    let tmp = std::env::temp_dir().join(format!("xport-plan-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).unwrap();
+    let plan = tmp.join("plan.toml");
+    std::fs::write(
+        &plan,
+        r#"
+name = "transport-e2e"
+description = "tiny cross-process alpha-beta cell"
+workload = "transport"
+[axes]
+n = [256]
+p = [2]
+[fixed]
+reps = 1
+"#,
+    )
+    .unwrap();
+
+    let reg = tmp.join("registry");
+    let out = Command::new(env!("CARGO_BIN_EXE_ablations"))
+        .args([
+            "run",
+            plan.to_str().unwrap(),
+            "--registry",
+            reg.to_str().unwrap(),
+        ])
+        .current_dir(&tmp) // results/ artifacts land in tmp, not the repo
+        .output()
+        .expect("spawn ablations");
+    assert!(
+        out.status.success(),
+        "ablations run failed\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("alpha_socket_us"),
+        "KPI table missing the socket fit:\n{stdout}"
+    );
+
+    // The registry trajectory has both backends' fits for the cell.
+    let csv = std::fs::read_to_string(reg.join("ablations.csv")).expect("registry csv");
+    for kpi in [
+        "alpha_local_us",
+        "alpha_socket_us",
+        "gbps_socket",
+        "socket_over_local_alpha",
+    ] {
+        assert!(csv.contains(kpi), "registry missing {kpi}:\n{csv}");
+    }
+
+    // One report artifact, written by the parent only.
+    let report = std::fs::read_to_string(tmp.join("results/BENCH_transport.json"))
+        .expect("results/BENCH_transport.json");
+    assert!(
+        report.contains("\"socket\""),
+        "report missing socket backend"
+    );
+
+    let _ = std::fs::remove_dir_all(&tmp);
+}

@@ -90,5 +90,32 @@ impl std::fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+impl xmpi::Wire for Error {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Error::SingularAt(k) => {
+                out.push(0);
+                k.encode(out);
+            }
+            Error::NotPositiveDefinite(k) => {
+                out.push(1);
+                k.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> std::result::Result<Self, xmpi::XmpiError> {
+        match u8::decode(input)? {
+            0 => Ok(Error::SingularAt(usize::decode(input)?)),
+            1 => Ok(Error::NotPositiveDefinite(usize::decode(input)?)),
+            b => Err(xmpi::XmpiError::Truncated {
+                expected: 1,
+                got: b as usize,
+                src: 0,
+                tag: 0,
+            }),
+        }
+    }
+}
+
 /// Result alias for factorization kernels.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -151,6 +151,30 @@ impl IndexMut<(usize, usize)> for Matrix {
     }
 }
 
+impl xmpi::Wire for Matrix {
+    /// Dimensions then elements, row-major, each `f64` as raw IEEE bits —
+    /// a matrix shipped between rank processes round-trips bit-exactly.
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rows.encode(out);
+        self.cols.encode(out);
+        self.data.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, xmpi::XmpiError> {
+        let rows = usize::decode(input)?;
+        let cols = usize::decode(input)?;
+        let data = Vec::<f64>::decode(input)?;
+        if data.len() != rows * cols {
+            return Err(xmpi::XmpiError::Truncated {
+                expected: rows * cols,
+                got: data.len(),
+                src: 0,
+                tag: 0,
+            });
+        }
+        Ok(Matrix { data, rows, cols })
+    }
+}
+
 impl fmt::Debug for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;

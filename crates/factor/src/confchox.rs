@@ -110,7 +110,9 @@ pub struct CholOutput {
 pub fn confchox_cholesky(cfg: &ConfchoxConfig, a: &Matrix) -> Result<CholOutput, Error> {
     assert_eq!(a.rows(), cfg.n, "matrix shape mismatch");
     assert_eq!(a.cols(), cfg.n, "matrix shape mismatch");
-    let out = xmpi::run(cfg.grid.size(), |comm| {
+    // Backend-aware launch: threads by default, rank processes over a
+    // socket mesh when the socket backend is ambient.
+    let out = xmpi::launch::run(cfg.grid.size(), |comm| {
         let tiles = stage_from_global(comm, cfg, a);
         rank_program(comm, cfg, tiles)
     });

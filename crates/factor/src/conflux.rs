@@ -148,7 +148,9 @@ pub struct LuOutput {
 pub fn conflux_lu(cfg: &ConfluxConfig, a: &Matrix) -> Result<LuOutput, dense::Error> {
     assert_eq!(a.rows(), cfg.n, "matrix shape mismatch");
     assert_eq!(a.cols(), cfg.n, "matrix shape mismatch");
-    let out = xmpi::run(cfg.grid.size(), |comm| {
+    // Backend-aware launch: threads by default, child processes over a
+    // socket mesh when `xmpi::with_backend(Backend::Socket(..))` is armed.
+    let out = xmpi::launch::run(cfg.grid.size(), |comm| {
         let tiles = stage_from_global(comm, cfg, a);
         rank_program(comm, cfg, tiles)
     });

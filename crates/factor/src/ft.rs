@@ -665,7 +665,12 @@ pub fn conflux_lu_ft(cfg: &FtConfig, a: &Matrix) -> Result<FtLuOutput, dense::Er
         if !victims.is_empty() {
             report.resumed_from.push(resume);
         }
-        let out = xmpi::run_ft(p, |comm| lu_rank_ft(comm, cfg, a, &store, &victims, resume));
+        // Backend-aware launch. On the socket backend a child process
+        // replays the restart loop's earlier worlds in-process, which
+        // repopulates its own `store` deterministically before it joins the
+        // target world — checkpoint state never needs to cross processes.
+        let out =
+            xmpi::launch::run_ft(p, |comm| lu_rank_ft(comm, cfg, a, &store, &victims, resume));
         report.attempt_stats.push(out.stats);
         if !out.crashed.is_empty() {
             report.restarts += 1;
@@ -1077,7 +1082,9 @@ pub fn confchox_cholesky_ft(cfg: &FtConfig, a: &Matrix) -> Result<FtCholOutput, 
         if !victims.is_empty() {
             report.resumed_from.push(resume);
         }
-        let out = xmpi::run_ft(p, |comm| {
+        // Backend-aware launch; see `conflux_lu_ft` for how the socket
+        // backend's replay keeps per-process checkpoint stores consistent.
+        let out = xmpi::launch::run_ft(p, |comm| {
             chol_rank_ft(comm, cfg, a, &store, &victims, resume)
         });
         report.attempt_stats.push(out.stats);

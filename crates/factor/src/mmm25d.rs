@@ -98,7 +98,9 @@ pub fn mmm25d(cfg: &Mmm25dConfig, a: &Matrix, b: &Matrix) -> MmmOutput {
     assert_eq!(a.cols(), cfg.n);
     assert_eq!(b.rows(), cfg.n);
     assert_eq!(b.cols(), cfg.n);
-    let out = xmpi::run(cfg.grid.size(), |comm| rank_program(comm, cfg, a, b));
+    // Backend-aware launch: threads by default, rank processes over a
+    // socket mesh when the socket backend is ambient.
+    let out = xmpi::launch::run(cfg.grid.size(), |comm| rank_program(comm, cfg, a, b));
     let c = cfg.collect.then(|| {
         let mut c = Matrix::zeros(cfg.n, cfg.n);
         let v = cfg.v;

@@ -26,17 +26,39 @@ use crate::hooks::{self, CrashFate, SchedHooks};
 use crate::liveness::{CrashUnwind, Liveness, PoisonUnwind};
 use crate::stats::{CollKind, Counters};
 use crate::trace::{Event, Recorder};
+use crate::transport::{LocalTransport, Transport};
 use parking_lot::{Condvar, Mutex};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
+/// Default deadlock timeout for blocking receives (a hung test is useless;
+/// a loud failure is not).
+const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
 /// How long a receive may wait before the runtime declares a deadlock and
-/// panics with a diagnostic (a hung test is useless; a loud failure is not).
-pub(crate) const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+/// panics with a diagnostic. Defaults to 120 s; override with the
+/// `CONFLUX_RECV_TIMEOUT_MS` environment variable (socket backends on a
+/// loaded CI machine can need a longer budget). Unparseable or zero values
+/// fall back to the default. Read once per process.
+pub(crate) fn recv_timeout() -> Duration {
+    static CACHE: OnceLock<Duration> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        parse_recv_timeout_ms(std::env::var("CONFLUX_RECV_TIMEOUT_MS").ok().as_deref())
+    })
+}
+
+/// Parse a `CONFLUX_RECV_TIMEOUT_MS` value: a positive integer millisecond
+/// count; anything else (unset, junk, zero) means the default.
+fn parse_recv_timeout_ms(var: Option<&str>) -> Duration {
+    match var.and_then(|s| s.trim().parse::<u64>().ok()) {
+        Some(ms) if ms > 0 => Duration::from_millis(ms),
+        _ => DEFAULT_RECV_TIMEOUT,
+    }
+}
 
 /// Message payloads. Both variants count 8 bytes per element, matching the
 /// double-precision element size the paper uses when scaling its models.
@@ -138,7 +160,7 @@ enum Scan {
 }
 
 /// A channel identity: `(source world rank, context, tag)`.
-type ChannelKey = (usize, u64, u64);
+pub(crate) type ChannelKey = (usize, u64, u64);
 
 /// Shards per mailbox. Enough that the concurrent senders of a broadcast
 /// tree rarely collide on one lock; small enough that a timeout diagnostic
@@ -198,6 +220,35 @@ impl Mailbox {
         &self.shards[shard_index(key)]
     }
 
+    /// Enqueue a message on channel `key` and wake the channel's shard —
+    /// the single delivery primitive every [`crate::transport::Transport`]
+    /// funnels into (a local send directly, a socket send via the peer's
+    /// reader thread).
+    pub(crate) fn deliver(&self, key: ChannelKey, payload: Payload, visible_at: Option<Instant>) {
+        let shard = self.shard_for(&key);
+        shard
+            .channels
+            .lock()
+            .entry(key)
+            .or_default()
+            .push_back(Message {
+                payload,
+                visible_at,
+            });
+        shard.arrived.notify_all();
+    }
+
+    /// Wake every receiver parked on this mailbox. Each shard's lock is
+    /// taken around its notify so a waiter between its poison check and its
+    /// park cannot miss the wakeup.
+    pub(crate) fn wake(&self) {
+        for shard in &self.shards {
+            let guard = shard.channels.lock();
+            shard.arrived.notify_all();
+            drop(guard);
+        }
+    }
+
     /// Total unmatched messages across all shards (diagnostics only; the
     /// count is a racy snapshot).
     fn pending(&self) -> usize {
@@ -235,9 +286,13 @@ impl Mailbox {
     }
 }
 
-/// State shared by all ranks of a world.
+/// State shared by all ranks of a world (all ranks *this process hosts*,
+/// for a multi-process backend).
 pub(crate) struct Shared {
-    pub mailboxes: Vec<Mailbox>,
+    /// The message backend: in-process mailboxes by default, a socket mesh
+    /// for multi-process worlds. Receives always match against the mailbox
+    /// this process hosts; only delivery is backend-specific.
+    pub transport: Arc<dyn Transport>,
     pub counters: Vec<Counters>,
     pub windows: crate::rma::WindowRegistry,
     /// Event recorder; `None` for untraced worlds, so the transport hot
@@ -248,8 +303,9 @@ pub(crate) struct Shared {
     /// branch per hook point, no other cost).
     pub hooks: Option<Arc<dyn SchedHooks>>,
     /// Crash liveness registry (two relaxed atomic loads per receive in a
-    /// healthy world).
-    pub liveness: Liveness,
+    /// healthy world). Shared with the transport's reader threads on
+    /// multi-process backends, which is why it sits behind an `Arc`.
+    pub liveness: Arc<Liveness>,
 }
 
 impl Shared {
@@ -258,13 +314,31 @@ impl Shared {
         trace: Option<Recorder>,
         hooks: Option<Arc<dyn SchedHooks>>,
     ) -> Arc<Self> {
+        Self::build_with(
+            Arc::new(LocalTransport::new(p)),
+            Arc::new(Liveness::new(p)),
+            trace,
+            hooks,
+        )
+    }
+
+    /// [`Shared::build`] over an explicit transport and liveness registry
+    /// (the socket launcher constructs both before the world exists, so the
+    /// transport's reader threads can share the registry).
+    pub(crate) fn build_with(
+        transport: Arc<dyn Transport>,
+        liveness: Arc<Liveness>,
+        trace: Option<Recorder>,
+        hooks: Option<Arc<dyn SchedHooks>>,
+    ) -> Arc<Self> {
+        let p = transport.size();
         Arc::new(Shared {
-            mailboxes: (0..p).map(|_| Mailbox::default()).collect(),
+            transport,
             counters: (0..p).map(|_| Counters::default()).collect(),
             windows: crate::rma::WindowRegistry::default(),
             trace,
             hooks,
-            liveness: Liveness::new(p),
+            liveness,
         })
     }
 }
@@ -286,7 +360,7 @@ pub struct Comm {
 
 impl Comm {
     pub(crate) fn world(shared: Arc<Shared>, world_rank: usize) -> Self {
-        let p = shared.mailboxes.len();
+        let p = shared.transport.size();
         Comm {
             shared,
             rank: world_rank,
@@ -525,47 +599,28 @@ impl Comm {
         // or lose the first transmission (visible only after the simulated
         // retransmission timeout). The payload is enqueued either way — the
         // sender never blocks and bytes are counted exactly once.
-        let visible_at = self
-            .shared
-            .hooks
-            .as_ref()
-            .and_then(|h| {
-                h.send_fate(src_world, dst_world, self.ctx, tag, bytes)
-                    .delay()
-            })
-            .map(|d| Instant::now() + d);
+        let delay = self.shared.hooks.as_ref().and_then(|h| {
+            h.send_fate(src_world, dst_world, self.ctx, tag, bytes)
+                .delay()
+        });
         let key = (src_world, self.ctx, tag);
-        let shard = self.shared.mailboxes[dst_world].shard_for(&key);
-        shard
-            .channels
-            .lock()
-            .entry(key)
-            .or_default()
-            .push_back(Message {
-                payload,
-                visible_at,
-            });
-        shard.arrived.notify_all();
+        self.shared
+            .transport
+            .deliver(dst_world, key, payload, delay);
         Ok(())
     }
 
     /// Execute an injected crash of this rank: mark it dead, poison the
-    /// world, wake every blocked receiver (each shard's lock is taken around
-    /// its notify so a waiter between its poison check and its park cannot
-    /// miss the wakeup), record the trace event, and unwind with the crash
-    /// sentinel that [`crate::run_ft`] maps to [`XmpiError::RankDead`].
+    /// world, wake every blocked receiver (and notify remote peers, on a
+    /// multi-process backend), record the trace event, and unwind with the
+    /// crash sentinel that [`crate::run_ft`] maps to
+    /// [`XmpiError::RankDead`].
     fn crash_self(&self, src_world: usize) -> ! {
         self.shared.liveness.kill(src_world);
         if let Some(tr) = &self.shared.trace {
             tr.push(src_world, Event::RankCrash { t: tr.now() });
         }
-        for mbox in &self.shared.mailboxes {
-            for shard in &mbox.shards {
-                let guard = shard.channels.lock();
-                shard.arrived.notify_all();
-                drop(guard);
-            }
-        }
+        self.shared.transport.announce_crash(src_world);
         std::panic::panic_any(CrashUnwind { rank: src_world });
     }
 
@@ -614,7 +669,7 @@ impl Comm {
                  (world {}) tag {} ctx {:#x}; {} unmatched message(s) pending:{}",
                 self.rank,
                 self.world_rank(),
-                RECV_TIMEOUT,
+                recv_timeout(),
                 src,
                 self.members[src],
                 tag,
@@ -629,7 +684,10 @@ impl Comm {
     /// Per-shard breakdown of this rank's unmatched mailbox traffic, for
     /// deadlock diagnostics.
     fn stuck_report(&self) -> String {
-        self.shared.mailboxes[self.world_rank()].stuck_report()
+        self.shared
+            .transport
+            .mailbox(self.world_rank())
+            .stuck_report()
     }
 
     /// Map a non-timeout [`TakeErr`] to its typed error.
@@ -662,7 +720,7 @@ impl Comm {
         timeout: Duration,
     ) -> Result<Payload, TakeErr> {
         let my_world = self.world_rank();
-        let mbox = &self.shared.mailboxes[my_world];
+        let mbox = self.shared.transport.mailbox(my_world);
         let key = (src_world, self.ctx, tag);
         let shard = mbox.shard_for(&key);
         let deadline = Instant::now() + timeout;
@@ -771,7 +829,7 @@ impl Comm {
                 },
             );
         }
-        match self.take_deadline(src_world, tag, RECV_TIMEOUT) {
+        match self.take_deadline(src_world, tag, recv_timeout()) {
             Ok(payload) => {
                 if let Some(h) = &self.shared.hooks {
                     hooks::stall(h.recv_delay(my_world, src_world, self.ctx, tag));
@@ -988,7 +1046,7 @@ impl Comm {
     pub(crate) fn try_take(&self, src_world: usize, tag: u64) -> Option<Payload> {
         let my_world = self.world_rank();
         let key = (src_world, self.ctx, tag);
-        let shard = self.shared.mailboxes[my_world].shard_for(&key);
+        let shard = self.shared.transport.mailbox(my_world).shard_for(&key);
         let mut channels = shard.channels.lock();
         match scan_channel(&mut channels, &key) {
             Scan::Ready(p) => Some(p),
@@ -1001,14 +1059,14 @@ impl Comm {
     /// [`Comm::recv_payload`] but without the event bookkeeping (the caller
     /// records the completion).
     pub(crate) fn block_take(&self, src: usize, src_world: usize, tag: u64) -> Payload {
-        match self.take_deadline(src_world, tag, RECV_TIMEOUT) {
+        match self.take_deadline(src_world, tag, recv_timeout()) {
             Ok(p) => p,
             Err(TakeErr::Timeout { pending }) => panic!(
                 "xmpi deadlock: rank {} (world {}) waited {:?} for nonblocking msg from \
                  local {} (world {}) tag {} ctx {:#x}; {} unmatched message(s) pending:{}",
                 self.rank,
                 self.world_rank(),
-                RECV_TIMEOUT,
+                recv_timeout(),
                 src,
                 src_world,
                 tag,
@@ -1083,7 +1141,17 @@ impl Comm {
     }
 
     /// The world's RMA window registry.
+    ///
+    /// # Panics
+    /// On a transport without shared memory (the socket backend): one-sided
+    /// windows write remote ranks' buffers and counters directly, which
+    /// cannot cross a process boundary.
     pub(crate) fn registry(&self) -> &crate::rma::WindowRegistry {
+        assert!(
+            self.shared.transport.supports_rma(),
+            "one-sided RMA windows are not supported on the socket backend \
+             (windows need shared memory); run this world on Backend::Local"
+        );
         &self.shared.windows
     }
 
@@ -1416,19 +1484,29 @@ mod tests {
         // names the channel, not just a bare total.
         let mbox = Mailbox::default();
         let key = (3usize, 0u64, 42u64);
-        mbox.shard_for(&key)
-            .channels
-            .lock()
-            .entry(key)
-            .or_default()
-            .push_back(Message {
-                payload: Payload::from(vec![1.0f64]),
-                visible_at: None,
-            });
+        mbox.deliver(key, Payload::from(vec![1.0f64]), None);
         let report = mbox.stuck_report();
         assert!(report.contains("src 3"), "{report}");
         assert!(report.contains("tag 42"), "{report}");
         assert!(report.contains("1 msg(s)"), "{report}");
         assert_eq!(mbox.pending(), 1);
+    }
+
+    #[test]
+    fn recv_timeout_parse_rules() {
+        let def = DEFAULT_RECV_TIMEOUT;
+        assert_eq!(parse_recv_timeout_ms(None), def);
+        assert_eq!(parse_recv_timeout_ms(Some("")), def);
+        assert_eq!(parse_recv_timeout_ms(Some("banana")), def);
+        assert_eq!(parse_recv_timeout_ms(Some("0")), def);
+        assert_eq!(parse_recv_timeout_ms(Some("-5")), def);
+        assert_eq!(
+            parse_recv_timeout_ms(Some("2500")),
+            Duration::from_millis(2500)
+        );
+        assert_eq!(
+            parse_recv_timeout_ms(Some("  750 ")),
+            Duration::from_millis(750)
+        );
     }
 }

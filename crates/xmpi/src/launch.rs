@@ -1,0 +1,531 @@
+//! Backend selection and the multi-process rank launcher.
+//!
+//! [`run`] and [`run_ft`] are drop-in counterparts of [`crate::run`] /
+//! [`crate::run_ft`] that additionally honour an ambient [`Backend`]: under
+//! the default [`Backend::Local`] they delegate to the in-process thread
+//! launcher unchanged; under [`Backend::Socket`] the calling process
+//! becomes the *parent* of a multi-process world — it spawns one child
+//! process per rank (re-executing the current binary), the children wire a
+//! rank×rank UNIX-socket mesh (the `socket` module), run the same SPMD
+//! closure, and ship their [`Wire`]-encoded results and per-rank traffic
+//! statistics back over a control socket. A child that dies without
+//! reporting is mapped to [`XmpiError::RankDead`].
+//!
+//! ## Child re-execution
+//!
+//! The launcher uses the `rusty-fork` re-execution idiom: a child is the
+//! same binary, pointed back at the same code path (for a test binary, via
+//! libtest's `--exact <path>` filter — see [`crate::test_path!`]). The
+//! child replays the test deterministically: socket-backed worlds are
+//! numbered per thread in launch order, worlds *before* the child's target
+//! (`XMPI_WORLD_ID`) are executed locally in-process (bit-identical by the
+//! runtime's determinism), and at the target world the child joins the
+//! mesh as rank `XMPI_CHILD_RANK`, ships its result, and exits. Everything
+//! ambient — seeds, perturbation hooks armed by the test body, environment
+//! knobs like `CONFLUX_RECV_TIMEOUT_MS` — is therefore reconstructed
+//! inside the child by the same code that set it up in the parent, which
+//! is what keeps the two backends' schedules, byte counts, and hook
+//! decision streams identical.
+//!
+//! Limitations: event tracing ([`crate::trace::capture`]) and one-sided
+//! RMA are not supported over the socket backend (both panic loudly), and
+//! socket worlds must be launched from the thread that owns the test body
+//! (world numbering is per-thread).
+
+use crate::comm::{Comm, Shared};
+use crate::error::XmpiError;
+use crate::hooks;
+use crate::liveness::{CrashUnwind, Liveness, PoisonUnwind};
+use crate::socket::SocketTransport;
+use crate::stats::{RankStats, WorldStats};
+use crate::trace;
+use crate::transport::Transport;
+use crate::wire::{self, Frame, FrameKind, Wire};
+use crate::world::{FtResult, WorldResult};
+use std::cell::{Cell, RefCell};
+use std::io::Write as _;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a [`Backend::Socket`] child process is started.
+#[derive(Debug, Clone)]
+pub struct SocketCfg {
+    /// Binary to execute (normally [`std::env::current_exe`]).
+    pub exe: PathBuf,
+    /// Arguments steering the child back to the same launch site.
+    pub args: Vec<String>,
+}
+
+/// Which transport [`run`]/[`run_ft`] use.
+#[derive(Debug, Clone, Default)]
+pub enum Backend {
+    /// Ranks are threads of this process (the default).
+    #[default]
+    Local,
+    /// Ranks are child processes joined by a UNIX-socket mesh.
+    Socket(SocketCfg),
+}
+
+thread_local! {
+    static BACKEND: RefCell<Backend> = const { RefCell::new(Backend::Local) };
+    /// Per-thread socket-world launch counter — the world id a child uses
+    /// to find its target launch while replaying the test body.
+    static WORLD_SEQ: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Process-global launch counter, only for unique scratch-directory names.
+static LAUNCH_DIRS: AtomicU64 = AtomicU64::new(0);
+
+/// Run `f` with `backend` ambient on this thread (restored afterwards).
+/// [`run`]/[`run_ft`] calls inside `f` — including those buried in library
+/// code like the factorization drivers — use it.
+pub fn with_backend<T>(backend: Backend, f: impl FnOnce() -> T) -> T {
+    struct Restore(Backend);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BACKEND.with(|b| *b.borrow_mut() = std::mem::take(&mut self.0));
+        }
+    }
+    let prev = BACKEND.with(|b| std::mem::replace(&mut *b.borrow_mut(), backend));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The [`Backend::Socket`] configuration for a `#[test]` body: children
+/// re-execute the current test binary filtered to exactly this test.
+/// Obtain `test_path` with [`crate::test_path!`].
+pub fn socket_backend_for_test(test_path: &str) -> Backend {
+    let exe = std::env::current_exe().expect("current_exe for socket backend");
+    Backend::Socket(SocketCfg {
+        exe,
+        args: vec![
+            "--exact".into(),
+            test_path.into(),
+            "--nocapture".into(),
+            "--test-threads=1".into(),
+        ],
+    })
+}
+
+/// The [`Backend::Socket`] configuration for a plain binary (not a test):
+/// children re-execute the current binary with the same arguments. The
+/// binary's `main` must reach the same launch call deterministically.
+pub fn socket_backend_reexec() -> Backend {
+    let exe = std::env::current_exe().expect("current_exe for socket backend");
+    Backend::Socket(SocketCfg {
+        exe,
+        args: std::env::args().skip(1).collect(),
+    })
+}
+
+/// Is this process a socket-backend child rank?
+pub fn is_child() -> bool {
+    std::env::var_os("XMPI_CHILD_RANK").is_some()
+}
+
+/// The rank this child process plays, if [`is_child`].
+pub fn child_rank() -> Option<usize> {
+    std::env::var("XMPI_CHILD_RANK").ok()?.parse().ok()
+}
+
+/// Resolve the source path of the enclosing `#[test]` function for
+/// [`socket_backend_for_test`] — the name libtest's `--exact` filter
+/// matches (module path without the crate segment).
+#[macro_export]
+macro_rules! test_path {
+    () => {{
+        fn f() {}
+        fn type_name_of<T>(_: &T) -> &'static str {
+            ::std::any::type_name::<T>()
+        }
+        let name = type_name_of(&f);
+        let name = name.strip_suffix("::f").unwrap_or(name);
+        match name.find("::") {
+            Some(i) => &name[i + 2..],
+            None => name,
+        }
+    }};
+}
+
+/// What a child ships back on the control socket (alongside its
+/// [`RankStats`]).
+enum Shipped<R> {
+    /// The rank function returned a value.
+    Ok(R),
+    /// The rank unwound with a typed error (poisoned world, dead peer).
+    Err(XmpiError),
+    /// The rank suffered an injected crash ([`crate::hooks::CrashFate`]).
+    Crashed { rank: usize },
+    /// The rank hit a genuine panic (details on the child's stderr).
+    Panicked,
+}
+
+impl<R: Wire> Wire for Shipped<R> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Shipped::Ok(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            Shipped::Err(e) => {
+                out.push(1);
+                e.encode(out);
+            }
+            Shipped::Crashed { rank } => {
+                out.push(2);
+                rank.encode(out);
+            }
+            Shipped::Panicked => out.push(3),
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, XmpiError> {
+        match u8::decode(input)? {
+            0 => Ok(Shipped::Ok(R::decode(input)?)),
+            1 => Ok(Shipped::Err(XmpiError::decode(input)?)),
+            2 => Ok(Shipped::Crashed {
+                rank: usize::decode(input)?,
+            }),
+            3 => Ok(Shipped::Panicked),
+            b => Err(XmpiError::Truncated {
+                expected: 3,
+                got: b as usize,
+                src: 0,
+                tag: 0,
+            }),
+        }
+    }
+}
+
+/// [`crate::run`] honouring the ambient [`Backend`]. The extra [`Wire`]
+/// bound lets a socket-backed world ship rank results between processes;
+/// on the local backend behaviour is identical to [`crate::run`].
+///
+/// # Panics
+/// As [`crate::run`]; additionally if a child process dies or panics, or
+/// if event tracing is armed on the socket backend (unsupported).
+pub fn run<R, F>(p: usize, f: F) -> WorldResult<R>
+where
+    R: Wire + Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    match current_backend() {
+        Backend::Local => crate::world::run(p, f),
+        Backend::Socket(cfg) => {
+            let out = socket_world(&cfg, p, f);
+            let results = out
+                .results
+                .into_iter()
+                .enumerate()
+                .map(|(rank, r)| match r {
+                    Ok(v) => v,
+                    Err(e) => panic!(
+                        "rank {rank} failed under fault injection: {e}; \
+                         launch the world with xmpi::run_ft to handle rank crashes"
+                    ),
+                })
+                .collect();
+            WorldResult {
+                results,
+                stats: out.stats,
+            }
+        }
+    }
+}
+
+/// [`crate::run_ft`] honouring the ambient [`Backend`]: injected crashes
+/// and hard child deaths become per-rank [`XmpiError::RankDead`] outcomes.
+///
+/// One behavioural difference from the in-process backend: a *genuine*
+/// panic on a rank (not a fault sentinel) cannot cross the process
+/// boundary, so it surfaces as a parent panic naming the rank instead of
+/// re-raising the original payload (the child's stderr has the details).
+///
+/// # Panics
+/// If `p == 0`, a rank panics with a non-sentinel payload, or tracing is
+/// armed on the socket backend.
+pub fn run_ft<R, F>(p: usize, f: F) -> FtResult<R>
+where
+    R: Wire + Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    match current_backend() {
+        Backend::Local => crate::world::run_ft(p, f),
+        Backend::Socket(cfg) => socket_world(&cfg, p, f),
+    }
+}
+
+fn current_backend() -> Backend {
+    BACKEND.with(|b| b.borrow().clone())
+}
+
+/// Run one socket-backed world: dispatch on whether this process is the
+/// parent (spawn children, collect) or a child (replay to the target
+/// world, participate, ship, exit).
+fn socket_world<R, F>(cfg: &SocketCfg, p: usize, f: F) -> FtResult<R>
+where
+    R: Wire + Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    assert!(p > 0, "world must have at least one rank");
+    assert!(
+        trace::capture_config().is_none(),
+        "event tracing is not supported on the socket backend \
+         (trace capture is armed); run this world on Backend::Local"
+    );
+    let world_id = WORLD_SEQ.with(|s| {
+        let id = s.get();
+        s.set(id + 1);
+        id
+    });
+    if let Some(my_rank) = child_rank() {
+        let target: u64 = std::env::var("XMPI_WORLD_ID")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .expect("child process carries XMPI_WORLD_ID");
+        if world_id != target {
+            // An earlier (or later) world of the same test body: replay it
+            // in-process so the surrounding code sees identical results and
+            // deterministically reaches the target launch.
+            return crate::world::run_ft(p, f);
+        }
+        let world_size: usize = std::env::var("XMPI_WORLD_SIZE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .expect("child process carries XMPI_WORLD_SIZE");
+        assert_eq!(
+            world_size, p,
+            "child reached world {world_id} with size {p}, parent launched size {world_size}: \
+             the replayed test body diverged"
+        );
+        child_world(p, my_rank, &f);
+    }
+    parent_world(cfg, p, world_id)
+}
+
+/// Child side: join the mesh as `my_rank`, run the rank program, ship the
+/// outcome and stats on the control socket, and exit the process.
+fn child_world<R, F>(p: usize, my_rank: usize, f: &F) -> !
+where
+    R: Wire + Send,
+    F: Fn(&Comm) -> R + Sync,
+{
+    let dir = PathBuf::from(std::env::var_os("XMPI_DIR").expect("child process carries XMPI_DIR"));
+    let liveness = Arc::new(Liveness::new(p));
+    let transport = SocketTransport::connect(&dir, my_rank, p, liveness.clone())
+        .expect("child could not join the socket mesh");
+    let shared = Shared::build_with(
+        transport.clone() as Arc<dyn Transport>,
+        liveness,
+        None,
+        hooks::armed(),
+    );
+    let comm = Comm::world(shared.clone(), my_rank);
+    let result = catch_unwind(AssertUnwindSafe(|| f(&comm)));
+    drop(comm);
+    let stats = shared.counters[my_rank].snapshot();
+    let (shipped, crashed): (Shipped<R>, bool) = match result {
+        Ok(v) => (Shipped::Ok(v), false),
+        Err(payload) => {
+            if let Some(c) = payload.downcast_ref::<CrashUnwind>() {
+                (Shipped::Crashed { rank: c.rank }, true)
+            } else if let Some(pu) = payload.downcast_ref::<PoisonUnwind>() {
+                (Shipped::Err(pu.0), false)
+            } else {
+                // Print the genuine panic before tearing down, then tell
+                // the peers (Crash) so they fail fast instead of timing
+                // out, and the parent (Panicked) so it re-raises loudly.
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".into());
+                eprintln!("xmpi child rank {my_rank}: rank program panicked: {msg}");
+                (Shipped::Panicked, true)
+            }
+        }
+    };
+    transport.shutdown(crashed);
+    ship_result(&dir, my_rank, &shipped, &stats);
+    // Never return into the replayed test body: this process's only job
+    // was to play rank `my_rank` of the target world.
+    std::process::exit(0);
+}
+
+/// Connect the control socket and ship `(outcome, stats)` to the parent.
+fn ship_result<R: Wire>(
+    dir: &std::path::Path,
+    my_rank: usize,
+    shipped: &Shipped<R>,
+    stats: &RankStats,
+) {
+    let Ok(mut ctl) = UnixStream::connect(dir.join("ctl.sock")) else {
+        // Parent already gone; nothing useful to do but exit.
+        return;
+    };
+    let mut body = Vec::new();
+    shipped.encode(&mut body);
+    stats.encode(&mut body);
+    let mut frame = Frame::control(FrameKind::Result, my_rank);
+    frame.body = body;
+    let _ = wire::write_frame(&mut ctl, &Frame::control(FrameKind::Hello, my_rank))
+        .and_then(|()| wire::write_frame(&mut ctl, &frame))
+        .and_then(|()| ctl.flush());
+}
+
+/// Parent side: spawn one child per rank, wait for them, collect shipped
+/// outcomes from the control socket, and assemble the world result.
+fn parent_world<R: Wire>(cfg: &SocketCfg, p: usize, world_id: u64) -> FtResult<R> {
+    let dir = std::env::temp_dir().join(format!(
+        "xmpi-{}-{}",
+        std::process::id(),
+        LAUNCH_DIRS.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create socket mesh directory");
+    let ctl = UnixListener::bind(dir.join("ctl.sock")).expect("bind control socket");
+    ctl.set_nonblocking(true)
+        .expect("nonblocking control socket");
+
+    let mut children: Vec<Child> = (0..p)
+        .map(|rank| {
+            Command::new(&cfg.exe)
+                .args(&cfg.args)
+                .env("XMPI_CHILD_RANK", rank.to_string())
+                .env("XMPI_WORLD_SIZE", p.to_string())
+                .env("XMPI_WORLD_ID", world_id.to_string())
+                .env("XMPI_DIR", &dir)
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .spawn()
+                .unwrap_or_else(|e| panic!("spawn child rank {rank} ({:?}): {e}", cfg.exe))
+        })
+        .collect();
+
+    // Reap children and drain control connections. A child ships its
+    // result (and connects) strictly before exiting, so once every child
+    // is reaped, one final drain pass observes every report that will
+    // ever arrive; whoever is missing afterwards died without reporting.
+    let mut outcomes: Vec<Option<(Shipped<R>, RankStats)>> = (0..p).map(|_| None).collect();
+    let mut alive = p;
+    while alive > 0 {
+        drain_ctl(&ctl, p, &mut outcomes);
+        alive = 0;
+        for child in &mut children {
+            match child.try_wait() {
+                Ok(Some(_status)) => {}
+                _ => alive += 1,
+            }
+        }
+        if alive > 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    drain_ctl(&ctl, p, &mut outcomes);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut results = Vec::with_capacity(p);
+    let mut stats = Vec::with_capacity(p);
+    let mut crashed = Vec::new();
+    for (rank, slot) in outcomes.into_iter().enumerate() {
+        match slot {
+            Some((Shipped::Ok(v), rs)) => {
+                results.push(Ok(v));
+                stats.push(rs);
+            }
+            Some((Shipped::Err(e), rs)) => {
+                results.push(Err(e));
+                stats.push(rs);
+            }
+            Some((Shipped::Crashed { rank: dead }, rs)) => {
+                crashed.push(dead);
+                results.push(Err(XmpiError::RankDead { rank: dead }));
+                stats.push(rs);
+            }
+            Some((Shipped::Panicked, _)) => {
+                panic!("rank {rank} panicked in its child process (see its stderr above)");
+            }
+            None => {
+                // Died without reporting: a hard kill (or a startup
+                // failure). Same mapping as an injected crash.
+                crashed.push(rank);
+                results.push(Err(XmpiError::RankDead { rank }));
+                stats.push(RankStats::default());
+            }
+        }
+    }
+    crashed.sort_unstable();
+    crashed.dedup();
+    FtResult {
+        results,
+        stats: WorldStats { ranks: stats },
+        crashed,
+    }
+}
+
+/// Accept and read every pending control connection, filling `outcomes`.
+fn drain_ctl<R: Wire>(
+    ctl: &UnixListener,
+    p: usize,
+    outcomes: &mut [Option<(Shipped<R>, RankStats)>],
+) {
+    loop {
+        match ctl.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                let Ok(Some(hello)) = wire::read_frame(&mut stream) else {
+                    continue;
+                };
+                if hello.kind != FrameKind::Hello {
+                    continue;
+                }
+                let rank = hello.src as usize;
+                let Ok(Some(result)) = wire::read_frame(&mut stream) else {
+                    continue;
+                };
+                if result.kind != FrameKind::Result || rank >= p {
+                    continue;
+                }
+                let mut input = &result.body[..];
+                let Ok(shipped) = Shipped::<R>::decode(&mut input) else {
+                    continue;
+                };
+                let Ok(rs) = RankStats::decode(&mut input) else {
+                    continue;
+                };
+                outcomes[rank] = Some((shipped, rs));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_path_strips_crate_and_fn() {
+        // This test lives at xmpi::launch::tests::test_path_strips_crate_and_fn.
+        let p = crate::test_path!();
+        assert_eq!(p, "launch::tests::test_path_strips_crate_and_fn");
+    }
+
+    #[test]
+    fn backend_ambient_restores() {
+        use super::*;
+        assert!(matches!(current_backend(), Backend::Local));
+        with_backend(
+            Backend::Socket(SocketCfg {
+                exe: PathBuf::from("/bin/true"),
+                args: vec![],
+            }),
+            || {
+                assert!(matches!(current_backend(), Backend::Socket(_)));
+            },
+        );
+        assert!(matches!(current_backend(), Backend::Local));
+    }
+}

@@ -100,11 +100,15 @@ pub mod comm;
 pub mod error;
 pub mod grid;
 pub mod hooks;
+pub mod launch;
 mod liveness;
 pub mod request;
 pub mod rma;
+pub(crate) mod socket;
 pub mod stats;
 pub mod trace;
+pub(crate) mod transport;
+pub mod wire;
 pub mod world;
 
 pub use buf::Buf;
@@ -113,10 +117,12 @@ pub use comm::{Comm, Payload};
 pub use error::XmpiError;
 pub use grid::{Grid2, Grid3};
 pub use hooks::{with_hooks, CrashFate, SchedHooks, SendFate};
+pub use launch::{with_backend, Backend, SocketCfg};
 pub use request::{wait_all, RecvRequest, Request, SendRequest, WaitPolicy, WaitTimeout};
 pub use rma::Window;
 pub use stats::{CollCounts, CollKind, RankStats, WorldStats};
 pub use trace::{Event, RankTrace, TraceConfig, WorldTrace};
+pub use wire::Wire;
 pub use world::{
     run, run_ft, run_hooked, run_traced, run_traced_hooked, FtResult, TracedResult, WorldResult,
 };

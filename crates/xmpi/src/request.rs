@@ -21,7 +21,7 @@
 //! receive on the same `(src, tag)` channel.
 
 use crate::buf::Buf;
-use crate::comm::{Comm, Payload, RECV_TIMEOUT};
+use crate::comm::{recv_timeout, Comm, Payload};
 use std::fmt;
 use std::time::Duration;
 
@@ -47,7 +47,7 @@ pub struct WaitPolicy {
 impl Default for WaitPolicy {
     fn default() -> Self {
         WaitPolicy {
-            timeout: RECV_TIMEOUT,
+            timeout: recv_timeout(),
             retries: 0,
         }
     }

@@ -1,0 +1,346 @@
+//! Multi-process socket transport: ranks are OS processes joined by a
+//! rank×rank UNIX-domain socket mesh.
+//!
+//! Topology: every rank binds a listener at `$XMPI_DIR/rank_<r>.sock`;
+//! rank `s` *connects* to every lower rank `r < s` (opening the connection
+//! with a `Hello` frame naming itself) and *accepts* one connection from
+//! every higher rank. Each pair shares one duplex stream.
+//!
+//! Per peer, two service threads preserve the shared layer's contracts:
+//!
+//! * a **writer** thread drains an unbounded queue onto the socket, so
+//!   `deliver` never blocks (buffered-send semantics) and two ranks
+//!   head-on-sending large payloads cannot deadlock on full kernel buffers;
+//! * a **reader** thread decodes frames and enqueues message payloads into
+//!   the mailbox this process hosts — the *same* mailbox, scan loop, and
+//!   visibility handling as the in-process transport, so matching order,
+//!   per-channel FIFO, and poison draining are backend-invariant.
+//!
+//! Liveness over processes: a crashing rank broadcasts `Crash` frames
+//! (peers mark it dead, poison their world, and wake their receivers); a
+//! hard-killed process can send nothing, so a stream reaching end-of-file
+//! *without* a `Fin` frame is treated exactly like a `Crash`. Because each
+//! pair's frames travel one ordered stream, every message delivered before
+//! a crash is enqueued before the death is observed — the delivered-
+//! messages-survive-poisoning property the in-process backend guarantees
+//! by construction.
+
+use crate::comm::{ChannelKey, Mailbox, Payload};
+use crate::liveness::Liveness;
+use crate::transport::Transport;
+use crate::wire::{self, Frame, FrameKind};
+use parking_lot::Mutex;
+use std::io::Write as _;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long mesh construction may wait for sibling rank processes to bind
+/// their listeners and dial in before giving up.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Poll interval while waiting for a listener/connection to appear.
+const HANDSHAKE_POLL: Duration = Duration::from_millis(2);
+
+/// Socket path for a rank's mesh listener.
+pub(crate) fn rank_sock(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("rank_{rank}.sock"))
+}
+
+/// What a peer's writer thread is told to do next.
+enum WriterMsg {
+    /// Put this frame on the wire.
+    Frame(Frame),
+    /// Put this final frame (`Fin` or `Crash`) on the wire, flush, and exit.
+    Close(Frame),
+}
+
+struct PeerTx {
+    tx: mpsc::Sender<WriterMsg>,
+}
+
+/// The socket-mesh [`Transport`]: hosts exactly one rank's mailbox and
+/// reaches every other rank over its stream.
+pub(crate) struct SocketTransport {
+    my_rank: usize,
+    p: usize,
+    own: Arc<Mailbox>,
+    /// Per-peer writer queues, indexed by world rank (`None` at `my_rank`).
+    peers: Vec<Option<PeerTx>>,
+    writers: Mutex<Vec<JoinHandle<()>>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Dial a connection to `rank`'s listener, retrying until it is bound.
+fn connect_retry(dir: &Path, rank: usize) -> std::io::Result<UnixStream> {
+    let path = rank_sock(dir, rank);
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    loop {
+        match UnixStream::connect(&path) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        e.kind(),
+                        format!("xmpi socket mesh: rank {rank} never came up at {path:?}: {e}"),
+                    ));
+                }
+                std::thread::sleep(HANDSHAKE_POLL);
+            }
+        }
+    }
+}
+
+/// Accept one mesh connection, honouring the handshake deadline.
+fn accept_deadline(listener: &UnixListener, deadline: Instant) -> std::io::Result<UnixStream> {
+    loop {
+        match listener.accept() {
+            Ok((s, _)) => {
+                s.set_nonblocking(false)?;
+                return Ok(s);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "xmpi socket mesh: timed out waiting for higher ranks to dial in",
+                    ));
+                }
+                std::thread::sleep(HANDSHAKE_POLL);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+impl SocketTransport {
+    /// Build the mesh for `my_rank` of a `p`-rank world rooted at `dir`.
+    /// Blocks until every pairwise stream is up (a natural start barrier).
+    ///
+    /// # Errors
+    /// If a sibling rank process never appears or a handshake frame is
+    /// malformed.
+    pub(crate) fn connect(
+        dir: &Path,
+        my_rank: usize,
+        p: usize,
+        liveness: Arc<Liveness>,
+    ) -> std::io::Result<Arc<SocketTransport>> {
+        let listener = UnixListener::bind(rank_sock(dir, my_rank))?;
+        listener.set_nonblocking(true)?;
+        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+
+        // One stream per peer, indexed by world rank.
+        let mut streams: Vec<Option<UnixStream>> = (0..p).map(|_| None).collect();
+        // Dial every lower rank, announcing ourselves.
+        for (r, slot) in streams.iter_mut().enumerate().take(my_rank) {
+            let mut s = connect_retry(dir, r)?;
+            wire::write_frame(&mut s, &Frame::control(FrameKind::Hello, my_rank))
+                .and_then(|()| s.flush())?;
+            *slot = Some(s);
+        }
+        // Accept every higher rank; the Hello frame says who dialed.
+        for _ in my_rank + 1..p {
+            let mut s = accept_deadline(&listener, deadline)?;
+            let hello = wire::read_frame(&mut s)
+                .ok()
+                .flatten()
+                .filter(|f| f.kind == FrameKind::Hello)
+                .ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "xmpi socket mesh: peer opened without a Hello frame",
+                    )
+                })?;
+            let peer = hello.src as usize;
+            if peer >= p || streams[peer].is_some() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("xmpi socket mesh: bogus or duplicate Hello from rank {peer}"),
+                ));
+            }
+            streams[peer] = Some(s);
+        }
+
+        let own = Arc::new(Mailbox::default());
+        let mut peers: Vec<Option<PeerTx>> = Vec::with_capacity(p);
+        let mut writers = Vec::new();
+        let mut readers = Vec::new();
+        for (peer, slot) in streams.into_iter().enumerate() {
+            let Some(stream) = slot else {
+                peers.push(None);
+                continue;
+            };
+            let (tx, rx) = mpsc::channel::<WriterMsg>();
+            let write_half = stream.try_clone()?;
+            writers.push(
+                std::thread::Builder::new()
+                    .name(format!("xmpi-w{my_rank}->{peer}"))
+                    .spawn(move || writer_loop(write_half, &rx))?,
+            );
+            let own_r = own.clone();
+            let liveness_r = liveness.clone();
+            readers.push(
+                std::thread::Builder::new()
+                    .name(format!("xmpi-r{my_rank}<-{peer}"))
+                    .spawn(move || reader_loop(stream, peer, &own_r, &liveness_r))?,
+            );
+            peers.push(Some(PeerTx { tx }));
+        }
+
+        Ok(Arc::new(SocketTransport {
+            my_rank,
+            p,
+            own,
+            peers,
+            writers: Mutex::new(writers),
+            readers: Mutex::new(readers),
+        }))
+    }
+
+    /// Tear the mesh down. A clean shutdown sends `Fin` to every peer and
+    /// then waits for every peer's own `Fin` (so no process closes a stream
+    /// a sibling is still writing to); a crashed shutdown sends `Crash` and
+    /// leaves without waiting — peers observe the frames (or the EOF) and
+    /// poison themselves.
+    pub(crate) fn shutdown(&self, crashed: bool) {
+        let kind = if crashed {
+            FrameKind::Crash
+        } else {
+            FrameKind::Fin
+        };
+        for peer in self.peers.iter().flatten() {
+            let _ = peer
+                .tx
+                .send(WriterMsg::Close(Frame::control(kind, self.my_rank)));
+        }
+        for h in self.writers.lock().drain(..) {
+            let _ = h.join();
+        }
+        if !crashed {
+            for h in self.readers.lock().drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Drain the writer queue onto the socket. Write errors mean the peer's
+/// process is gone; its death is observed (and reported) by the reader
+/// side, so the writer just stops transmitting.
+fn writer_loop(mut stream: UnixStream, rx: &mpsc::Receiver<WriterMsg>) {
+    let mut broken = false;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WriterMsg::Frame(f) => {
+                if !broken && wire::write_frame(&mut stream, &f).is_err() {
+                    broken = true;
+                }
+            }
+            WriterMsg::Close(f) => {
+                if !broken {
+                    let _ = wire::write_frame(&mut stream, &f);
+                    let _ = stream.flush();
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Decode the peer's frames into the hosted mailbox until the stream ends.
+/// `Fin` is an orderly close; `Crash`, a malformed frame, or an EOF without
+/// `Fin` all mark the peer dead and wake any parked receiver.
+fn reader_loop(mut stream: UnixStream, peer: usize, own: &Mailbox, liveness: &Liveness) {
+    loop {
+        match wire::read_frame(&mut stream) {
+            Ok(Some(f)) => match f.kind {
+                FrameKind::MsgF64 | FrameKind::MsgU64 => match wire::frame_payload(&f) {
+                    Ok(payload) => {
+                        let key: ChannelKey = (f.src as usize, f.ctx, f.tag);
+                        let visible_at = (f.delay_ns > 0)
+                            .then(|| Instant::now() + Duration::from_nanos(f.delay_ns));
+                        own.deliver(key, payload, visible_at);
+                    }
+                    Err(_) => {
+                        liveness.kill(peer);
+                        own.wake();
+                        return;
+                    }
+                },
+                FrameKind::Fin => return,
+                // The frame names the crashed rank (usually the peer itself,
+                // but forwarded death notices stay correct either way).
+                FrameKind::Crash => {
+                    liveness.kill(f.src as usize);
+                    own.wake();
+                }
+                FrameKind::Hello | FrameKind::Result => {
+                    liveness.kill(peer);
+                    own.wake();
+                    return;
+                }
+            },
+            // EOF at a frame boundary without Fin: the process died hard.
+            Ok(None) | Err(_) => {
+                liveness.kill(peer);
+                own.wake();
+                return;
+            }
+        }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn size(&self) -> usize {
+        self.p
+    }
+
+    fn deliver(
+        &self,
+        dst_world: usize,
+        key: ChannelKey,
+        payload: Payload,
+        delay: Option<Duration>,
+    ) {
+        if dst_world == self.my_rank {
+            // Self-sends stay in-process and zero-copy.
+            let visible_at = delay.map(|d| Instant::now() + d);
+            self.own.deliver(key, payload, visible_at);
+            return;
+        }
+        let delay_ns = delay.map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        let frame = wire::payload_frame(key.0, key.1, key.2, delay_ns, &payload);
+        if let Some(peer) = &self.peers[dst_world] {
+            // A closed queue means the mesh is shutting down; the liveness
+            // layer has already recorded why.
+            let _ = peer.tx.send(WriterMsg::Frame(frame));
+        }
+    }
+
+    fn mailbox(&self, world_rank: usize) -> &Mailbox {
+        assert_eq!(
+            world_rank, self.my_rank,
+            "socket transport hosts only rank {} in this process",
+            self.my_rank
+        );
+        &self.own
+    }
+
+    fn announce_crash(&self, src_world: usize) {
+        for peer in self.peers.iter().flatten() {
+            let _ = peer.tx.send(WriterMsg::Frame(Frame::control(
+                FrameKind::Crash,
+                src_world,
+            )));
+        }
+        self.own.wake();
+    }
+
+    fn supports_rma(&self) -> bool {
+        false
+    }
+}

@@ -209,7 +209,7 @@ where
     R: Send,
     F: Fn(&Comm) -> R + Sync,
 {
-    let p = shared.mailboxes.len();
+    let p = shared.transport.size();
     assert!(p > 0, "world must have at least one rank");
 
     let results: Vec<Result<R, XmpiError>> = std::thread::scope(|s| {

@@ -1,0 +1,36 @@
+//! The deadlock-detection timeout is configurable through
+//! `CONFLUX_RECV_TIMEOUT_MS`. This file is its own test process and holds
+//! exactly one test, so setting the variable here cannot race another test;
+//! the runtime parses and caches the value on first use.
+
+use std::time::{Duration, Instant};
+use xmpi::WaitPolicy;
+
+#[test]
+fn recv_timeout_env_is_honoured() {
+    std::env::set_var("CONFLUX_RECV_TIMEOUT_MS", "150");
+    let t0 = Instant::now();
+    let out = xmpi::run(2, |c| {
+        if c.rank() == 1 {
+            // Wait on a message nobody ever sends: the default policy's
+            // per-attempt timeout comes from the environment knob.
+            let req = c.irecv(0, 99);
+            let err = req
+                .wait_timeout(WaitPolicy {
+                    retries: 1,
+                    ..WaitPolicy::default()
+                })
+                .expect_err("no sender: the wait must time out");
+            // The diagnostics still name the stuck channel coordinates.
+            (err.src as u64, err.tag, err.attempts as u64)
+        } else {
+            (0, 0, 0)
+        }
+    });
+    let elapsed = t0.elapsed();
+    assert_eq!(out.results[1], (0, 99, 2));
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "a 150 ms configured timeout must not wait out the 120 s default (took {elapsed:?})"
+    );
+}

@@ -1,0 +1,251 @@
+//! Property tests of the socket wire codec: payload frames must round-trip
+//! bit-exactly through arbitrarily chunked reads and writes (a UNIX socket
+//! never promises to move a frame in one syscall), and every malformed
+//! header must come back as a typed [`XmpiError::Truncated`] — never a
+//! panic, never a silent mis-parse.
+
+use proptest::prelude::*;
+use std::io::{self, Read, Write};
+use xmpi::wire::{
+    frame_payload, payload_frame, read_frame, write_frame, Frame, FrameKind, HEADER_LEN,
+    MAX_BODY_LEN,
+};
+use xmpi::{Payload, XmpiError};
+
+/// Writer that accepts at most `chunk` bytes per call — forces
+/// `write_frame` through partial-write boundaries.
+struct ChunkWriter {
+    out: Vec<u8>,
+    chunk: usize,
+}
+
+impl Write for ChunkWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = buf.len().min(self.chunk);
+        self.out.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Reader that yields at most `chunk` bytes per call — forces `read_frame`
+/// through split-read boundaries (header and body straddling reads).
+struct ChunkReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    chunk: usize,
+}
+
+impl Read for ChunkReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = buf.len().min(self.chunk).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+fn chunked_roundtrip(frame: &Frame, write_chunk: usize, read_chunk: usize) -> Frame {
+    let mut w = ChunkWriter {
+        out: Vec::new(),
+        chunk: write_chunk,
+    };
+    write_frame(&mut w, frame).expect("chunked write");
+    let mut r = ChunkReader {
+        data: &w.out,
+        pos: 0,
+        chunk: read_chunk,
+    };
+    let got = read_frame(&mut r)
+        .expect("well-formed frame")
+        .expect("not EOF");
+    assert_eq!(r.pos, w.out.len(), "frame must consume its bytes exactly");
+    got
+}
+
+/// Deterministic f64 bit patterns (includes NaNs, infinities, subnormals —
+/// whatever the splitmix stream lands on) so round-trips are checked on the
+/// raw bit level, not through float equality.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn f64_frames_roundtrip_through_chunked_io(
+        len in 0usize..600,
+        seed in 0u64..10_000,
+        write_chunk in 1usize..97,
+        read_chunk in 1usize..97,
+        ctx in 0u64..1_000_000,
+        tag in 0u64..1_000_000,
+        delay_ns in 0u64..1_000_000_000,
+    ) {
+        let vals: Vec<f64> = (0..len as u64).map(|i| f64::from_bits(mix(seed ^ i))).collect();
+        let bits: Vec<u64> = vals.iter().map(|x| x.to_bits()).collect();
+        let f = payload_frame(7, ctx, tag, delay_ns, &Payload::from(vals));
+        let g = chunked_roundtrip(&f, write_chunk, read_chunk);
+        prop_assert_eq!(g.kind, FrameKind::MsgF64);
+        prop_assert_eq!((g.src, g.ctx, g.tag, g.delay_ns), (7, ctx, tag, delay_ns));
+        let Payload::F64(buf) = frame_payload(&g).expect("payload decodes") else {
+            panic!("wrong payload kind");
+        };
+        let got_bits: Vec<u64> = buf.iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(got_bits, bits);
+    }
+
+    #[test]
+    fn u64_frames_roundtrip_through_chunked_io(
+        len in 0usize..600,
+        seed in 0u64..10_000,
+        write_chunk in 1usize..97,
+        read_chunk in 1usize..97,
+    ) {
+        let vals: Vec<u64> = (0..len as u64).map(|i| mix(seed ^ i)).collect();
+        let expect = vals.clone();
+        let f = payload_frame(3, 11, 22, 0, &Payload::from(vals));
+        let g = chunked_roundtrip(&f, write_chunk, read_chunk);
+        prop_assert_eq!(g.kind, FrameKind::MsgU64);
+        let Payload::U64(buf) = frame_payload(&g).expect("payload decodes") else {
+            panic!("wrong payload kind");
+        };
+        prop_assert_eq!(buf.to_vec(), expect);
+    }
+
+    #[test]
+    fn truncated_streams_are_typed_errors(
+        len in 0usize..40,
+        cut_pick in 1usize..4096,
+    ) {
+        // A stream that ends mid-frame — at any byte of the header or the
+        // body — must surface as `XmpiError::Truncated`, not hang or panic.
+        let vals: Vec<f64> = (0..len).map(|i| i as f64).collect();
+        let f = payload_frame(1, 2, 3, 0, &Payload::from(vals));
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &f).expect("vec write");
+        let cut = 1 + cut_pick % (bytes.len() - 1);
+        let mut r = ChunkReader { data: &bytes[..cut], pos: 0, chunk: 13 };
+        prop_assert!(matches!(read_frame(&mut r), Err(XmpiError::Truncated { .. })));
+    }
+
+    #[test]
+    fn corrupt_headers_are_rejected(
+        magic_byte in 0usize..4,
+        flip in 1u8..=255,
+        bad_kind_pick in 0u8..250,
+    ) {
+        let f = payload_frame(0, 0, 0, 0, &Payload::from(vec![1.0, 2.0]));
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &f).expect("vec write");
+
+        // Any corrupted magic byte.
+        let mut corrupt = bytes.clone();
+        corrupt[magic_byte] ^= flip;
+        let mut r: &[u8] = &corrupt;
+        prop_assert!(matches!(read_frame(&mut r), Err(XmpiError::Truncated { .. })));
+
+        // Any kind byte outside the protocol.
+        let bad_kind = if bad_kind_pick < 7 { 0 } else { bad_kind_pick };
+        let mut corrupt = bytes.clone();
+        corrupt[4] = bad_kind;
+        let mut r: &[u8] = &corrupt;
+        prop_assert!(matches!(read_frame(&mut r), Err(XmpiError::Truncated { .. })));
+    }
+}
+
+#[test]
+fn empty_payload_frames_roundtrip() {
+    for payload in [
+        Payload::from(Vec::<f64>::new()),
+        Payload::from(Vec::<u64>::new()),
+    ] {
+        let f = payload_frame(0, 5, 6, 0, &payload);
+        assert!(f.body.is_empty());
+        let g = chunked_roundtrip(&f, 1, 1);
+        assert_eq!(frame_payload(&g).expect("decodes").bytes(), 0);
+    }
+}
+
+#[test]
+fn huge_payload_frames_roundtrip() {
+    // A panel-sized payload (4 MiB) through deliberately misaligned chunks.
+    let n = 1 << 19;
+    let vals: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+    let f = payload_frame(2, 9, 9, 0, &Payload::from(vals));
+    let g = chunked_roundtrip(&f, 4093, 8191);
+    let Payload::F64(buf) = frame_payload(&g).expect("decodes") else {
+        panic!("wrong payload kind");
+    };
+    assert_eq!(buf.len(), n);
+    assert_eq!(buf[n - 1], (n - 1) as f64 * 0.5);
+}
+
+#[test]
+fn oversized_length_is_rejected_before_allocating() {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &Frame::control(FrameKind::Fin, 0)).expect("vec write");
+    // Patch the length field to an absurd value; the reader must reject the
+    // header instead of trying to allocate the body.
+    bytes[33..41].copy_from_slice(&(MAX_BODY_LEN + 1).to_le_bytes());
+    let mut r: &[u8] = &bytes;
+    assert!(matches!(
+        read_frame(&mut r),
+        Err(XmpiError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn ragged_message_length_is_rejected() {
+    // Message bodies are 8-byte elements; a length of 12 is corruption.
+    let mut bytes = Vec::new();
+    let mut f = Frame::control(FrameKind::MsgF64, 1);
+    f.body = vec![0u8; 16];
+    write_frame(&mut bytes, &f).expect("vec write");
+    bytes[33..41].copy_from_slice(&12u64.to_le_bytes());
+    let mut r: &[u8] = &bytes;
+    assert!(matches!(
+        read_frame(&mut r),
+        Err(XmpiError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn header_len_matches_layout() {
+    // The fixed header is magic + kind + src + ctx + tag + delay + len.
+    assert_eq!(HEADER_LEN, 41);
+}
+
+#[test]
+fn decoded_payload_reclaims_without_copy() {
+    // The socket receive path: a frame arrives, `frame_payload` rebuilds the
+    // payload, the consumer calls `into_vec`. The rebuilt `Buf` must be
+    // unique (refcount 1) so the reclaim is allocation hand-back, not a
+    // copy — the same zero-copy completion the in-process transport gives a
+    // sole consumer.
+    let f = payload_frame(0, 1, 2, 0, &Payload::from(vec![2.5f64; 512]));
+    let Payload::F64(buf) = frame_payload(&f).expect("decodes") else {
+        panic!("wrong payload kind");
+    };
+    let ptr = buf.as_ptr();
+    let owned = buf.into_vec();
+    assert_eq!(
+        owned.as_ptr(),
+        ptr,
+        "decoded Buf must be unique so into_vec reclaims the allocation"
+    );
+
+    let f = payload_frame(0, 1, 2, 0, &Payload::from(vec![7u64; 512]));
+    let Payload::U64(buf) = frame_payload(&f).expect("decodes") else {
+        panic!("wrong payload kind");
+    };
+    let ptr = buf.as_ptr();
+    let owned = buf.into_vec();
+    assert_eq!(owned.as_ptr(), ptr);
+}
