@@ -1,0 +1,262 @@
+//! Wire-level chaos soak for the socket transport (`bench chaos` mode).
+//!
+//! Sweeps a matrix of seeds, each deriving a whole network-fault plan
+//! (`xharness::NetChaos`: torn frames only, or torn plus one mid-frame
+//! connection reset, one silently hung rank, or a bounded refuse/delay
+//! pattern on one mesh listener), and runs the fault-tolerant COnfLUX
+//! factorization over real child processes under that plan. Every seed
+//! must land on the fault-free answer: bitwise-identical factors and
+//! pivots, residual under `1e-12`, only the planned victim in the crashed
+//! roster, and — for seeds whose faults are all benign — a byte ledger
+//! identical to the fault-free baseline.
+//!
+//! Usage:
+//!   chaos [--seeds N] [--n N] [--out DIR]
+//!
+//! `XHARNESS_SEEDS` overrides `--seeds` (same syntax as the test suite).
+//! On the first failing seed a replay recipe is written to
+//! `<out>/chaos_failure.json` and the process exits nonzero so CI uploads
+//! the artifact. Child ranks (re-executed with `XMPI_CHILD_RANK` set)
+//! replay the same argument parse and seed sequence to find their world,
+//! then exit inside it — only the parent prints and persists the report.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use dense::gen::random_matrix;
+use dense::norms::lu_residual_perm;
+use factor::{conflux_lu_ft, FtConfig};
+use serde_json::json;
+use xharness::{seeds, ChaosMode, NetChaos};
+use xmpi::Grid3;
+use xtrace::invariants::check_stats_equal;
+
+const HELP: &str = "\
+usage: chaos [--seeds N] [--n N] [--out DIR]
+
+Wire-level chaos soak: fault-tolerant COnfLUX over the socket backend under
+seeded NetChaos plans (torn frames, mid-frame resets, hung ranks, refused
+dials). Every seed must recover the fault-free factors bitwise, kill only
+its planned victim, and finish within the failure-detector deadlines.
+
+  --seeds N    number of chaos seeds (default 8); the XHARNESS_SEEDS env
+               var overrides this and also accepts a comma list or
+               `list:N` (same syntax as the test suite)
+  --n N        matrix dimension (default 64, grid fixed at 2x2x2)
+  --out DIR    report/artifact directory (default results)
+
+On the first failing seed, <out>/chaos_failure.json records the seed, the
+derived fault plan, and a replay command of the form
+  XHARNESS_SEEDS=list:<seed> cargo test -p factor --test chaos --release
+and the process exits nonzero so CI uploads the artifact. On success a
+summary lands in <out>/BENCH_chaos.json.";
+
+struct Args {
+    seeds: u64,
+    n: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 8,
+        n: 64,
+        out: "results".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = val("--seeds").parse().expect("--seeds: not a number"),
+            "--n" => args.n = val("--n").parse().expect("--n: not a number"),
+            "--out" => args.out = val("--out"),
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    args
+}
+
+fn mode_name(mode: ChaosMode) -> &'static str {
+    match mode {
+        ChaosMode::Torn => "torn",
+        ChaosMode::Reset => "reset",
+        ChaosMode::Hang => "hang",
+        ChaosMode::Connect => "connect",
+    }
+}
+
+fn main() {
+    // Fast failure detection: 50 ms heartbeats, suspicion at 3 s — a hung
+    // rank costs seconds, not the 120 s receive timeout. Child ranks replay
+    // this before touching any socket code, and inherit it regardless.
+    std::env::set_var("XMPI_HEARTBEAT_MS", "50");
+    std::env::set_var("XMPI_SUSPECT_MS", "3000");
+
+    let args = parse_args();
+    let seed_list = seeds(args.seeds);
+    let quiet = xmpi::launch::is_child();
+    let (n, grid) = (args.n, Grid3::new(2, 2, 2));
+    let p = grid.size();
+    let v = 8.min(n / 4).max(1);
+    let a = random_matrix(n, n, 1001);
+    let cfg = FtConfig::new(n, v, grid);
+
+    // Fault-free baseline (in-process): the answer every chaos run must
+    // reproduce bitwise.
+    let base = conflux_lu_ft(&cfg, &a).expect("fault-free baseline");
+    let base_resid = lu_residual_perm(&a, &base.packed, &base.perm);
+    assert!(base_resid < 1e-12, "baseline residual {base_resid:e}");
+
+    if !quiet {
+        println!(
+            "chaos: {} seeds, conflux-ft n={n} v={v} grid 2x2x2 over sockets",
+            seed_list.len()
+        );
+    }
+
+    let mut mode_counts = [0u64; 4];
+    let mut total_restarts = 0u64;
+    let mut fail: Option<(u64, String, String)> = None;
+
+    'sweep: for &seed in &seed_list {
+        let chaos = Arc::new(NetChaos::from_seed(seed, p));
+        let mode = chaos.mode();
+        let plan = format!(
+            "mode {}, reset {:?}, hang {:?}, connect {:?}",
+            mode_name(mode),
+            chaos.reset_plan(),
+            chaos.hang_plan(),
+            chaos.connect_plan()
+        );
+        let out = xmpi::with_backend(xmpi::launch::socket_backend_reexec(), || {
+            xharness::run_chaos(&chaos, || conflux_lu_ft(&cfg, &a).expect("chaos run"))
+        });
+
+        let check = || -> Result<(), String> {
+            let victim = chaos
+                .reset_plan()
+                .map(|r| r.src)
+                .or_else(|| chaos.hang_plan().map(|h| h.victim));
+            match victim {
+                Some(vr) if !out.report.crashed.is_empty() && out.report.crashed != vec![vr] => {
+                    return Err(format!(
+                        "crashed {:?}, planned victim {vr}",
+                        out.report.crashed
+                    ));
+                }
+                None if !out.report.crashed.is_empty() => {
+                    return Err(format!("benign plan crashed {:?}", out.report.crashed));
+                }
+                _ => {}
+            }
+            if out.perm != base.perm {
+                return Err("pivots diverged from fault-free baseline".into());
+            }
+            let bitwise = out.packed.rows() == base.packed.rows()
+                && out
+                    .packed
+                    .data()
+                    .iter()
+                    .zip(base.packed.data())
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+            if !bitwise {
+                return Err("factor bits diverged from fault-free baseline".into());
+            }
+            let res = lu_residual_perm(&a, &out.packed, &out.perm);
+            if res >= 1e-12 {
+                return Err(format!("residual {res:e} after recovery"));
+            }
+            if out.report.crashed.is_empty() {
+                let bs = base.report.attempt_stats.last().expect("base attempt");
+                let os = out.report.attempt_stats.last().expect("chaos attempt");
+                let drift = check_stats_equal(bs, os);
+                if !drift.is_empty() {
+                    return Err(format!("benign chaos changed the byte ledger: {drift:?}"));
+                }
+            }
+            Ok(())
+        };
+        if let Err(msg) = check() {
+            fail = Some((seed, plan, msg));
+            break 'sweep;
+        }
+        mode_counts[match mode {
+            ChaosMode::Torn => 0,
+            ChaosMode::Reset => 1,
+            ChaosMode::Hang => 2,
+            ChaosMode::Connect => 3,
+        }] += 1;
+        total_restarts += out.report.restarts as u64;
+        if !quiet {
+            println!(
+                "  seed {seed}: {} — crashed {:?}, {} restart(s)",
+                mode_name(mode),
+                out.report.crashed,
+                out.report.restarts
+            );
+        }
+    }
+
+    if quiet {
+        // A child rank only ever reaches here if its target world was never
+        // launched (the parent failed earlier); nothing to report.
+        return;
+    }
+    let out_dir = Path::new(&args.out);
+    let _ = std::fs::create_dir_all(out_dir);
+    if let Some((seed, plan, msg)) = fail {
+        let failure = json!({
+            "suite": "chaos-soak",
+            "seed": seed,
+            "fault": plan,
+            "n": n,
+            "grid": [2, 2, 2],
+            "error": msg,
+            "replay": format!("XHARNESS_SEEDS=list:{seed} cargo test -p factor --test chaos --release"),
+        });
+        let path = out_dir.join("chaos_failure.json");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&failure).unwrap() + "\n",
+        )
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!("chaos FAILURE at seed {seed} ({plan}): {msg}");
+        eprintln!("details written to {}", path.display());
+        std::process::exit(1);
+    }
+    let summary = json!({
+        "id": "BENCH_chaos",
+        "seeds": seed_list,
+        "n": n,
+        "grid": [2, 2, 2],
+        "modes": {
+            "torn": mode_counts[0],
+            "reset": mode_counts[1],
+            "hang": mode_counts[2],
+            "connect": mode_counts[3],
+        },
+        "total_restarts": total_restarts,
+    });
+    let path = out_dir.join("BENCH_chaos.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&summary).unwrap() + "\n",
+    )
+    .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!(
+        "chaos: {} seeds clean ({} torn / {} reset / {} hang / {} connect), report in {}",
+        seed_list.len(),
+        mode_counts[0],
+        mode_counts[1],
+        mode_counts[2],
+        mode_counts[3],
+        path.display()
+    );
+}

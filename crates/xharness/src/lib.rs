@@ -32,10 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod golden;
+pub mod netchaos;
 pub mod perturb;
 pub mod rng;
 
 pub use golden::{check_golden, golden_mode, snapshot, GoldenMode};
+pub use netchaos::{ChaosMode, ConnectPlan, HangPlan, NetChaos, NetChaosConfig, ResetPlan};
 pub use perturb::{CorruptPlan, CrashPlan, PerturbConfig, Perturbator};
 
 use std::sync::Arc;
@@ -96,6 +98,17 @@ pub fn run_perturbed<R>(cfg: &PerturbConfig, f: impl FnOnce() -> R) -> R {
 /// ```
 pub fn run_armed<R>(perturbator: &Arc<Perturbator>, f: impl FnOnce() -> R) -> R {
     xmpi::with_hooks(perturbator.clone(), f)
+}
+
+/// Run `f` with a seeded [`NetChaos`] plan armed on this thread: every
+/// world `f` launches has wire-level fault injection installed — torn
+/// frames, one-shot connection resets and silent hangs, refused and
+/// delayed mesh dials (see [`netchaos`] for the determinism model). Like
+/// [`run_armed`], the caller keeps the `Arc` so one-shot latches span a
+/// fault-tolerant driver's whole restart sequence and the test can assert
+/// `chaos.reset_fired()` / `chaos.hang_fired()` afterwards.
+pub fn run_chaos<R>(chaos: &Arc<NetChaos>, f: impl FnOnce() -> R) -> R {
+    xmpi::with_net_faults(chaos.clone(), f)
 }
 
 /// [`run_perturbed`] with event tracing: returns `f`'s result plus one

@@ -24,6 +24,7 @@ use crate::buf::Buf;
 use crate::error::XmpiError;
 use crate::hooks::{self, CrashFate, SchedHooks};
 use crate::liveness::{CrashUnwind, Liveness, PoisonUnwind};
+use crate::netfault::{NetFaults, WireFault};
 use crate::stats::{CollKind, Counters};
 use crate::trace::{Event, Recorder};
 use crate::transport::{LocalTransport, Transport};
@@ -51,8 +52,20 @@ pub(crate) fn recv_timeout() -> Duration {
     })
 }
 
-/// Parse a `CONFLUX_RECV_TIMEOUT_MS` value: a positive integer millisecond
-/// count; anything else (unset, junk, zero) means the default.
+/// Parse a `CONFLUX_RECV_TIMEOUT_MS` value into the receive deadline.
+///
+/// The fallback contract every blocking receive relies on:
+///
+/// * unset (`None`) → the 120 s default;
+/// * a positive integer, with surrounding ASCII whitespace allowed
+///   (`" 500 "`) → that many milliseconds;
+/// * `"0"` → the default — zero would turn every receive into an instant
+///   deadlock, so it is *not* a way to disable the timeout;
+/// * anything that does not parse as `u64` — garbage, an empty string, a
+///   negative or fractional number, a value past `u64::MAX` → the default.
+///
+/// Never panics or errors: this runs during world construction, where a
+/// deterministic fallback beats unwinding on a malformed environment.
 fn parse_recv_timeout_ms(var: Option<&str>) -> Duration {
     match var.and_then(|s| s.trim().parse::<u64>().ok()) {
         Some(ms) if ms > 0 => Duration::from_millis(ms),
@@ -306,6 +319,11 @@ pub(crate) struct Shared {
     /// healthy world). Shared with the transport's reader threads on
     /// multi-process backends, which is why it sits behind an `Arc`.
     pub liveness: Arc<Liveness>,
+    /// Wire-level chaos plan; `None` for fault-free worlds (one branch per
+    /// send, no other cost). Consulted once per non-self-send in
+    /// [`Comm::push_message_inner`] — see [`crate::netfault`] for the
+    /// backend-specific fault semantics.
+    pub net: Option<Arc<dyn NetFaults>>,
 }
 
 impl Shared {
@@ -339,6 +357,11 @@ impl Shared {
             trace,
             hooks,
             liveness,
+            // Worlds are always built on the launching thread (including the
+            // socket backend's child processes, which rebuild the world on
+            // the replayed test-body thread), so the ambient thread-local
+            // plan is visible here.
+            net: crate::netfault::armed(),
         })
     }
 }
@@ -604,6 +627,31 @@ impl Comm {
                 .delay()
         });
         let key = (src_world, self.ctx, tag);
+        // Wire-level chaos: consulted once per non-self-send in program
+        // order, *after* all accounting (a torn or reset frame's bytes were
+        // put on the wire and counted by the sender; they are simply never
+        // credited to the receiver). The socket writer executes the fault
+        // literally; in-process the two fatal faults are mirrored as this
+        // sender's death — the outcome the socket world converges to once
+        // peers detect the broken wire — and a torn write is a timing-only
+        // no-op without a wire to tear.
+        if dst_world != src_world {
+            if let Some(net) = &self.shared.net {
+                let frame_len = crate::wire::HEADER_LEN + bytes as usize;
+                let fault = net.wire_fault(src_world, dst_world, frame_len);
+                if fault != WireFault::Deliver {
+                    if self.shared.transport.is_interprocess() {
+                        self.shared
+                            .transport
+                            .deliver_faulted(dst_world, key, payload, delay, fault);
+                        return Ok(());
+                    }
+                    if matches!(fault, WireFault::Reset { .. } | WireFault::Hang) {
+                        self.crash_self(src_world);
+                    }
+                }
+            }
+        }
         self.shared
             .transport
             .deliver(dst_world, key, payload, delay);
@@ -1279,6 +1327,72 @@ mod tests {
     fn payload_byte_sizes() {
         assert_eq!(Payload::from(vec![0.0f64; 10]).bytes(), 80);
         assert_eq!(Payload::from(vec![0u64; 3]).bytes(), 24);
+    }
+
+    #[test]
+    fn recv_timeout_parse_edge_cases() {
+        // The documented fallback contract, case by case.
+        assert_eq!(parse_recv_timeout_ms(None), DEFAULT_RECV_TIMEOUT);
+        assert_eq!(parse_recv_timeout_ms(Some("")), DEFAULT_RECV_TIMEOUT);
+        assert_eq!(parse_recv_timeout_ms(Some("0")), DEFAULT_RECV_TIMEOUT);
+        assert_eq!(parse_recv_timeout_ms(Some(" 0 ")), DEFAULT_RECV_TIMEOUT);
+        assert_eq!(parse_recv_timeout_ms(Some("-5")), DEFAULT_RECV_TIMEOUT);
+        assert_eq!(parse_recv_timeout_ms(Some("1.5")), DEFAULT_RECV_TIMEOUT);
+        assert_eq!(parse_recv_timeout_ms(Some("12ms")), DEFAULT_RECV_TIMEOUT);
+        assert_eq!(parse_recv_timeout_ms(Some("garbage")), DEFAULT_RECV_TIMEOUT);
+        // One past u64::MAX does not parse; u64::MAX itself does.
+        assert_eq!(
+            parse_recv_timeout_ms(Some("18446744073709551616")),
+            DEFAULT_RECV_TIMEOUT
+        );
+        assert_eq!(
+            parse_recv_timeout_ms(Some("18446744073709551615")),
+            Duration::from_millis(u64::MAX)
+        );
+        assert_eq!(
+            parse_recv_timeout_ms(Some("500")),
+            Duration::from_millis(500)
+        );
+        assert_eq!(
+            parse_recv_timeout_ms(Some("\t 500 \n")),
+            Duration::from_millis(500)
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 64, ..proptest::prelude::ProptestConfig::default()
+        })]
+
+        /// Whatever the environment holds, the parse never panics and the
+        /// result is either the default or exactly the parsed millisecond
+        /// count — nothing in between. The generated strings are junk-heavy
+        /// (digits, whitespace, signs, letters) so both arms are exercised.
+        #[test]
+        fn recv_timeout_parse_never_panics(seed in 0u64..u64::MAX, len in 0usize..24) {
+            const ALPHABET: &[u8] = b"0123456789999 \t-+.esmx\x7f";
+            let mut z = seed;
+            let mut s = String::new();
+            for _ in 0..len {
+                z = z.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s.push(ALPHABET[(z >> 33) as usize % ALPHABET.len()] as char);
+            }
+            let d = parse_recv_timeout_ms(Some(&s));
+            match s.trim().parse::<u64>() {
+                Ok(ms) if ms > 0 => {
+                    proptest::prop_assert_eq!(d, Duration::from_millis(ms))
+                }
+                _ => proptest::prop_assert_eq!(d, DEFAULT_RECV_TIMEOUT),
+            }
+        }
+
+        #[test]
+        fn recv_timeout_parse_accepts_any_positive(ms in 1u64..u64::MAX) {
+            proptest::prop_assert_eq!(
+                parse_recv_timeout_ms(Some(&ms.to_string())),
+                Duration::from_millis(ms)
+            );
+        }
     }
 
     #[test]

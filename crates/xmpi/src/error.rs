@@ -50,6 +50,18 @@ pub enum XmpiError {
     /// [`XmpiError::RankDead`] so survivors can tell "my peer died" from
     /// "somebody died and the world is tearing down".
     WorldPoisoned,
+    /// A multi-process world could not be brought up: a child process would
+    /// not spawn, or the socket-mesh handshake to a peer exhausted its
+    /// bounded retry budget (see `XMPI_SPAWN_RETRIES` /
+    /// `XMPI_CONNECT_RETRIES`). The supervisor degrades to this typed error
+    /// instead of hanging or panicking, so a fault-tolerant driver can give
+    /// up cleanly.
+    LaunchFailed {
+        /// World rank that failed to come up (or to be reached).
+        rank: usize,
+        /// Spawn/dial attempts made before giving up.
+        attempts: u64,
+    },
 }
 
 impl fmt::Display for XmpiError {
@@ -77,6 +89,10 @@ impl fmt::Display for XmpiError {
                  expected {expected} element(s), got {got}"
             ),
             XmpiError::WorldPoisoned => write!(f, "world poisoned by a rank crash"),
+            XmpiError::LaunchFailed { rank, attempts } => write!(
+                f,
+                "world rank {rank} failed to launch after {attempts} attempt(s)"
+            ),
         }
     }
 }
@@ -109,6 +125,12 @@ mod tests {
         };
         assert!(tr.to_string().contains("expected 10"));
         assert!(XmpiError::WorldPoisoned.to_string().contains("poisoned"));
+        let lf = XmpiError::LaunchFailed {
+            rank: 2,
+            attempts: 5,
+        };
+        assert!(lf.to_string().contains("rank 2"));
+        assert!(lf.to_string().contains("5 attempt"));
     }
 
     #[test]

@@ -46,11 +46,11 @@ use std::cell::{Cell, RefCell};
 use std::io::Write as _;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Once, OnceLock};
+use std::time::{Duration, Instant};
 
 /// How a [`Backend::Socket`] child process is started.
 #[derive(Debug, Clone)]
@@ -80,6 +80,38 @@ thread_local! {
 
 /// Process-global launch counter, only for unique scratch-directory names.
 static LAUNCH_DIRS: AtomicU64 = AtomicU64::new(0);
+
+/// Child-spawn attempt budget (`XMPI_SPAWN_RETRIES`, default 4). Read once
+/// per process.
+fn spawn_retries() -> u64 {
+    static CACHE: OnceLock<u64> = OnceLock::new();
+    *CACHE.get_or_init(|| crate::socket::env_u64("XMPI_SPAWN_RETRIES", 4).max(1))
+}
+
+/// Capped exponential backoff before spawn attempt `attempt + 1`:
+/// `min(10 ms << attempt, 500 ms)`. Pure so the schedule is unit-testable.
+fn spawn_backoff(attempt: u64) -> Duration {
+    let ms = 10u64
+        .checked_shl(u32::try_from(attempt).unwrap_or(u32::MAX))
+        .unwrap_or(u64::MAX)
+        .min(500);
+    Duration::from_millis(ms)
+}
+
+/// Whole-world wall-clock budget in the parent's reap loop
+/// (`XMPI_WORLD_DEADLINE_MS`, default 300000 ms; `0` disables). A world
+/// that outlives it has wedged children killed and mapped to
+/// [`XmpiError::RankDead`] — the launcher never hangs forever on a child
+/// that neither exits nor reports. Read once per process.
+fn world_deadline() -> Option<Duration> {
+    static CACHE: OnceLock<Option<Duration>> = OnceLock::new();
+    *CACHE.get_or_init(
+        || match crate::socket::env_u64("XMPI_WORLD_DEADLINE_MS", 300_000) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
+    )
+}
 
 /// Run `f` with `backend` ambient on this thread (restored afterwards).
 /// [`run`]/[`run_ft`] calls inside `f` — including those buried in library
@@ -135,7 +167,10 @@ pub fn child_rank() -> Option<usize> {
 
 /// Resolve the source path of the enclosing `#[test]` function for
 /// [`socket_backend_for_test`] — the name libtest's `--exact` filter
-/// matches (module path without the crate segment).
+/// matches (module path without the crate segment). Trailing `{{closure}}`
+/// segments are stripped, so the macro also resolves correctly from inside
+/// helper closures (retry wrappers, failure-artifact guards) nested in the
+/// test body.
 #[macro_export]
 macro_rules! test_path {
     () => {{
@@ -144,7 +179,10 @@ macro_rules! test_path {
             ::std::any::type_name::<T>()
         }
         let name = type_name_of(&f);
-        let name = name.strip_suffix("::f").unwrap_or(name);
+        let mut name = name.strip_suffix("::f").unwrap_or(name);
+        while let Some(outer) = name.strip_suffix("::{{closure}}") {
+            name = outer;
+        }
         match name.find("::") {
             Some(i) => &name[i + 2..],
             None => name,
@@ -316,8 +354,16 @@ where
 {
     let dir = PathBuf::from(std::env::var_os("XMPI_DIR").expect("child process carries XMPI_DIR"));
     let liveness = Arc::new(Liveness::new(p));
-    let transport = SocketTransport::connect(&dir, my_rank, p, liveness.clone())
-        .expect("child could not join the socket mesh");
+    let transport = match SocketTransport::connect(&dir, my_rank, p, liveness.clone()) {
+        Ok(t) => t,
+        Err(e) => {
+            // Graceful launch degradation: the mesh never came up within
+            // the bounded dial/accept budget. Report the typed failure to
+            // the parent instead of panicking the child.
+            ship_result::<R>(&dir, my_rank, &Shipped::Err(e), &RankStats::default(), &[]);
+            std::process::exit(0);
+        }
+    };
     let shared = Shared::build_with(
         transport.clone() as Arc<dyn Transport>,
         liveness,
@@ -350,18 +396,27 @@ where
         }
     };
     transport.shutdown(crashed);
-    ship_result(&dir, my_rank, &shipped, &stats);
+    // Ship this process's view of the dead-rank roster: wire-level deaths
+    // (resets, hung peers declared by the failure detector) are observed
+    // by reader/monitor threads, not by an unwinding rank program, so the
+    // parent reconstructs the world's `crashed` set as the union of every
+    // child's view — mirroring the in-process backend, where the roster is
+    // read straight off the shared liveness registry.
+    let dead = shared.liveness.dead_ranks();
+    ship_result(&dir, my_rank, &shipped, &stats, &dead);
     // Never return into the replayed test body: this process's only job
     // was to play rank `my_rank` of the target world.
     std::process::exit(0);
 }
 
-/// Connect the control socket and ship `(outcome, stats)` to the parent.
+/// Connect the control socket and ship `(outcome, stats, dead roster)` to
+/// the parent.
 fn ship_result<R: Wire>(
     dir: &std::path::Path,
     my_rank: usize,
     shipped: &Shipped<R>,
     stats: &RankStats,
+    dead: &[usize],
 ) {
     let Ok(mut ctl) = UnixStream::connect(dir.join("ctl.sock")) else {
         // Parent already gone; nothing useful to do but exit.
@@ -370,6 +425,7 @@ fn ship_result<R: Wire>(
     let mut body = Vec::new();
     shipped.encode(&mut body);
     stats.encode(&mut body);
+    dead.to_vec().encode(&mut body);
     let mut frame = Frame::control(FrameKind::Result, my_rank);
     frame.body = body;
     let _ = wire::write_frame(&mut ctl, &Frame::control(FrameKind::Hello, my_rank))
@@ -377,9 +433,53 @@ fn ship_result<R: Wire>(
         .and_then(|()| ctl.flush());
 }
 
-/// Parent side: spawn one child per rank, wait for them, collect shipped
-/// outcomes from the control socket, and assemble the world result.
+/// What the parent holds per child once it reports: outcome, traffic
+/// stats, and the child's view of the dead-rank roster.
+type Outcome<R> = (Shipped<R>, RankStats, Vec<usize>);
+
+/// Spawn one child rank under the bounded backoff supervisor
+/// (`XMPI_SPAWN_RETRIES` attempts, [`spawn_backoff`] between them).
+/// Returns the attempts made on exhaustion.
+fn spawn_child(
+    cfg: &SocketCfg,
+    rank: usize,
+    p: usize,
+    world_id: u64,
+    dir: &Path,
+) -> Result<Child, u64> {
+    let budget = spawn_retries();
+    for attempt in 0..budget {
+        match Command::new(&cfg.exe)
+            .args(&cfg.args)
+            .env("XMPI_CHILD_RANK", rank.to_string())
+            .env("XMPI_WORLD_SIZE", p.to_string())
+            .env("XMPI_WORLD_ID", world_id.to_string())
+            .env("XMPI_DIR", dir)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+        {
+            Ok(child) => return Ok(child),
+            Err(e) => {
+                eprintln!(
+                    "xmpi launch: spawn child rank {rank} ({:?}) attempt {}/{budget}: {e}",
+                    cfg.exe,
+                    attempt + 1
+                );
+                if attempt + 1 < budget {
+                    std::thread::sleep(spawn_backoff(attempt));
+                }
+            }
+        }
+    }
+    Err(budget)
+}
+
+/// Parent side: spawn one child per rank (supervised, bounded backoff),
+/// wait for them under the world deadline, collect shipped outcomes from
+/// the control socket, and assemble the world result.
 fn parent_world<R: Wire>(cfg: &SocketCfg, p: usize, world_id: u64) -> FtResult<R> {
+    clean_stale_launch_dirs();
     let dir = std::env::temp_dir().join(format!(
         "xmpi-{}-{}",
         std::process::id(),
@@ -390,26 +490,41 @@ fn parent_world<R: Wire>(cfg: &SocketCfg, p: usize, world_id: u64) -> FtResult<R
     ctl.set_nonblocking(true)
         .expect("nonblocking control socket");
 
-    let mut children: Vec<Child> = (0..p)
-        .map(|rank| {
-            Command::new(&cfg.exe)
-                .args(&cfg.args)
-                .env("XMPI_CHILD_RANK", rank.to_string())
-                .env("XMPI_WORLD_SIZE", p.to_string())
-                .env("XMPI_WORLD_ID", world_id.to_string())
-                .env("XMPI_DIR", &dir)
-                .stdin(Stdio::null())
-                .stdout(Stdio::null())
-                .spawn()
-                .unwrap_or_else(|e| panic!("spawn child rank {rank} ({:?}): {e}", cfg.exe))
-        })
-        .collect();
+    let mut children: Vec<Child> = Vec::with_capacity(p);
+    for rank in 0..p {
+        match spawn_child(cfg, rank, p, world_id, &dir) {
+            Ok(child) => children.push(child),
+            Err(attempts) => {
+                // Graceful degradation: kill whatever came up, clean the
+                // mesh directory, and give every rank the typed launch
+                // failure — never a panic, never a half-spawned world left
+                // running.
+                for child in &mut children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                let _ = std::fs::remove_dir_all(&dir);
+                let e = XmpiError::LaunchFailed { rank, attempts };
+                return FtResult {
+                    results: (0..p).map(|_| Err(e)).collect(),
+                    stats: WorldStats {
+                        ranks: (0..p).map(|_| RankStats::default()).collect(),
+                    },
+                    crashed: Vec::new(),
+                };
+            }
+        }
+    }
 
     // Reap children and drain control connections. A child ships its
     // result (and connects) strictly before exiting, so once every child
     // is reaped, one final drain pass observes every report that will
     // ever arrive; whoever is missing afterwards died without reporting.
-    let mut outcomes: Vec<Option<(Shipped<R>, RankStats)>> = (0..p).map(|_| None).collect();
+    // The world deadline bounds the loop: a child that neither exits nor
+    // reports (wedged beyond what the in-world failure detector can
+    // resolve) is killed and mapped to a dead rank.
+    let mut outcomes: Vec<Option<Outcome<R>>> = (0..p).map(|_| None).collect();
+    let deadline = world_deadline().map(|d| Instant::now() + d);
     let mut alive = p;
     while alive > 0 {
         drain_ctl(&ctl, p, &mut outcomes);
@@ -421,6 +536,17 @@ fn parent_world<R: Wire>(cfg: &SocketCfg, p: usize, world_id: u64) -> FtResult<R
             }
         }
         if alive > 0 {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                eprintln!(
+                    "xmpi launch: world {world_id} exceeded XMPI_WORLD_DEADLINE_MS with \
+                     {alive} child process(es) wedged; killing them"
+                );
+                for child in &mut children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                break;
+            }
             std::thread::sleep(Duration::from_millis(2));
         }
     }
@@ -432,25 +558,29 @@ fn parent_world<R: Wire>(cfg: &SocketCfg, p: usize, world_id: u64) -> FtResult<R
     let mut crashed = Vec::new();
     for (rank, slot) in outcomes.into_iter().enumerate() {
         match slot {
-            Some((Shipped::Ok(v), rs)) => {
+            Some((Shipped::Ok(v), rs, dead)) => {
                 results.push(Ok(v));
                 stats.push(rs);
+                crashed.extend(dead);
             }
-            Some((Shipped::Err(e), rs)) => {
+            Some((Shipped::Err(e), rs, dead)) => {
                 results.push(Err(e));
                 stats.push(rs);
+                crashed.extend(dead);
             }
-            Some((Shipped::Crashed { rank: dead }, rs)) => {
-                crashed.push(dead);
-                results.push(Err(XmpiError::RankDead { rank: dead }));
+            Some((Shipped::Crashed { rank: dead_rank }, rs, dead)) => {
+                crashed.push(dead_rank);
+                crashed.extend(dead);
+                results.push(Err(XmpiError::RankDead { rank: dead_rank }));
                 stats.push(rs);
             }
-            Some((Shipped::Panicked, _)) => {
+            Some((Shipped::Panicked, _, _)) => {
                 panic!("rank {rank} panicked in its child process (see its stderr above)");
             }
             None => {
-                // Died without reporting: a hard kill (or a startup
-                // failure). Same mapping as an injected crash.
+                // Died without reporting: a hard kill, a startup failure,
+                // or a world-deadline kill. Same mapping as an injected
+                // crash.
                 crashed.push(rank);
                 results.push(Err(XmpiError::RankDead { rank }));
                 stats.push(RankStats::default());
@@ -466,12 +596,60 @@ fn parent_world<R: Wire>(cfg: &SocketCfg, p: usize, world_id: u64) -> FtResult<R
     }
 }
 
+/// Best-effort sweep of mesh scratch directories leaked by *dead* launcher
+/// processes: a hard-killed test run leaves `$TMPDIR/xmpi-<pid>-<n>` trees
+/// full of stale UNIX-socket files behind. Runs once per process, before
+/// the first socket world creates its own directory. Only directories
+/// whose embedded pid is provably not alive are removed, so concurrent
+/// launcher processes never lose a live mesh.
+fn clean_stale_launch_dirs() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| sweep_stale_launch_dirs(&std::env::temp_dir()));
+}
+
+/// The sweep behind [`clean_stale_launch_dirs`], parameterized for tests.
+fn sweep_stale_launch_dirs(tmp: &Path) {
+    let Ok(entries) = std::fs::read_dir(tmp) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(pid) = stale_dir_pid(name) else {
+            continue;
+        };
+        if pid_is_dead(pid) {
+            let _ = std::fs::remove_dir_all(entry.path());
+        }
+    }
+}
+
+/// Parse the launcher pid out of an `xmpi-<pid>-<n>` scratch-directory
+/// name; `None` for anything else (never touch foreign files).
+fn stale_dir_pid(name: &str) -> Option<u32> {
+    let rest = name.strip_prefix("xmpi-")?;
+    let (pid, seq) = rest.split_once('-')?;
+    if pid.is_empty() || seq.is_empty() || !seq.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    pid.parse().ok()
+}
+
+/// Whether `pid` is provably dead. Checked via procfs on Linux; on
+/// platforms without it, claim alive so nothing is ever deleted.
+fn pid_is_dead(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return false;
+    }
+    if cfg!(target_os = "linux") {
+        !Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        false
+    }
+}
+
 /// Accept and read every pending control connection, filling `outcomes`.
-fn drain_ctl<R: Wire>(
-    ctl: &UnixListener,
-    p: usize,
-    outcomes: &mut [Option<(Shipped<R>, RankStats)>],
-) {
+fn drain_ctl<R: Wire>(ctl: &UnixListener, p: usize, outcomes: &mut [Option<Outcome<R>>]) {
     loop {
         match ctl.accept() {
             Ok((mut stream, _)) => {
@@ -497,7 +675,10 @@ fn drain_ctl<R: Wire>(
                 let Ok(rs) = RankStats::decode(&mut input) else {
                     continue;
                 };
-                outcomes[rank] = Some((shipped, rs));
+                let Ok(dead) = Vec::<usize>::decode(&mut input) else {
+                    continue;
+                };
+                outcomes[rank] = Some((shipped, rs, dead));
             }
             Err(_) => return,
         }
@@ -511,6 +692,56 @@ mod tests {
         // This test lives at xmpi::launch::tests::test_path_strips_crate_and_fn.
         let p = crate::test_path!();
         assert_eq!(p, "launch::tests::test_path_strips_crate_and_fn");
+    }
+
+    #[test]
+    fn spawn_backoff_is_capped_exponential() {
+        use super::spawn_backoff;
+        use std::time::Duration;
+        assert_eq!(spawn_backoff(0), Duration::from_millis(10));
+        assert_eq!(spawn_backoff(1), Duration::from_millis(20));
+        assert_eq!(spawn_backoff(5), Duration::from_millis(320));
+        assert_eq!(spawn_backoff(6), Duration::from_millis(500));
+        assert_eq!(spawn_backoff(u64::MAX), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn stale_dir_names_parse_conservatively() {
+        use super::stale_dir_pid;
+        assert_eq!(stale_dir_pid("xmpi-1234-0"), Some(1234));
+        assert_eq!(stale_dir_pid("xmpi-1-17"), Some(1));
+        // Never claim a foreign or malformed name.
+        assert_eq!(stale_dir_pid("xmpi-1234"), None);
+        assert_eq!(stale_dir_pid("xmpi--0"), None);
+        assert_eq!(stale_dir_pid("xmpi-abc-0"), None);
+        assert_eq!(stale_dir_pid("xmpi-1234-"), None);
+        assert_eq!(stale_dir_pid("xmpi-1234-x"), None);
+        assert_eq!(stale_dir_pid("ympi-1234-0"), None);
+        assert_eq!(stale_dir_pid("xmpi-99999999999-0"), None, "pid overflow");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn stale_sweep_removes_dead_pid_dirs_only() {
+        use super::sweep_stale_launch_dirs;
+        let tmp = std::env::temp_dir().join(format!("xmpi-sweep-test-{}", std::process::id()));
+        std::fs::create_dir_all(&tmp).expect("create sweep sandbox");
+        // u32::MAX is far beyond any real Linux pid, so /proc/<pid> cannot
+        // exist: a provably-dead launcher's leftovers.
+        let dead = tmp.join(format!("xmpi-{}-3", u32::MAX));
+        // Our own pid is alive: must survive the sweep.
+        let live = tmp.join(format!("xmpi-{}-0", std::process::id()));
+        // A foreign name: must never be touched.
+        let foreign = tmp.join("xmpi-not-a-mesh");
+        for d in [&dead, &live, &foreign] {
+            std::fs::create_dir_all(d).expect("create test dir");
+            std::fs::write(d.join("rank_0.sock"), b"").expect("plant stale socket file");
+        }
+        sweep_stale_launch_dirs(&tmp);
+        assert!(!dead.exists(), "dead launcher's directory must be swept");
+        assert!(live.exists(), "live launcher's directory must survive");
+        assert!(foreign.exists(), "foreign names must never be touched");
+        let _ = std::fs::remove_dir_all(&tmp);
     }
 
     #[test]

@@ -94,6 +94,21 @@
 //!   for drivers that recover (checkpoint/restart in `factor::ft`) rather
 //!   than die.
 
+//! # Network chaos
+//!
+//! Below the schedule hooks sits wire-level fault injection: a
+//! [`netfault::NetFaults`] plan armed via [`with_net_faults`] breaks the
+//! transport itself — torn (partially written) frames, mid-frame connection
+//! resets, ranks that hang silently without closing their streams, and
+//! refused or delayed mesh dials. On the socket backend the faults are
+//! executed literally on the wire; a heartbeat failure detector
+//! (`XMPI_HEARTBEAT_MS` / `XMPI_SUSPECT_MS`) classifies hung peers as
+//! [`XmpiError::RankDead`], and the launch supervisor bounds every spawn and
+//! dial with capped exponential backoff, degrading to a typed
+//! [`XmpiError::LaunchFailed`] instead of a hang or a panic. The `xharness`
+//! crate derives whole fault plans from a single seed (`NetChaos`) so any
+//! failing chaos run replays exactly.
+
 pub mod buf;
 pub mod collectives;
 pub mod comm;
@@ -102,6 +117,7 @@ pub mod grid;
 pub mod hooks;
 pub mod launch;
 mod liveness;
+pub mod netfault;
 pub mod request;
 pub mod rma;
 pub(crate) mod socket;
@@ -118,6 +134,7 @@ pub use error::XmpiError;
 pub use grid::{Grid2, Grid3};
 pub use hooks::{with_hooks, CrashFate, SchedHooks, SendFate};
 pub use launch::{with_backend, Backend, SocketCfg};
+pub use netfault::{with_net_faults, ConnectFault, NetFaults, WireFault};
 pub use request::{wait_all, RecvRequest, Request, SendRequest, WaitPolicy, WaitTimeout};
 pub use rma::Window;
 pub use stats::{CollCounts, CollKind, RankStats, WorldStats};

@@ -40,10 +40,14 @@ impl Liveness {
         }
     }
 
-    /// Mark `rank` dead and poison the world.
-    pub(crate) fn kill(&self, rank: usize) {
-        self.dead[rank].store(true, Ordering::SeqCst);
+    /// Mark `rank` dead and poison the world. Returns whether this call was
+    /// the first to kill the rank — the socket mesh gossips a death notice
+    /// exactly once, on the observing rank's first-hand kill, so forwarded
+    /// notices cannot flood the mesh.
+    pub(crate) fn kill(&self, rank: usize) -> bool {
+        let newly = !self.dead[rank].swap(true, Ordering::SeqCst);
         self.poisoned.store(true, Ordering::SeqCst);
+        newly
     }
 
     #[inline]
@@ -86,12 +90,13 @@ mod tests {
         assert!(!l.is_poisoned());
         assert!(!l.is_dead(2));
         assert!(l.dead_ranks().is_empty());
-        l.kill(2);
+        assert!(l.kill(2), "first kill is new");
         assert!(l.is_poisoned());
         assert!(l.is_dead(2));
         assert!(!l.is_dead(1));
         assert_eq!(l.dead_ranks(), vec![2]);
-        l.kill(0);
+        assert!(!l.kill(2), "repeat kill is not new");
+        assert!(l.kill(0));
         assert_eq!(l.dead_ranks(), vec![0, 2]);
     }
 }

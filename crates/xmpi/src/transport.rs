@@ -19,6 +19,7 @@
 //! identical on every backend.
 
 use crate::comm::{ChannelKey, Mailbox, Payload};
+use crate::netfault::WireFault;
 use std::time::{Duration, Instant};
 
 /// A message transport connecting the ranks of one world.
@@ -34,6 +35,30 @@ pub(crate) trait Transport: Send + Sync {
     /// visibility delay from the schedule hooks (`None` = matchable on
     /// arrival).
     fn deliver(&self, dst_world: usize, key: ChannelKey, payload: Payload, delay: Option<Duration>);
+
+    /// [`Transport::deliver`] carrying an injected [`WireFault`] for this
+    /// message. Backends with a real wire (the socket mesh) execute the
+    /// fault literally; in-process backends ignore it — the send path has
+    /// already mirrored fatal wire faults as the sender's death before
+    /// calling this, and a torn write has no in-process meaning.
+    fn deliver_faulted(
+        &self,
+        dst_world: usize,
+        key: ChannelKey,
+        payload: Payload,
+        delay: Option<Duration>,
+        fault: WireFault,
+    ) {
+        let _ = fault;
+        self.deliver(dst_world, key, payload, delay);
+    }
+
+    /// Whether ranks live in separate OS processes joined by a real wire.
+    /// The send path uses this to decide whether an injected [`WireFault`]
+    /// can be executed literally or must be mirrored in-process.
+    fn is_interprocess(&self) -> bool {
+        false
+    }
 
     /// The mailbox this process hosts for `world_rank`.
     ///

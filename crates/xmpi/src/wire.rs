@@ -53,6 +53,13 @@ pub enum FrameKind {
     /// A child's shipped outcome on the control socket ([`Wire`]-encoded
     /// body).
     Result = 6,
+    /// Heartbeat: "the sender's process is alive and transmitting". Sent
+    /// periodically by each rank's mesh monitor thread; a peer that goes
+    /// quiet for longer than the suspicion timeout is declared dead (the
+    /// failure detector for *hung* — silent but alive — ranks). Pings are
+    /// transport-internal: never delivered to a mailbox, never counted as
+    /// traffic.
+    Ping = 7,
 }
 
 impl FrameKind {
@@ -64,6 +71,7 @@ impl FrameKind {
             4 => Some(FrameKind::Crash),
             5 => Some(FrameKind::Hello),
             6 => Some(FrameKind::Result),
+            7 => Some(FrameKind::Ping),
             _ => None,
         }
     }
@@ -563,6 +571,11 @@ impl Wire for XmpiError {
                 tag.encode(out);
             }
             XmpiError::WorldPoisoned => out.push(3),
+            XmpiError::LaunchFailed { rank, attempts } => {
+                out.push(4);
+                rank.encode(out);
+                attempts.encode(out);
+            }
         }
     }
     fn decode(input: &mut &[u8]) -> Result<Self, XmpiError> {
@@ -583,7 +596,11 @@ impl Wire for XmpiError {
                 tag: u64::decode(input)?,
             }),
             3 => Ok(XmpiError::WorldPoisoned),
-            b => Err(truncated(3, b as usize, 0, 0)),
+            4 => Ok(XmpiError::LaunchFailed {
+                rank: usize::decode(input)?,
+                attempts: u64::decode(input)?,
+            }),
+            b => Err(truncated(4, b as usize, 0, 0)),
         }
     }
 }

@@ -151,8 +151,8 @@ proptest! {
         let mut r: &[u8] = &corrupt;
         prop_assert!(matches!(read_frame(&mut r), Err(XmpiError::Truncated { .. })));
 
-        // Any kind byte outside the protocol.
-        let bad_kind = if bad_kind_pick < 7 { 0 } else { bad_kind_pick };
+        // Any kind byte outside the protocol (1..=7 are valid kinds).
+        let bad_kind = if bad_kind_pick < 8 { 0 } else { bad_kind_pick };
         let mut corrupt = bytes.clone();
         corrupt[4] = bad_kind;
         let mut r: &[u8] = &corrupt;
@@ -248,4 +248,44 @@ fn decoded_payload_reclaims_without_copy() {
     let ptr = buf.as_ptr();
     let owned = buf.into_vec();
     assert_eq!(owned.as_ptr(), ptr);
+}
+
+#[test]
+fn ping_frames_roundtrip() {
+    let f = Frame::control(FrameKind::Ping, 5);
+    let g = chunked_roundtrip(&f, 7, 3);
+    assert_eq!(g.kind, FrameKind::Ping);
+    assert_eq!(g.src, 5);
+    assert!(g.body.is_empty());
+}
+
+#[test]
+fn mid_header_and_mid_body_eofs_are_typed_and_lossless() {
+    // The two reset shapes the chaos layer injects: a stream cut inside the
+    // fixed header, and one cut inside an f64 body. Both must come back as
+    // `XmpiError::Truncated` (mapped to a dead peer by the socket reader),
+    // and a complete frame *preceding* the cut must still decode — the torn
+    // frame's bytes are dropped, never double-counted into an earlier or
+    // later payload.
+    let whole = payload_frame(1, 0, 9, 0, &Payload::from(vec![4.0f64, 5.0]));
+    let torn = payload_frame(1, 0, 9, 0, &Payload::from(vec![6.0f64, 7.0, 8.0]));
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &whole).expect("vec write");
+    let whole_len = bytes.len();
+    write_frame(&mut bytes, &torn).expect("vec write");
+
+    for cut in [whole_len + 11, whole_len + HEADER_LEN + 13] {
+        let mut r: &[u8] = &bytes[..cut];
+        let first = read_frame(&mut r)
+            .expect("first frame intact")
+            .expect("not EOF");
+        let Payload::F64(b) = frame_payload(&first).expect("decodes") else {
+            panic!("wrong payload kind");
+        };
+        assert_eq!(&b[..], &[4.0, 5.0], "preceding frame survives the cut");
+        assert!(
+            matches!(read_frame(&mut r), Err(XmpiError::Truncated { .. })),
+            "cut at byte {cut} must be a typed mid-frame EOF"
+        );
+    }
 }
